@@ -1,0 +1,73 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+
+#include "engine/serving_engine.hh"
+#include "workload/client_pool.hh"
+
+namespace lightllm {
+namespace bench {
+
+metrics::RunReport
+runClosedLoop(const model::PerfModel &perf,
+              core::SchedulerConfig scheduler_config,
+              const workload::Dataset &dataset,
+              const ServeOptions &options)
+{
+    scheduler_config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+    scheduler_config.pastFuture.initialHistory = options.warmHistory;
+
+    engine::EngineConfig engine_config = options.engineConfig;
+    engine_config.warmupRequests = options.warmupRequests;
+
+    engine::ServingEngine engine(
+        perf, core::makeScheduler(scheduler_config), engine_config);
+    workload::ClosedLoopClientPool clients(options.numClients,
+                                           dataset, engine);
+    engine.setOnFinish(
+        [&](const workload::RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    return engine.run();
+}
+
+std::vector<TokenCount>
+outputLengths(const workload::Dataset &dataset)
+{
+    std::vector<TokenCount> lengths;
+    lengths.reserve(dataset.requests.size());
+    for (const auto &request : dataset.requests)
+        lengths.push_back(request.effectiveOutputLen());
+    return lengths;
+}
+
+std::size_t
+sizeClients(const model::PerfModel &perf,
+            const workload::Dataset &dataset, double fraction)
+{
+    // Mean resident footprint of an in-flight request is its prompt
+    // plus about half its final output.
+    const double resident =
+        dataset.meanInputLen() + dataset.meanOutputLen() / 2.0;
+    const double capacity =
+        static_cast<double>(perf.tokenCapacity());
+    const double clients = fraction * capacity / resident;
+    return static_cast<std::size_t>(std::max(1.0, clients));
+}
+
+std::vector<SchedulerLineup>
+figure7Lineup(const workload::Dataset &warm_source)
+{
+    (void)warm_source;
+    return {
+        {"Conservative", core::SchedulerConfig::conservative()},
+        {"Aggressive (watermark=99%)",
+         core::SchedulerConfig::aggressive(0.99)},
+        {"Past-Future (ours)",
+         core::SchedulerConfig::pastFutureDefault(0.05)},
+    };
+}
+
+} // namespace bench
+} // namespace lightllm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared harness pieces for the paper-reproduction benches: a
+ * closed-loop serve runner, scheduler warm-start helpers, and load
+ * sizing heuristics.
+ */
+
+#ifndef LIGHTLLM_BENCH_BENCH_COMMON_HH
+#define LIGHTLLM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/scheduler_factory.hh"
+#include "engine/engine_config.hh"
+#include "metrics/report.hh"
+#include "metrics/sla.hh"
+#include "model/perf_model.hh"
+#include "workload/datasets.hh"
+
+namespace lightllm {
+namespace bench {
+
+/** One closed-loop serving run. */
+struct ServeOptions
+{
+    std::size_t numClients = 32;
+
+    /** Discard metrics until this many requests finished. */
+    std::size_t warmupRequests = 0;
+
+    /** Output lengths used to warm the Past-Future history window
+     *  (a previous traffic window of the same service). */
+    std::vector<TokenCount> warmHistory;
+
+    engine::EngineConfig engineConfig;
+};
+
+/** Run `dataset` on (perf, scheduler) with closed-loop clients. */
+metrics::RunReport
+runClosedLoop(const model::PerfModel &perf,
+              core::SchedulerConfig scheduler_config,
+              const workload::Dataset &dataset,
+              const ServeOptions &options);
+
+/** Output lengths of a dataset (warm history for its service). */
+std::vector<TokenCount> outputLengths(const workload::Dataset &ds);
+
+/**
+ * Client count that loads the system to `fraction` of its steady
+ * concurrency capacity (capacity tokens / mean resident footprint).
+ */
+std::size_t sizeClients(const model::PerfModel &perf,
+                        const workload::Dataset &dataset,
+                        double fraction);
+
+/** The paper's standard scheduler line-up for a dataset. */
+struct SchedulerLineup
+{
+    std::string label;
+    core::SchedulerConfig config;
+};
+
+/** Conservative / Aggressive(99%) / Past-Future(5%) as in Fig 7. */
+std::vector<SchedulerLineup>
+figure7Lineup(const workload::Dataset &warm_source);
+
+} // namespace bench
+} // namespace lightllm
+
+#endif // LIGHTLLM_BENCH_BENCH_COMMON_HH

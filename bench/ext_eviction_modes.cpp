@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension bench (beyond the paper's figures): recompute vs swap
+ * eviction.
+ *
+ * §2.4/§6 note that evicted requests need "recomputation or
+ * swapping"; the paper's engine uses recompute. This bench
+ * quantifies the choice on the decode-heavy distribution where the
+ * aggressive scheduler evicts constantly: swap trades recompute
+ * FLOPs for host-link transfers, shortening eviction stalls (better
+ * MTPOT) at the same eviction counts, and the Past-Future scheduler
+ * makes the choice nearly irrelevant by barely evicting at all.
+ */
+
+#include <iostream>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "metrics/sla.hh"
+
+using namespace lightllm;
+using namespace lightllm::bench;
+
+int
+main()
+{
+    std::cout << "# Extension: eviction handling - recompute vs "
+                 "swap (Llama-2-7B / A100-80G, Distribution-1)\n\n";
+
+    const auto dataset = workload::makeDistribution1(600, 61);
+    const auto history = workload::makeDistribution1(1000, 62);
+    model::PerfModel perf(model::ModelSpec::llama2_7b(),
+                          model::HardwareSpec::a100_80g());
+    const auto sla = metrics::SlaSpec::small7b13b();
+
+    struct Row
+    {
+        std::string label;
+        core::SchedulerConfig scheduler;
+        engine::EvictionMode mode;
+    };
+    const std::vector<Row> rows = {
+        {"Aggressive(99%) + recompute",
+         core::SchedulerConfig::aggressive(0.99),
+         engine::EvictionMode::Recompute},
+        {"Aggressive(99%) + swap",
+         core::SchedulerConfig::aggressive(0.99),
+         engine::EvictionMode::Swap},
+        {"Past-Future(5%) + recompute",
+         core::SchedulerConfig::pastFutureDefault(0.05),
+         engine::EvictionMode::Recompute},
+        {"Past-Future(5%) + swap",
+         core::SchedulerConfig::pastFutureDefault(0.05),
+         engine::EvictionMode::Swap},
+    };
+
+    TextTable table({"Configuration", "Goodput tok/s", "Evicted",
+                     "Swap transfers", "Prefill tokens",
+                     "p99 MTPOT s"});
+    for (const auto &row : rows) {
+        ServeOptions options;
+        options.numClients = sizeClients(perf, dataset, 0.95);
+        options.warmHistory = outputLengths(history);
+        options.engineConfig.evictionMode = row.mode;
+        const auto report =
+            runClosedLoop(perf, row.scheduler, dataset, options);
+        table.addRow(
+            {row.label,
+             formatDouble(report.goodputTokensPerSec(sla), 0),
+             formatPercent(report.evictedReqRatio(), 1),
+             formatCount(report.swapEvents),
+             formatCount(report.totalPrefillTokens),
+             formatDouble(report.p99MtpotSeconds(), 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: swap removes the recompute prefills "
+                 "(compare prefill tokens) and shortens eviction "
+                 "stalls; the Past-Future rows show the scheduler "
+                 "fix dominates the eviction-handling fix.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 3 reproduction: cosine similarity of output-length
+ * distributions between partitioned time windows (1000 requests, no
+ * overlap) for six service traces.
+ *
+ * Expected shape (paper): single-service traces (a, c, d, e, f) are
+ * similar globally; the API/hybrid trace (b) drifts over long
+ * horizons but stays similar on the diagonal (adjacent windows) —
+ * the property that justifies predicting from recent history.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "stats/window_analysis.hh"
+#include "workload/trace_gen.hh"
+
+using namespace lightllm;
+
+namespace {
+
+/** Compact ASCII heatmap of a similarity matrix. */
+void
+printHeatmap(const stats::SimilarityMatrix &matrix)
+{
+    // Coarse 10-level shading.
+    const char shades[] = " .:-=+*#%@";
+    for (std::size_t i = 0; i < matrix.numWindows; ++i) {
+        std::cout << "    ";
+        for (std::size_t j = 0; j < matrix.numWindows; ++j) {
+            const double value = matrix.at(i, j);
+            auto level = static_cast<int>(value * 10.0);
+            level = std::clamp(level, 0, 9);
+            std::cout << shades[level];
+        }
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "# Figure 3: output-length distribution similarity "
+                 "between 1000-request windows\n\n";
+
+    const auto traces = workload::makeFigure3Traces(20000, 42);
+
+    TextTable summary({"Trace", "Adjacent-window mean",
+                       "Global mean", "Windows"});
+    for (const auto &trace : traces) {
+        const auto matrix = stats::windowSimilarityMatrix(
+            trace.outputLens(), 1000);
+        summary.addRow({trace.name,
+                        formatDouble(matrix.adjacentMean(), 3),
+                        formatDouble(matrix.globalMean(), 3),
+                        std::to_string(matrix.numWindows)});
+    }
+    summary.print(std::cout);
+    std::cout << "\n";
+
+    for (const auto &trace : traces) {
+        const auto matrix = stats::windowSimilarityMatrix(
+            trace.outputLens(), 1000);
+        std::cout << trace.name << " (darker = more similar):\n";
+        printHeatmap(matrix);
+        std::cout << "\n";
+    }
+
+    std::cout << "Reading: every trace shows a bright diagonal "
+                 "(adjacent windows similar); only the API-style "
+                 "trace fades away from the diagonal.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 8 reproduction: evicted-requests (%) vs decoding steps for
+ * different scheduler parameterisations on a varying-distribution
+ * load (ShareGPT-o1 followed by Distribution-1, -2, -3, matching
+ * §5.3), plus the prediction-mode ablation called out in DESIGN.md.
+ *
+ * Expected shape (paper): conservative (overcommit sweep) and
+ * aggressive (watermark sweep) trace Pareto-dominated curves — to
+ * cut evictions they must pay many more decoding steps — while the
+ * Past-Future reserved-ratio sweep sits near the theoretical
+ * optimum corner with smoothly varying eviction rates.
+ */
+
+#include <iostream>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace lightllm;
+using namespace lightllm::bench;
+
+namespace {
+
+struct Point
+{
+    std::string family;
+    std::string parameter;
+    core::SchedulerConfig config;
+};
+
+core::SchedulerConfig
+pastFutureMode(double reserved, core::PredictionMode mode)
+{
+    auto config = core::SchedulerConfig::pastFutureDefault(reserved);
+    config.pastFuture.predictionMode = mode;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "# Figure 8: eviction/throughput trade-off under a "
+                 "varying load (ShareGPT-o1 ++ Distribution-1..3)\n\n";
+
+    const auto mixed = workload::concatDatasets(
+        "varying-load",
+        {workload::makeShareGptO1(350, 81),
+         workload::makeDistribution1(350, 82),
+         workload::makeDistribution2(350, 83),
+         workload::makeDistribution3(350, 84)});
+    const auto history = workload::makeShareGptO1(1000, 85);
+
+    model::PerfModel perf(model::ModelSpec::llama2_7b(),
+                          model::HardwareSpec::a100_80g());
+
+    std::vector<Point> points;
+    points.push_back({"Theoretical optimum", "-",
+                      core::SchedulerConfig::oracle()});
+    for (double reserved : {0.03, 0.05, 0.10, 0.15, 0.20}) {
+        points.push_back({"Past-Future (ours)",
+                          "reserved=" + formatPercent(reserved, 0),
+                          core::SchedulerConfig::pastFutureDefault(
+                              reserved)});
+    }
+    for (double watermark : {0.99, 0.95, 0.90, 0.80, 0.70, 0.60}) {
+        points.push_back({"Aggressive",
+                          "watermark=" + formatPercent(watermark, 0),
+                          core::SchedulerConfig::aggressive(
+                              watermark)});
+    }
+    for (double overcommit : {1.00, 1.10, 1.22, 1.50, 1.80, 2.20}) {
+        points.push_back({"Conservative",
+                          "overcommit=" +
+                              formatPercent(overcommit, 0),
+                          core::SchedulerConfig::conservative(
+                              overcommit)});
+    }
+    // Prediction-mode ablation (DESIGN.md §4): why coupled sampling
+    // is the default.
+    points.push_back({"PF ablation: per-step sampling",
+                      "reserved=5%",
+                      pastFutureMode(
+                          0.05,
+                          core::PredictionMode::PerStepSample)});
+    points.push_back({"PF ablation: tail-mean point est.",
+                      "reserved=5%",
+                      pastFutureMode(0.05,
+                                     core::PredictionMode::TailMean)});
+    points.push_back({"PF ablation: tail-quantile point est.",
+                      "reserved=5%",
+                      pastFutureMode(
+                          0.05,
+                          core::PredictionMode::TailQuantile)});
+
+    TextTable table({"Scheduler", "Parameter", "Decoding steps",
+                     "Evicted reqs", "Consumed memory"});
+    std::string previous_family;
+    for (const auto &point : points) {
+        if (!previous_family.empty() &&
+            point.family != previous_family) {
+            table.addSeparator();
+        }
+        previous_family = point.family;
+
+        ServeOptions options;
+        options.numClients = sizeClients(perf, mixed, 1.3);
+        options.warmupRequests = 150;
+        options.warmHistory = outputLengths(history);
+        const auto report =
+            runClosedLoop(perf, point.config, mixed, options);
+        table.addRow({point.family, point.parameter,
+                      formatCount(report.decodeSteps),
+                      formatPercent(report.evictedReqRatio(), 2),
+                      formatPercent(report.avgConsumedMemory, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: down and to the left is better (few "
+                 "evictions at few decoding steps). Baselines "
+                 "cannot reach the Past-Future corner by parameter "
+                 "tuning; the point-estimate ablations show why the "
+                 "coupled sampling of completion stagger matters.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 2 reproduction: throughput of the original (static-batch)
+ * implementations vs LightLLM (continuous batching + Past-Future)
+ * for Qwen-VL-Chat, LLaVA-1.5-7B and LLaVA-1.5-13B on a
+ * TextVQA-like multimodal workload.
+ *
+ * Expected shape (paper): LightLLM gains roughly 1.5-2x throughput
+ * (paper: +50% on Qwen-VL-Chat, +60% on LLaVA-1.5-7B, +87% on
+ * LLaVA-1.5-13B) because the image-token prefix inflates per-slot
+ * padding in static batching, while continuous batching recycles
+ * finished requests' memory immediately.
+ */
+
+#include <iostream>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "engine/static_engine.hh"
+
+using namespace lightllm;
+using namespace lightllm::bench;
+
+int
+main()
+{
+    std::cout << "# Table 2: multimodal serving throughput "
+                 "(TextVQA-like workload, A100-80G)\n\n";
+
+    TextTable table({"Model", "Origin (static batch) tok/s",
+                     "LightLLM (Past-Future) tok/s", "Speedup"});
+
+    for (const auto &spec :
+         {model::ModelSpec::qwenVlChat(), model::ModelSpec::llava15_7b(),
+          model::ModelSpec::llava15_13b()}) {
+        const model::PerfModel perf(spec,
+                                    model::HardwareSpec::a100_80g());
+        const auto dataset =
+            workload::makeTextVqaLike(1500, spec.imageTokens, 71);
+        const auto history =
+            workload::makeTextVqaLike(1000, spec.imageTokens, 72);
+
+        // Origin: HF-style static batching over contiguous memory.
+        // Batch size 32 mirrors the modest batches the original
+        // implementations served with (capacity-sized batches would
+        // decode-until-slowest far longer and flatter the baseline).
+        engine::StaticEngineConfig origin_config;
+        origin_config.batchSize = 32;
+        const auto origin =
+            engine::runStaticBatch(perf, dataset, origin_config);
+
+        // LightLLM: continuous batching + Past-Future scheduler,
+        // offline throughput measurement (all requests queued).
+        ServeOptions options;
+        options.numClients = dataset.requests.size();
+        options.warmHistory = outputLengths(history);
+        const auto lightllm = runClosedLoop(
+            perf, core::SchedulerConfig::pastFutureDefault(0.05),
+            dataset, options);
+
+        const double origin_tput = origin.throughputTokensPerSec();
+        const double lightllm_tput =
+            lightllm.throughputTokensPerSec();
+        table.addRow({spec.name, formatDouble(origin_tput, 2),
+                      formatDouble(lightllm_tput, 2),
+                      formatDouble(lightllm_tput / origin_tput, 2) +
+                          "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: both engines serve the same requests "
+                 "on the same simulated hardware; only the batching "
+                 "and scheduling differ.\n";
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Capacity planner: how many concurrent clients can a deployment
+ * sustain under the SLA?
+ *
+ * A downstream-facing tool built on the public API: binary-search
+ * the largest closed-loop client count at which the configured
+ * (model, hardware, scheduler) keeps at least 95% of requests
+ * SLA-compliant on the given workload profile. This is the sizing
+ * question the paper's "future work" (auto-scaling on accurate
+ * memory estimates) starts from.
+ *
+ * Usage: capacity_planner [7b|13b|70b]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "core/scheduler_factory.hh"
+#include "engine/serving_engine.hh"
+#include "metrics/sla.hh"
+#include "model/perf_model.hh"
+#include "workload/client_pool.hh"
+#include "workload/datasets.hh"
+
+using namespace lightllm;
+
+namespace {
+
+/** SLA compliance of one closed-loop run at `clients`. */
+double
+complianceAt(const model::PerfModel &perf,
+             const core::SchedulerConfig &scheduler_config,
+             const workload::Dataset &dataset,
+             const metrics::SlaSpec &sla, std::size_t clients)
+{
+    engine::ServingEngine engine(
+        perf, core::makeScheduler(scheduler_config));
+    workload::ClosedLoopClientPool pool(clients, dataset, engine);
+    engine.setOnFinish(
+        [&](const workload::RequestSpec &spec, Tick tick) {
+            pool.onRequestFinished(spec.id, tick);
+        });
+    pool.start();
+    const auto report = engine.run();
+    return report.slaCompliantFraction(sla);
+}
+
+/** Largest client count with >= target compliance. */
+std::size_t
+planCapacity(const model::PerfModel &perf,
+             const core::SchedulerConfig &scheduler_config,
+             const workload::Dataset &dataset,
+             const metrics::SlaSpec &sla, double target)
+{
+    std::size_t lo = 1;
+    std::size_t hi = 2;
+    // Exponential probe for an upper bound.
+    while (complianceAt(perf, scheduler_config, dataset, sla, hi) >=
+           target) {
+        lo = hi;
+        hi *= 2;
+        if (hi > 4096)
+            return lo;
+    }
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (complianceAt(perf, scheduler_config, dataset, sla,
+                         mid) >= target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string scale = argc > 1 ? argv[1] : "7b";
+
+    model::ModelSpec spec;
+    model::HardwareSpec hardware = model::HardwareSpec::a100_80g();
+    metrics::SlaSpec sla = metrics::SlaSpec::small7b13b();
+    if (scale == "7b") {
+        spec = model::ModelSpec::llama2_7b();
+    } else if (scale == "13b") {
+        spec = model::ModelSpec::llama2_13b();
+    } else if (scale == "70b") {
+        spec = model::ModelSpec::llama2_70b();
+        hardware = hardware.withTensorParallel(4);
+        sla = metrics::SlaSpec::large70b();
+    } else {
+        std::cerr << "usage: capacity_planner [7b|13b|70b]\n";
+        return 1;
+    }
+    const model::PerfModel perf(spec, hardware);
+
+    std::cout << "Capacity planning for " << spec.name << " on "
+              << hardware.name << " (token capacity "
+              << formatCount(perf.tokenCapacity()) << ")\n"
+              << "Target: >= 95% of requests meet the SLA.\n\n";
+
+    // Chain-of-thought chat traffic: long, hard-to-predict outputs
+    // (the paper's ShareGPT-o1 workload) — the regime where the
+    // scheduler choice decides deployment capacity.
+    const auto dataset = workload::makeShareGptO1(300, 5);
+    const auto history = workload::makeShareGptO1(1000, 6);
+
+    TextTable table({"Scheduler", "Max clients @ 90% SLA",
+                     "@ 95% SLA", "@ 99% SLA"});
+    std::vector<std::pair<std::string, core::SchedulerConfig>>
+        configs = {
+            {"Conservative", core::SchedulerConfig::conservative()},
+            {"Aggressive (watermark=99%)",
+             core::SchedulerConfig::aggressive(0.99)},
+            {"Past-Future (reserved=5%)",
+             core::SchedulerConfig::pastFutureDefault(0.05)},
+        };
+    for (auto &[label, config] : configs) {
+        config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+        for (const auto &request : history.requests) {
+            config.pastFuture.initialHistory.push_back(
+                request.effectiveOutputLen());
+        }
+        std::vector<std::string> row{label};
+        for (double target : {0.90, 0.95, 0.99}) {
+            row.push_back(std::to_string(
+                planCapacity(perf, config, dataset, sla, target)));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe conservative scheduler forfeits most of "
+                 "the hardware to worst-case reservations. The "
+                 "aggressive and Past-Future schedulers pack "
+                 "memory similarly, but tightening the compliance "
+                 "target exposes the aggressive policy's eviction "
+                 "cliff while Past-Future degrades gracefully.\n";
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Multi-instance routing example — the paper's future-work proposal
+ * (§7) made concrete.
+ *
+ * A heterogeneous fleet — two A100-80G and two A30 instances, the
+ * paper's "dynamic service instance availability" setting — serves
+ * a heavy-tailed chain-of-thought workload behind a router. The A30
+ * has an eighth of the A100's KV capacity and half its bandwidth,
+ * so load-oblivious routing drowns the small instances while the
+ * big ones idle. The future-memory policy routes each request by
+ * the *predicted* in-flight load relative to each instance's
+ * capacity, using the router's own output-length history — the
+ * Past-Future idea applied to placement.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "cluster/serving_cluster.hh"
+#include "core/scheduler_factory.hh"
+#include "metrics/sla.hh"
+#include "model/perf_model.hh"
+#include "workload/client_pool.hh"
+#include "workload/datasets.hh"
+
+using namespace lightllm;
+
+namespace {
+
+struct Outcome
+{
+    metrics::RunReport report;
+    std::vector<std::size_t> routedCounts;
+};
+
+Outcome
+routeWith(cluster::RoutingPolicy policy,
+          const workload::Dataset &dataset,
+          const workload::Dataset &history,
+          std::size_t num_clients)
+{
+    auto scheduler_config =
+        core::SchedulerConfig::pastFutureDefault(0.05);
+    scheduler_config.pastFuture.seedOutputLen =
+        dataset.maxNewTokens;
+    for (const auto &request : history.requests) {
+        scheduler_config.pastFuture.initialHistory.push_back(
+            request.effectiveOutputLen());
+    }
+
+    std::vector<std::unique_ptr<engine::ServingEngine>> instances;
+    const std::vector<model::HardwareSpec> fleet_hw = {
+        model::HardwareSpec::a100_80g(),
+        model::HardwareSpec::a100_80g(),
+        model::HardwareSpec::a30(),
+        model::HardwareSpec::a30(),
+    };
+    for (const auto &hw : fleet_hw) {
+        model::PerfModel perf(model::ModelSpec::llama2_7b(), hw);
+        instances.push_back(std::make_unique<engine::ServingEngine>(
+            perf, core::makeScheduler(scheduler_config)));
+    }
+    cluster::ServingCluster fleet(std::move(instances), policy);
+    std::vector<TokenCount> warm_lengths;
+    for (const auto &request : history.requests)
+        warm_lengths.push_back(request.effectiveOutputLen());
+    fleet.warmRoutingHistory(warm_lengths);
+
+    workload::ClosedLoopClientPool clients(num_clients, dataset,
+                                           fleet);
+    fleet.setOnFinish(
+        [&](const workload::RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+
+    Outcome outcome;
+    outcome.report = fleet.run();
+    outcome.routedCounts = fleet.routedCounts();
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t num_clients = 140;
+    const auto dataset = workload::makeShareGptO1(800, 57);
+    const auto history = workload::makeShareGptO1(1000, 58);
+    const auto sla = metrics::SlaSpec::small7b13b();
+
+    std::cout << "Heterogeneous cluster: 2x A100-80G + 2x A30 "
+                 "(Llama-2-7B), "
+              << num_clients << " closed-loop clients, "
+              << dataset.requests.size()
+              << " chain-of-thought requests\n\n";
+
+    TextTable table({"Routing policy", "Goodput tok/s",
+                     "Throughput tok/s", "p99 TTFT s",
+                     "Requests per instance (A100/A100/A30/A30)"});
+    for (const auto policy :
+         {cluster::RoutingPolicy::RoundRobin,
+          cluster::RoutingPolicy::LeastOutstandingTokens,
+          cluster::RoutingPolicy::FutureMemory}) {
+        const auto outcome =
+            routeWith(policy, dataset, history, num_clients);
+        std::string spread;
+        for (std::size_t count : outcome.routedCounts) {
+            if (!spread.empty())
+                spread += " / ";
+            spread += std::to_string(count);
+        }
+        table.addRow(
+            {cluster::routingPolicyName(policy),
+             formatDouble(outcome.report.goodputTokensPerSec(sla),
+                          0),
+             formatDouble(
+                 outcome.report.throughputTokensPerSec(), 0),
+             formatDouble(outcome.report.p99TtftSeconds(), 1),
+             spread});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRound-robin drowns the A30s (an eighth of the "
+                 "A100's KV capacity); capacity-aware policies "
+                 "recover most of the goodput, and future-memory "
+                 "routing places *predicted* work, the paper's "
+                 "future-work proposal end to end.\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Prefill-heavy domain example: a code-completion service.
+ *
+ * Code completion requests carry large prompts (file context) and
+ * return short completions — the prefill-heavy regime of the
+ * paper's Distribution-3 / Figure 1 (left). This example shows two
+ * things on that workload:
+ *
+ *  1. scheduler choice: aggressive and Past-Future both beat the
+ *     conservative policy (output memory is nearly irrelevant), and
+ *  2. engine choice: split-fuse chunked prefill keeps the running
+ *     batch's inter-token gaps small while long prompts stream in,
+ *     at a small TTFT cost.
+ */
+
+#include <iostream>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "core/scheduler_factory.hh"
+#include "engine/serving_engine.hh"
+#include "metrics/sla.hh"
+#include "model/perf_model.hh"
+#include "workload/client_pool.hh"
+#include "workload/trace_gen.hh"
+#include "workload/trace_io.hh"
+
+using namespace lightllm;
+
+namespace {
+
+metrics::RunReport
+serveCodeCompletion(const core::SchedulerConfig &scheduler_config,
+                    bool split_fuse, std::size_t num_clients)
+{
+    model::PerfModel perf(model::ModelSpec::llama2_13b(),
+                          model::HardwareSpec::a100_80g());
+
+    // Synthesize the service trace (in production this would be
+    // readTraceCsvFile over real logs) and convert it to requests.
+    const auto trace = workload::makeCodeCompletionTrace(500, 17);
+    const auto dataset = workload::traceToDataset(trace, 512);
+    const auto history = workload::makeCodeCompletionTrace(1000, 18);
+
+    core::SchedulerConfig config = scheduler_config;
+    config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+    for (const auto &record : history.records) {
+        config.pastFuture.initialHistory.push_back(
+            std::min<TokenCount>(record.outputLen, 512));
+    }
+
+    engine::EngineConfig engine_config;
+    engine_config.splitFuse = split_fuse;
+    engine_config.splitFuseChunk = 512;
+
+    engine::ServingEngine engine(
+        perf, core::makeScheduler(config), engine_config);
+    workload::ClosedLoopClientPool clients(num_clients, dataset,
+                                           engine);
+    engine.setOnFinish(
+        [&](const workload::RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    return engine.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t num_clients = 24;
+    const auto sla = metrics::SlaSpec::small7b13b();
+
+    std::cout << "Code-completion service: Llama-2-13B on "
+                 "A100-80G, long prompts / short outputs, "
+              << num_clients << " clients\n\n";
+
+    struct Row
+    {
+        const char *label;
+        core::SchedulerConfig config;
+        bool splitFuse;
+    };
+    const std::vector<Row> rows = {
+        {"Conservative", core::SchedulerConfig::conservative(),
+         false},
+        {"Aggressive (watermark=95%)",
+         core::SchedulerConfig::aggressive(0.95), false},
+        {"Past-Future (reserved=5%)",
+         core::SchedulerConfig::pastFutureDefault(0.05), false},
+        {"Past-Future + split-fuse",
+         core::SchedulerConfig::pastFutureDefault(0.05), true},
+    };
+
+    TextTable table({"Configuration", "Goodput tok/s", "p99 TTFT s",
+                     "p99 MTPOT s", "Mean TPOT ms", "Evicted"});
+    for (const auto &row : rows) {
+        const auto report =
+            serveCodeCompletion(row.config, row.splitFuse,
+                                num_clients);
+        table.addRow(
+            {row.label,
+             formatDouble(report.goodputTokensPerSec(sla), 1),
+             formatDouble(report.p99TtftSeconds(), 2),
+             formatDouble(report.p99MtpotSeconds(), 2),
+             formatDouble(report.meanTpotSeconds() * 1e3, 1),
+             formatPercent(report.evictedReqRatio(), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPrefill-heavy regime with a tight "
+                 "max_new_tokens: admission policies nearly agree "
+                 "(there is little output memory to mispredict), "
+                 "and the binding constraint becomes prefill "
+                 "interference - whole-prompt prefills stall the "
+                 "running batch past the MTPOT limit. Split-fuse "
+                 "chunked prefill removes those stalls and "
+                 "multiplies goodput.\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "base/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace lightllm {
+namespace detail {
+
+void
+panicImpl(const char *, int, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *, int, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace lightllm

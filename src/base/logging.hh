@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (library bug);
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  — the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef LIGHTLLM_BASE_LOGGING_HH
+#define LIGHTLLM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace lightllm {
+
+namespace detail {
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message; use for violated internal invariants. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl("", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Exit with a message; use for unrecoverable user errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl("", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define LIGHTLLM_ASSERT(cond, ...)                                       \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::lightllm::panic("assertion failed: ", #cond, " ",          \
+                              ::lightllm::detail::concat(__VA_ARGS__));  \
+        }                                                                \
+    } while (0)
+
+} // namespace lightllm
+
+#endif // LIGHTLLM_BASE_LOGGING_HH

@@ -1,0 +1,78 @@
+#include "base/str_util.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+namespace lightllm {
+
+std::vector<std::string>
+splitString(std::string_view text, char delim)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(delim, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            break;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string_view
+trimString(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    return formatDouble(ratio * 100.0, precision) + "%";
+}
+
+std::string
+formatCount(std::int64_t value)
+{
+    const bool negative = value < 0;
+    std::uint64_t magnitude = negative
+        ? 0ull - static_cast<std::uint64_t>(value)
+        : static_cast<std::uint64_t>(value);
+    std::string digits = std::to_string(magnitude);
+    std::string out;
+    const std::size_t len = digits.size();
+    for (std::size_t i = 0; i < len; ++i) {
+        if (i > 0 && (len - i) % 3 == 0)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    if (negative)
+        out.insert(out.begin(), '-');
+    return out;
+}
+
+} // namespace lightllm

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers used by trace I/O and report printing.
+ */
+
+#ifndef LIGHTLLM_BASE_STR_UTIL_HH
+#define LIGHTLLM_BASE_STR_UTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lightllm {
+
+/** Split a string on a delimiter; keeps empty fields. */
+std::vector<std::string> splitString(std::string_view text, char delim);
+
+/** Strip ASCII whitespace from both ends. */
+std::string_view trimString(std::string_view text);
+
+/** Format a double with fixed precision, e.g. 3 -> "12.346". */
+std::string formatDouble(double value, int precision);
+
+/** Format a ratio as a percentage string, e.g. 0.1234 -> "12.34%". */
+std::string formatPercent(double ratio, int precision = 2);
+
+/** Format a count with thousands separators, e.g. 1234567 -> "1,234,567". */
+std::string formatCount(std::int64_t value);
+
+} // namespace lightllm
+
+#endif // LIGHTLLM_BASE_STR_UTIL_HH

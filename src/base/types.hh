@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the library.
+ *
+ * The simulator reasons about three quantities: simulated time,
+ * token counts (the unit of KV-cache accounting, following the
+ * paper's Figures 5/6 which reason in "token capacity"), and raw
+ * byte sizes (used only inside the performance model when deriving
+ * token capacity from hardware memory).
+ */
+
+#ifndef LIGHTLLM_BASE_TYPES_HH
+#define LIGHTLLM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace lightllm {
+
+/** Simulated time in integer microseconds (deterministic). */
+using Tick = std::int64_t;
+
+/** Number of ticks in one simulated second. */
+inline constexpr Tick kTicksPerSecond = 1'000'000;
+
+/** Number of KV-cache token slots, or a count of tokens. */
+using TokenCount = std::int64_t;
+
+/** Raw byte size used by the performance model. */
+using ByteCount = std::int64_t;
+
+/** Monotonically increasing request identifier. */
+using RequestId = std::int64_t;
+
+/** Sentinel for "no request". */
+inline constexpr RequestId kInvalidRequestId = -1;
+
+/** Convert seconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(
+        seconds * static_cast<double>(kTicksPerSecond) + 0.5);
+}
+
+/** Convert ticks to fractional seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) /
+        static_cast<double>(kTicksPerSecond);
+}
+
+} // namespace lightllm
+
+#endif // LIGHTLLM_BASE_TYPES_HH

@@ -1,0 +1,221 @@
+#include "cluster/serving_cluster.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace cluster {
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin:
+        return "round-robin";
+      case RoutingPolicy::LeastOutstandingTokens:
+        return "least-outstanding";
+      case RoutingPolicy::FutureMemory:
+        return "future-memory";
+    }
+    return "unknown";
+}
+
+ServingCluster::ServingCluster(
+    std::vector<std::unique_ptr<engine::ServingEngine>> instances,
+    RoutingPolicy policy)
+    : instances_(std::move(instances)), policy_(policy),
+      routedCounts_(instances_.size(), 0),
+      routedTokens_(instances_.size(), 0),
+      routingHistory_(1000),
+      predictedLoad_(instances_.size(), 0)
+{
+    LIGHTLLM_ASSERT(!instances_.empty(),
+                    "cluster needs at least one instance");
+    for (auto &instance : instances_) {
+        instance->setOnFinish(
+            [this](const workload::RequestSpec &spec, Tick tick) {
+                handleFinish(spec, tick);
+            });
+    }
+}
+
+void
+ServingCluster::setOnFinish(FinishCallback callback)
+{
+    onFinish_ = std::move(callback);
+}
+
+void
+ServingCluster::warmRoutingHistory(
+    std::span<const TokenCount> lengths)
+{
+    for (TokenCount length : lengths)
+        routingHistory_.push(length);
+}
+
+void
+ServingCluster::handleFinish(const workload::RequestSpec &spec,
+                             Tick tick)
+{
+    routingHistory_.push(spec.effectiveOutputLen());
+    const auto it = charges_.find(spec.id);
+    if (it != charges_.end()) {
+        const auto [instance, charge] = it->second;
+        predictedLoad_[instance] -= charge;
+        charges_.erase(it);
+    }
+    if (onFinish_)
+        onFinish_(spec, tick);
+}
+
+TokenCount
+ServingCluster::predictFootprint(const workload::RequestSpec &spec)
+{
+    if (cachedVersion_ != routingHistory_.version()) {
+        routingDistribution_ =
+            core::LengthDistribution(routingHistory_.snapshot());
+        cachedVersion_ = routingHistory_.version();
+    }
+    // A point estimate is the right prediction for load balancing
+    // (unlike admission, placement needs no completion stagger).
+    const TokenCount expected_output = routingDistribution_.empty()
+        ? spec.maxNewTokens
+        : std::min(routingDistribution_.tailMean(0,
+                                                 spec.maxNewTokens),
+                   spec.maxNewTokens);
+    return spec.inputLen + expected_output;
+}
+
+std::size_t
+ServingCluster::pickInstance(const workload::RequestSpec &spec)
+{
+    switch (policy_) {
+      case RoutingPolicy::RoundRobin:
+      {
+        const std::size_t index = nextRoundRobin_;
+        nextRoundRobin_ = (nextRoundRobin_ + 1) % instances_.size();
+        return index;
+      }
+      case RoutingPolicy::LeastOutstandingTokens:
+      {
+        // Normalise current + queued footprint by instance capacity
+        // so heterogeneous fleets compare fairly.
+        std::size_t best = 0;
+        double best_load = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            const double load =
+                static_cast<double>(
+                    instances_[i]->outstandingTokens()) /
+                static_cast<double>(
+                    instances_[i]->capacityTokens());
+            if (load < best_load) {
+                best_load = load;
+                best = i;
+            }
+        }
+        return best;
+      }
+      case RoutingPolicy::FutureMemory:
+      {
+        // Router-side Past-Future estimate: predicted in-flight
+        // load (including this request) over capacity.
+        const TokenCount footprint = predictFootprint(spec);
+        std::size_t best = 0;
+        double best_load = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            const double load =
+                static_cast<double>(predictedLoad_[i] + footprint) /
+                static_cast<double>(
+                    instances_[i]->capacityTokens());
+            if (load < best_load) {
+                best_load = load;
+                best = i;
+            }
+        }
+        return best;
+      }
+    }
+    panic("unknown routing policy");
+}
+
+void
+ServingCluster::submitAt(const workload::RequestSpec &spec,
+                         Tick arrival)
+{
+    const std::size_t index = pickInstance(spec);
+    routedCounts_[index] += 1;
+    routedTokens_[index] += spec.effectiveOutputLen();
+    if (policy_ == RoutingPolicy::FutureMemory) {
+        const TokenCount charge = predictFootprint(spec);
+        predictedLoad_[index] += charge;
+        charges_.emplace(spec.id, std::make_pair(index, charge));
+    }
+    instances_[index]->submitAt(spec, arrival);
+}
+
+metrics::RunReport
+ServingCluster::run()
+{
+    LIGHTLLM_ASSERT(!ran_, "cluster instances are single-run");
+    ran_ = true;
+
+    // Co-simulation: always advance the instance with the smallest
+    // local clock among those that can make progress. Instances
+    // interact only through request routing (closed-loop clients
+    // resubmit on finish), so this bounds causality skew to one
+    // engine iteration.
+    while (true) {
+        engine::ServingEngine *next = nullptr;
+        for (auto &instance : instances_) {
+            if (!instance->hasWork() &&
+                !instance->hasPendingArrivals()) {
+                continue;
+            }
+            if (next == nullptr || instance->now() < next->now())
+                next = instance.get();
+        }
+        if (next == nullptr)
+            break;
+        const bool progressed = next->stepOnce();
+        LIGHTLLM_ASSERT(progressed,
+                        "selected instance failed to progress");
+    }
+
+    // Merge per-instance reports.
+    std::vector<metrics::RunReport> reports;
+    reports.reserve(instances_.size());
+    for (const auto &instance : instances_)
+        reports.push_back(instance->report());
+    return metrics::mergeReports(
+        reports, "Cluster(" +
+                     std::string(routingPolicyName(policy_)) + " x" +
+                     std::to_string(instances_.size()) + ")");
+}
+
+metrics::RunReport
+ServingCluster::instanceReport(std::size_t index) const
+{
+    LIGHTLLM_ASSERT(index < instances_.size(), "bad instance index");
+    return instances_[index]->report();
+}
+
+double
+ServingCluster::tokenImbalance() const
+{
+    TokenCount max_tokens = 0;
+    TokenCount total = 0;
+    for (TokenCount tokens : routedTokens_) {
+        max_tokens = std::max(max_tokens, tokens);
+        total += tokens;
+    }
+    if (total == 0)
+        return 0.0;
+    const double mean = static_cast<double>(total) /
+        static_cast<double>(routedTokens_.size());
+    return static_cast<double>(max_tokens) / mean - 1.0;
+}
+
+} // namespace cluster
+} // namespace lightllm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Multi-instance serving cluster with load-aware request routing.
+ *
+ * Implements the paper's future-work proposal (§7): because the
+ * Past-Future scheduler can "accurately estimate the memory demand
+ * of each running batch", a front-end router can forward requests to
+ * under-utilised instances so every instance reaches full capacity.
+ * Three routing policies are provided:
+ *
+ *  - RoundRobin: oblivious baseline;
+ *  - LeastOutstandingTokens: join-the-least-loaded by *current*
+ *    resident + queued footprint (what a router can see without the
+ *    scheduler's help);
+ *  - FutureMemory: the router runs its own "past" component — a
+ *    history window of finished output lengths fed by completion
+ *    events — and charges each instance the *predicted* footprint
+ *    (prompt + expected output) of every in-flight request it
+ *    routed there. Requests join the instance with the smallest
+ *    predicted load relative to its capacity. This is the paper's
+ *    proposal end to end: the same distribution that drives
+ *    admission drives placement.
+ *
+ * Instances are co-simulated on interleaved clocks: at each
+ * iteration the instance with the smallest local time advances one
+ * engine step, which bounds cross-instance causality skew to one
+ * iteration.
+ */
+
+#ifndef LIGHTLLM_CLUSTER_SERVING_CLUSTER_HH
+#define LIGHTLLM_CLUSTER_SERVING_CLUSTER_HH
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/history_window.hh"
+#include "core/length_distribution.hh"
+#include "engine/serving_engine.hh"
+#include "metrics/report.hh"
+#include "workload/client_pool.hh"
+
+namespace lightllm {
+namespace cluster {
+
+/** How the router picks an instance for a new request. */
+enum class RoutingPolicy
+{
+    RoundRobin,
+    LeastOutstandingTokens,
+    FutureMemory,
+};
+
+/** Human-readable policy label. */
+const char *routingPolicyName(RoutingPolicy policy);
+
+/** A fleet of serving engines behind one request router. */
+class ServingCluster : public workload::RequestSink
+{
+  public:
+    using FinishCallback = engine::ServingEngine::FinishCallback;
+
+    /**
+     * @param instances Engines to route across (>= 1); the cluster
+     *        takes ownership and installs its own finish fan-in.
+     * @param policy Routing policy.
+     */
+    ServingCluster(
+        std::vector<std::unique_ptr<engine::ServingEngine>> instances,
+        RoutingPolicy policy);
+
+    /** Route a request to an instance per the policy. */
+    void submitAt(const workload::RequestSpec &spec,
+                  Tick arrival) override;
+
+    /** Completion listener over all instances (e.g. client pool). */
+    void setOnFinish(FinishCallback callback);
+
+    /** Warm the router's output-length history (previous traffic
+     *  window), as for the instance schedulers. */
+    void warmRoutingHistory(std::span<const TokenCount> lengths);
+
+    /**
+     * Co-simulate all instances to completion and return the merged
+     * report (per-instance reports remain available).
+     */
+    metrics::RunReport run();
+
+    std::size_t numInstances() const { return instances_.size(); }
+
+    /** Per-instance report (after run()). */
+    metrics::RunReport instanceReport(std::size_t index) const;
+
+    /** Requests routed to each instance. */
+    const std::vector<std::size_t> &routedCounts() const
+    {
+        return routedCounts_;
+    }
+
+    /**
+     * Imbalance of routed output tokens across instances:
+     * max/mean - 1 (0 = perfectly balanced).
+     */
+    double tokenImbalance() const;
+
+  private:
+    /** Pick the target instance for `spec`. */
+    std::size_t pickInstance(const workload::RequestSpec &spec);
+
+    /** Router-side predicted footprint of a request. */
+    TokenCount predictFootprint(const workload::RequestSpec &spec);
+
+    /** Completion fan-in: bookkeeping + user callback. */
+    void handleFinish(const workload::RequestSpec &spec, Tick tick);
+
+    std::vector<std::unique_ptr<engine::ServingEngine>> instances_;
+    RoutingPolicy policy_;
+    std::size_t nextRoundRobin_ = 0;
+    std::vector<std::size_t> routedCounts_;
+    std::vector<TokenCount> routedTokens_;
+    FinishCallback onFinish_;
+    bool ran_ = false;
+
+    // FutureMemory routing state: the router's own "past" and the
+    // predicted in-flight load charged to each instance.
+    core::HistoryWindow routingHistory_;
+    core::LengthDistribution routingDistribution_;
+    std::uint64_t cachedVersion_ = ~0ull;
+    std::vector<TokenCount> predictedLoad_;
+    std::unordered_map<RequestId,
+                       std::pair<std::size_t, TokenCount>> charges_;
+};
+
+} // namespace cluster
+} // namespace lightllm
+
+#endif // LIGHTLLM_CLUSTER_SERVING_CLUSTER_HH

@@ -1,0 +1,44 @@
+#include "core/aggressive_scheduler.hh"
+
+#include "base/logging.hh"
+#include "base/str_util.hh"
+
+namespace lightllm {
+namespace core {
+
+AggressiveScheduler::AggressiveScheduler(double watermark)
+    : watermark_(watermark)
+{
+    LIGHTLLM_ASSERT(watermark > 0.0 && watermark <= 1.0,
+                    "watermark must be in (0, 1]");
+}
+
+std::size_t
+AggressiveScheduler::selectAdmissions(const SchedulerContext &ctx)
+{
+    const auto limit = static_cast<TokenCount>(
+        static_cast<double>(ctx.capacityTokens) * watermark_);
+
+    TokenCount used = ctx.usedTokens;
+    std::size_t admitted = 0;
+    for (const auto &candidate : ctx.waiting) {
+        // Only the immediate prefill footprint is considered.
+        const TokenCount need =
+            candidate.promptLen + candidate.generatedLen;
+        if (used + need > limit)
+            break;
+        used += need;
+        ++admitted;
+    }
+    return admitted;
+}
+
+std::string
+AggressiveScheduler::name() const
+{
+    return "Aggressive(watermark=" + formatPercent(watermark_, 0) +
+        ")";
+}
+
+} // namespace core
+} // namespace lightllm

@@ -1,0 +1,52 @@
+#include "core/conservative_scheduler.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/str_util.hh"
+
+namespace lightllm {
+namespace core {
+
+ConservativeScheduler::ConservativeScheduler(double overcommit)
+    : overcommit_(overcommit)
+{
+    LIGHTLLM_ASSERT(overcommit > 0.0, "overcommit must be positive");
+}
+
+std::size_t
+ConservativeScheduler::selectAdmissions(const SchedulerContext &ctx)
+{
+    const auto limit = static_cast<TokenCount>(
+        static_cast<double>(ctx.capacityTokens) * overcommit_);
+
+    // Worst case for every running request: it reaches its cap.
+    TokenCount committed = 0;
+    for (const auto &request : ctx.running)
+        committed += request.promptLen + request.maxNewTokens;
+
+    std::size_t admitted = 0;
+    for (const auto &candidate : ctx.waiting) {
+        // generatedLen counts toward maxNewTokens, so the worst-case
+        // footprint of a re-queued request is unchanged.
+        const TokenCount need =
+            candidate.promptLen + candidate.maxNewTokens;
+        if (committed + need > limit)
+            break;
+        committed += need;
+        ++admitted;
+    }
+    return admitted;
+}
+
+std::string
+ConservativeScheduler::name() const
+{
+    if (overcommit_ == 1.0)
+        return "Conservative";
+    return "Conservative(overcommit=" +
+        formatPercent(overcommit_, 0) + ")";
+}
+
+} // namespace core
+} // namespace lightllm

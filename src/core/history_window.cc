@@ -1,0 +1,67 @@
+#include "core/history_window.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace core {
+
+HistoryWindow::HistoryWindow(std::size_t capacity)
+    : ring_(capacity, 0)
+{
+    LIGHTLLM_ASSERT(capacity > 0, "window capacity must be positive");
+}
+
+void
+HistoryWindow::seed(TokenCount value, std::size_t count)
+{
+    LIGHTLLM_ASSERT(value >= 0, "negative seed value");
+    LIGHTLLM_ASSERT(size_ == 0, "seed on a non-empty window");
+    count = std::min(count, ring_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        ring_[head_] = value;
+        head_ = (head_ + 1) % ring_.size();
+        size_ = std::min(size_ + 1, ring_.size());
+        ++version_;
+    }
+    seedCount_ = count;
+    seedsRemaining_ = count;
+}
+
+void
+HistoryWindow::push(TokenCount output_len)
+{
+    LIGHTLLM_ASSERT(output_len >= 0, "negative output length");
+    if (seedsRemaining_ > 0) {
+        // Replace cold-start placeholders first so the seed washes
+        // out as soon as real completions exist.
+        const std::size_t slot = seedCount_ - seedsRemaining_;
+        ring_[slot] = output_len;
+        --seedsRemaining_;
+        ++version_;
+        return;
+    }
+    ring_[head_] = output_len;
+    head_ = (head_ + 1) % ring_.size();
+    size_ = std::min(size_ + 1, ring_.size());
+    ++version_;
+}
+
+std::vector<TokenCount>
+HistoryWindow::snapshot() const
+{
+    std::vector<TokenCount> values;
+    values.reserve(size_);
+    if (size_ < ring_.size()) {
+        // Not yet wrapped: valid entries are [0, size).
+        values.assign(ring_.begin(),
+                      ring_.begin() + static_cast<std::ptrdiff_t>(size_));
+    } else {
+        values = ring_;
+    }
+    return values;
+}
+
+} // namespace core
+} // namespace lightllm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Empirical output-length distribution P(l) (Eq. 1) with sampling.
+ *
+ * P(l) = C(l, L_h) / w over the history window L_h. The scheduler
+ * needs two draws:
+ *
+ *  - for queued requests, a sample from P(l);
+ *  - for running requests that have already generated l_t tokens, a
+ *    sample from the conditional tail P(l | l > l_t) — the paper's
+ *    per-step resampling that keeps predictions ahead of reality.
+ *
+ * Lengths are kept sorted so tail sampling is a binary search plus a
+ * uniform pick.
+ */
+
+#ifndef LIGHTLLM_CORE_LENGTH_DISTRIBUTION_HH
+#define LIGHTLLM_CORE_LENGTH_DISTRIBUTION_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace lightllm {
+namespace core {
+
+/** Sorted empirical distribution over token lengths. */
+class LengthDistribution
+{
+  public:
+    LengthDistribution() = default;
+
+    /** Build from raw (unsorted) observed lengths. */
+    explicit LengthDistribution(std::vector<TokenCount> lengths);
+
+    bool empty() const { return sorted_.empty(); }
+    std::size_t size() const { return sorted_.size(); }
+
+    /** Draw from P(l); requires a non-empty distribution. */
+    TokenCount sample(Rng &rng) const;
+
+    /**
+     * Draw from the conditional tail P(l | l > greater_than).
+     * Returns `fallback` when no recorded length exceeds
+     * `greater_than` (the request has outlived all history — the
+     * safe prediction is the generation cap).
+     */
+    TokenCount sampleTail(Rng &rng, TokenCount greater_than,
+                          TokenCount fallback) const;
+
+    /**
+     * Inverse-CDF evaluation of the conditional tail: the element at
+     * uniform position u in [0, 1) of P(l | l > greater_than). With
+     * u ~ Uniform this is distributed exactly as sampleTail, but a
+     * *fixed* u yields a deterministic, monotone update as
+     * greater_than grows (quantile coupling). Returns `fallback`
+     * when the tail is empty.
+     */
+    TokenCount sampleTailAt(double u, TokenCount greater_than,
+                            TokenCount fallback) const;
+
+    /** Fraction of recorded lengths strictly greater than x. */
+    double probGreater(TokenCount x) const;
+
+    /**
+     * Mean of the conditional tail E[l | l > greater_than]; returns
+     * `fallback` when no recorded length exceeds `greater_than`.
+     */
+    TokenCount tailMean(TokenCount greater_than,
+                        TokenCount fallback) const;
+
+    /**
+     * Quantile q (nearest rank) of the conditional tail
+     * P(l | l > greater_than); `fallback` when the tail is empty.
+     */
+    TokenCount tailQuantile(TokenCount greater_than, double q,
+                            TokenCount fallback) const;
+
+    /**
+     * Smallest recorded length at or above quantile q in [0, 1]
+     * (nearest rank); 0 when empty.
+     */
+    TokenCount quantile(double q) const;
+
+    /** Largest recorded length; 0 when empty. */
+    TokenCount maxLength() const;
+
+    /** Mean recorded length; 0 when empty. */
+    double meanLength() const;
+
+  private:
+    std::vector<TokenCount> sorted_;
+
+    /** Prefix sums of sorted_ for O(log n) tail means. */
+    std::vector<double> prefixSums_;
+};
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_LENGTH_DISTRIBUTION_HH

@@ -1,0 +1,65 @@
+#include "core/oracle_scheduler.hh"
+
+#include <algorithm>
+
+namespace lightllm {
+namespace core {
+
+namespace {
+
+/** Effective output length: generation stops at EOS or the cap. */
+TokenCount
+effectiveOutput(TokenCount true_output, TokenCount max_new_tokens)
+{
+    return std::min(true_output, max_new_tokens);
+}
+
+} // namespace
+
+std::size_t
+OracleScheduler::selectAdmissions(const SchedulerContext &ctx)
+{
+    if (ctx.waiting.empty())
+        return 0;
+
+    entries_.clear();
+    for (const auto &request : ctx.running) {
+        const TokenCount total = std::max(
+            effectiveOutput(request.trueOutputLen,
+                            request.maxNewTokens),
+            request.generatedLen);
+        entries_.push_back(BatchEntry{request.promptLen,
+                                      request.generatedLen, total});
+    }
+
+    std::size_t admitted = 0;
+    for (const auto &candidate : ctx.waiting) {
+        const TokenCount total = std::max(
+            effectiveOutput(candidate.trueOutputLen,
+                            candidate.maxNewTokens),
+            candidate.generatedLen);
+        const BatchEntry entry{
+            candidate.promptLen + candidate.generatedLen, 0,
+            total - candidate.generatedLen};
+        scratch_ = entries_;
+        scratch_.push_back(entry);
+        const TokenCount overhead = ctx.perRequestOverhead *
+            static_cast<TokenCount>(scratch_.size());
+        if (futureRequiredMemory(scratch_) + overhead >
+            ctx.capacityTokens) {
+            break;
+        }
+        entries_.push_back(entry);
+        ++admitted;
+    }
+    return admitted;
+}
+
+std::string
+OracleScheduler::name() const
+{
+    return "Theoretical-optimum";
+}
+
+} // namespace core
+} // namespace lightllm

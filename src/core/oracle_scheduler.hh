@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Oracle scheduler — the paper's "theoretical optimum".
+ *
+ * Identical future-required-memory admission logic to the
+ * Past-Future scheduler, but with ground-truth output lengths in
+ * place of sampled predictions and no reserved margin. It is
+ * impossible in a real service (output lengths are unknown) and
+ * exists purely as the upper bound rows of Table 1 / the optimum
+ * point of Figure 8.
+ */
+
+#ifndef LIGHTLLM_CORE_ORACLE_SCHEDULER_HH
+#define LIGHTLLM_CORE_ORACLE_SCHEDULER_HH
+
+#include <vector>
+
+#include "core/future_memory.hh"
+#include "core/scheduler.hh"
+
+namespace lightllm {
+namespace core {
+
+/** Future-memory admission with perfect output-length knowledge. */
+class OracleScheduler : public Scheduler
+{
+  public:
+    OracleScheduler() = default;
+
+    std::size_t selectAdmissions(const SchedulerContext &ctx) override;
+
+    std::string name() const override;
+
+  private:
+    std::vector<BatchEntry> entries_;
+    std::vector<BatchEntry> scratch_;
+};
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_ORACLE_SCHEDULER_HH

@@ -1,0 +1,254 @@
+#include "core/past_future_scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/str_util.hh"
+
+namespace lightllm {
+namespace core {
+
+PastFutureScheduler::PastFutureScheduler(PastFutureParams params)
+    : params_(params), window_(params.windowSize), rng_(params.seed)
+{
+    LIGHTLLM_ASSERT(params_.reservedRatio >= 0.0 &&
+                        params_.reservedRatio < 1.0,
+                    "reserved ratio must be in [0, 1)");
+    LIGHTLLM_ASSERT(params_.smallBatchTrials >= 1,
+                    "need at least one sampling trial");
+    LIGHTLLM_ASSERT(params_.tailQuantile > 0.0 &&
+                        params_.tailQuantile <= 1.0,
+                    "tail quantile must be in (0, 1]");
+    LIGHTLLM_ASSERT(params_.riskFactor >= 0.0,
+                    "risk factor must be non-negative");
+    if (params_.seedOutputLen > 0)
+        window_.seed(params_.seedOutputLen, params_.seedCount);
+    for (TokenCount length : params_.initialHistory)
+        window_.push(length);
+}
+
+void
+PastFutureScheduler::onRequestFinished(RequestId id,
+                                       TokenCount output_len)
+{
+    window_.push(output_len);
+    stickyU_.erase(id);
+}
+
+void
+PastFutureScheduler::refreshDistribution()
+{
+    if (cachedVersion_ == window_.version())
+        return;
+    distribution_ = LengthDistribution(window_.snapshot());
+    cachedVersion_ = window_.version();
+}
+
+TokenCount
+PastFutureScheduler::predict(RequestId id, TokenCount generated_len,
+                             TokenCount max_new_tokens)
+{
+    TokenCount predicted = 0;
+    if (distribution_.empty()) {
+        predicted = max_new_tokens;
+    } else {
+        switch (params_.predictionMode) {
+          case PredictionMode::StickySample:
+          {
+            // Quantile coupling: freeze u per request, evaluate the
+            // current conditional tail at u. For fresh requests
+            // l_t = 0 and the tail is the full distribution P(l).
+            auto [it, inserted] = stickyU_.try_emplace(id, 0.0);
+            if (inserted)
+                it->second = rng_.uniformDouble();
+            predicted = distribution_.sampleTailAt(
+                it->second, generated_len, max_new_tokens);
+            break;
+          }
+          case PredictionMode::PerStepSample:
+            predicted = distribution_.sampleTail(rng_, generated_len,
+                                                 max_new_tokens);
+            break;
+          case PredictionMode::TailMean:
+            predicted = distribution_.tailMean(generated_len,
+                                               max_new_tokens);
+            break;
+          case PredictionMode::TailQuantile:
+            predicted = distribution_.tailQuantile(
+                generated_len, params_.tailQuantile, max_new_tokens);
+            break;
+        }
+    }
+    predicted = std::min(predicted, max_new_tokens);
+    // A request that has generated l_t tokens will emit at least one
+    // more before the engine can observe it finishing.
+    return std::max(predicted, generated_len);
+}
+
+TokenCount
+PastFutureScheduler::samplePerturbed(TokenCount generated_len,
+                                     TokenCount max_new_tokens)
+{
+    TokenCount predicted = distribution_.empty()
+        ? max_new_tokens
+        : distribution_.sampleTail(rng_, generated_len,
+                                   max_new_tokens);
+    predicted = std::min(predicted, max_new_tokens);
+    return std::max(predicted, generated_len);
+}
+
+int
+PastFutureScheduler::trialsFor(std::size_t batch_size) const
+{
+    switch (params_.predictionMode) {
+      case PredictionMode::StickySample:
+        return params_.admissionTrials;
+      case PredictionMode::PerStepSample:
+        return batch_size < params_.smallBatchSize
+            ? params_.smallBatchTrials
+            : 1;
+      case PredictionMode::TailMean:
+      case PredictionMode::TailQuantile:
+        return 1;  // deterministic predictions need no repetition
+    }
+    return 1;
+}
+
+std::size_t
+PastFutureScheduler::selectAdmissions(const SchedulerContext &ctx)
+{
+    if (ctx.waiting.empty())
+        return 0;  // nothing to decide; skip the prediction work
+    refreshDistribution();
+
+    const auto limit = static_cast<TokenCount>(
+        static_cast<double>(ctx.capacityTokens) *
+        (1.0 - params_.reservedRatio));
+
+    const int trials = trialsFor(ctx.running.size());
+
+    // One entry vector per trial; each trial independently draws
+    // its own predictions for the running batch, then candidates
+    // are appended incrementally as they are accepted. (With
+    // deterministic or sticky predictions there is exactly one
+    // trial and predictions are stable.)
+    std::vector<std::vector<BatchEntry>> trial_entries(
+        static_cast<std::size_t>(trials));
+    for (std::size_t t = 0; t < trial_entries.size(); ++t) {
+        auto &entries = trial_entries[t];
+        entries.reserve(ctx.running.size() + ctx.waiting.size());
+        for (const auto &request : ctx.running) {
+            // Trial 0 uses the official (sticky / per-step / point)
+            // predictions; perturbation trials redraw every request
+            // to probe the upside risk of the batch peak.
+            const TokenCount predicted = t == 0
+                ? predict(request.id, request.generatedLen,
+                          request.maxNewTokens)
+                : samplePerturbed(request.generatedLen,
+                                  request.maxNewTokens);
+            entries.push_back(BatchEntry{request.promptLen,
+                                         request.generatedLen,
+                                         predicted});
+        }
+    }
+
+    std::vector<BatchEntry> scratch;
+    std::vector<double> peaks(static_cast<std::size_t>(trials));
+    std::size_t admitted = 0;
+    for (const auto &candidate : ctx.waiting) {
+        std::vector<BatchEntry> candidate_entries(
+            static_cast<std::size_t>(trials));
+        for (std::size_t t = 0;
+             t < static_cast<std::size_t>(trials); ++t) {
+            const TokenCount predicted = t == 0
+                ? predict(candidate.id, candidate.generatedLen,
+                          candidate.maxNewTokens)
+                : samplePerturbed(candidate.generatedLen,
+                                  candidate.maxNewTokens);
+            // The recompute prefill re-materialises prompt +
+            // generated tokens, so that is the candidate's resident
+            // footprint at admission; the remainder is its future
+            // growth.
+            candidate_entries[t] = BatchEntry{
+                candidate.promptLen + candidate.generatedLen, 0,
+                predicted - candidate.generatedLen};
+            scratch = trial_entries[t];
+            scratch.push_back(candidate_entries[t]);
+            peaks[t] = static_cast<double>(
+                futureRequiredMemory(scratch));
+        }
+
+        // Aggregate the trial peaks. PerStepSample keeps the
+        // paper's worst-case rule; StickySample uses the estimated
+        // riskFactor-sigma exceedance level, which adapts the
+        // safety margin to the workload's variance.
+        double estimate = 0.0;
+        if (params_.predictionMode == PredictionMode::PerStepSample) {
+            for (double peak : peaks)
+                estimate = std::max(estimate, peak);
+        } else {
+            double mean = 0.0;
+            for (double peak : peaks)
+                mean += peak;
+            mean /= static_cast<double>(peaks.size());
+            double variance = 0.0;
+            for (double peak : peaks) {
+                variance += (peak - mean) * (peak - mean);
+            }
+            variance /= static_cast<double>(peaks.size());
+            estimate = mean +
+                params_.riskFactor * std::sqrt(variance);
+        }
+
+        // Paged-allocator block rounding plus the admission slot.
+        const TokenCount overhead = ctx.perRequestOverhead *
+            static_cast<TokenCount>(ctx.running.size() + admitted +
+                                    1);
+        if (static_cast<TokenCount>(estimate) + overhead > limit)
+            break;
+        for (std::size_t t = 0;
+             t < static_cast<std::size_t>(trials); ++t) {
+            trial_entries[t].push_back(candidate_entries[t]);
+        }
+        ++admitted;
+    }
+    return admitted;
+}
+
+TokenCount
+PastFutureScheduler::estimateFutureMemory(const SchedulerContext &ctx)
+{
+    refreshDistribution();
+    std::vector<BatchEntry> entries;
+    entries.reserve(ctx.running.size());
+    for (const auto &request : ctx.running) {
+        entries.push_back(BatchEntry{
+            request.promptLen, request.generatedLen,
+            predict(request.id, request.generatedLen,
+                    request.maxNewTokens)});
+    }
+    return futureRequiredMemory(entries);
+}
+
+TokenCount
+PastFutureScheduler::estimateLoad(const SchedulerContext &ctx)
+{
+    TokenCount total = estimateFutureMemory(ctx);
+    for (const auto &candidate : ctx.waiting) {
+        total += candidate.promptLen +
+            predict(candidate.id, candidate.generatedLen,
+                    candidate.maxNewTokens);
+    }
+    return total;
+}
+
+std::string
+PastFutureScheduler::name() const
+{
+    return "Past-Future(reserved=" +
+        formatPercent(params_.reservedRatio, 0) + ")";
+}
+
+} // namespace core
+} // namespace lightllm

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The Past-Future scheduler (Algorithm 1) — the paper's contribution.
+ *
+ * Past: maintain the output-length distribution P(l) of the last
+ * `windowSize` finished requests (Eq. 1). Future: before admitting a
+ * queued request, predict every request's final output length, then
+ * compute the batch's future required memory M* (Eqs. 2-4) and admit
+ * only when M* fits within capacity minus a reserved margin that
+ * absorbs prediction error from distribution drift.
+ *
+ * Prediction draws from P(l) for queued requests and from the
+ * conditional tail P(l | l > l_t) for requests that have already
+ * generated l_t tokens, so predictions always stay ahead of what has
+ * actually been generated (§3.2). The diversity of the sampled
+ * predictions is what lets Eq. 3 model staggered completions —
+ * identical point predictions would degenerate M* into "everyone
+ * finishes at once".
+ */
+
+#ifndef LIGHTLLM_CORE_PAST_FUTURE_SCHEDULER_HH
+#define LIGHTLLM_CORE_PAST_FUTURE_SCHEDULER_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "core/future_memory.hh"
+#include "core/history_window.hh"
+#include "core/length_distribution.hh"
+#include "core/scheduler.hh"
+
+namespace lightllm {
+namespace core {
+
+/**
+ * How request output lengths are predicted from P(l).
+ *
+ * StickySample (default) implements Algorithm 1's per-step tail
+ * update by inverse-CDF coupling: each request freezes a uniform
+ * variate u at first sight, and its prediction at any step is the
+ * u-quantile of the *current* conditional tail P(l | l > l_t). With
+ * u uniform this has exactly the per-step re-sampling law the paper
+ * specifies (so Eq. 3 sees a properly staggered batch), yet the
+ * prediction evolves deterministically and monotonically as l_t
+ * grows — eliminating two biases of literal re-sampling at scale:
+ * the admission lottery (a queued candidate re-rolling every step is
+ * admitted on its most under-estimating draw) and the survivor bias
+ * of freezing raw lengths (a request that outlives an old draw keeps
+ * a prediction from a stale, smaller tail).
+ *
+ * PerStepSample is Algorithm 1 verbatim (kept for the ablation
+ * bench). The deterministic modes (TailMean / TailQuantile) replace
+ * draws with point estimates; they lose the completion stagger and
+ * degenerate towards a mean-based conservative scheduler — also
+ * ablations.
+ */
+enum class PredictionMode
+{
+    StickySample,
+    PerStepSample,
+    TailMean,
+    TailQuantile,
+};
+
+/** Tunables of the Past-Future scheduler. */
+struct PastFutureParams
+{
+    /** History window size w of Eq. 1 (the paper uses 1000). */
+    std::size_t windowSize = 1000;
+
+    /** Output-length prediction mode (see PredictionMode). */
+    PredictionMode predictionMode = PredictionMode::StickySample;
+
+    /** Tail quantile used by PredictionMode::TailQuantile. */
+    double tailQuantile = 0.85;
+
+    /** Fraction of capacity held back for prediction error
+     *  (Table 1 evaluates 3%, 5%, 10%). */
+    double reservedRatio = 0.03;
+
+    /** Cold-start: seed the window with this output length
+     *  (normally the service's max_new_tokens; 0 disables). */
+    TokenCount seedOutputLen = 0;
+
+    /** Number of seeded entries at cold start. */
+    std::size_t seedCount = 32;
+
+    /**
+     * Warm-start: pre-populate the window with these observed output
+     * lengths (e.g. the previous measurement window of the same
+     * service — the adjacent-window similarity of Figure 3 is
+     * precisely why this is predictive). Applied after the
+     * max_new_tokens seed, so real history takes precedence.
+     */
+    std::vector<TokenCount> initialHistory;
+
+    /**
+     * Admission-check trials (StickySample mode): M* is evaluated
+     * over this many sampled batches (trial 0 = the sticky
+     * predictions, the rest = fresh redraws of every request from
+     * its conditional tail) and the candidate is admitted when
+     * mean + riskFactor * stddev of the trial peaks fits. This is a
+     * variance-adaptive safety margin: negligible for narrow output
+     * distributions, substantial for heavy-tailed ones.
+     */
+    int admissionTrials = 8;
+
+    /** Standard deviations of estimator spread added to M* before
+     *  the admission comparison. */
+    double riskFactor = 1.0;
+
+    /** Below this running-batch size sampling is repeated
+     *  (PerStepSample mode only — §4's small-batch rule). */
+    std::size_t smallBatchSize = 16;
+
+    /** Sampling trials for small batches (max M* across trials;
+     *  PerStepSample mode only). */
+    int smallBatchTrials = 4;
+
+    /** RNG seed for prediction sampling. */
+    std::uint64_t seed = 0x9afeull;
+};
+
+/** Past-Future admission policy. */
+class PastFutureScheduler : public Scheduler
+{
+  public:
+    explicit PastFutureScheduler(PastFutureParams params = {});
+
+    std::size_t selectAdmissions(const SchedulerContext &ctx) override;
+
+    void onRequestFinished(RequestId id,
+                           TokenCount output_len) override;
+
+    /** Predicted future peak of the batch plus predicted footprints
+     *  of the queue (cross-instance routing signal). */
+    TokenCount estimateLoad(const SchedulerContext &ctx) override;
+
+    std::string name() const override;
+
+    /**
+     * Predicted future required memory M* of the current running
+     * batch alone (no admissions) — exposed for introspection,
+     * tests, and the Fig 1 bench.
+     */
+    TokenCount estimateFutureMemory(const SchedulerContext &ctx);
+
+    const PastFutureParams &params() const { return params_; }
+
+    /** Observed historical window (for tests / introspection). */
+    const HistoryWindow &history() const { return window_; }
+
+  private:
+    /** Rebuild the cached distribution if the window changed. */
+    void refreshDistribution();
+
+    /** Draw/look up a prediction for (id, generated, cap). */
+    TokenCount predict(RequestId id, TokenCount generated_len,
+                       TokenCount max_new_tokens);
+
+    /** Fresh conditional-tail draw that bypasses the sticky map
+     *  (perturbation trials of the admission check). */
+    TokenCount samplePerturbed(TokenCount generated_len,
+                               TokenCount max_new_tokens);
+
+    /** Trials to use for the given running-batch size. */
+    int trialsFor(std::size_t batch_size) const;
+
+    PastFutureParams params_;
+    HistoryWindow window_;
+    LengthDistribution distribution_;
+    std::uint64_t cachedVersion_ = ~0ull;
+    Rng rng_;
+
+    /** Frozen per-request uniform variates (StickySample mode). */
+    std::unordered_map<RequestId, double> stickyU_;
+};
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_PAST_FUTURE_SCHEDULER_HH

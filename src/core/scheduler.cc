@@ -1,0 +1,26 @@
+#include "core/scheduler.hh"
+
+namespace lightllm {
+namespace core {
+
+void
+Scheduler::onRequestFinished(RequestId, TokenCount)
+{
+}
+
+void
+Scheduler::onRequestEvicted(RequestId)
+{
+}
+
+TokenCount
+Scheduler::estimateLoad(const SchedulerContext &ctx)
+{
+    TokenCount total = ctx.usedTokens;
+    for (const auto &candidate : ctx.waiting)
+        total += candidate.promptLen + candidate.generatedLen;
+    return total;
+}
+
+} // namespace core
+} // namespace lightllm

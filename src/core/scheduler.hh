@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Request-scheduler interface for continuous batching.
+ *
+ * Once per engine iteration the scheduler is shown the running batch
+ * and the waiting queue and decides how many queued requests to
+ * admit *from the front of the queue* (admission is FCFS-prefix,
+ * matching Algorithm 1, which walks S_q in order and stops at the
+ * first request that does not fit).
+ */
+
+#ifndef LIGHTLLM_CORE_SCHEDULER_HH
+#define LIGHTLLM_CORE_SCHEDULER_HH
+
+#include <span>
+#include <string>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace core {
+
+/** Scheduler's view of one request in the running batch. */
+struct RunningView
+{
+    RequestId id = kInvalidRequestId;
+
+    /** Prompt length l_p. */
+    TokenCount promptLen = 0;
+
+    /** Tokens generated so far, l_t. */
+    TokenCount generatedLen = 0;
+
+    /** Generation cap for this request. */
+    TokenCount maxNewTokens = 0;
+
+    /**
+     * Ground-truth output length. Only the oracle ("theoretical
+     * optimum") scheduler may read this; real schedulers must not.
+     */
+    TokenCount trueOutputLen = 0;
+};
+
+/** Scheduler's view of one queued request. */
+struct WaitingView
+{
+    RequestId id = kInvalidRequestId;
+
+    /** Prompt length l_p. */
+    TokenCount promptLen = 0;
+
+    /**
+     * Tokens already generated before an eviction (> 0 only for
+     * re-queued requests, whose recompute prefill must cover
+     * prompt + generated tokens).
+     */
+    TokenCount generatedLen = 0;
+
+    /** Generation cap for this request. */
+    TokenCount maxNewTokens = 0;
+
+    /** Arrival tick (for age-based policies). */
+    Tick arrival = 0;
+
+    /** Ground-truth output length; oracle use only. */
+    TokenCount trueOutputLen = 0;
+};
+
+/** Everything a scheduler may inspect when deciding admissions. */
+struct SchedulerContext
+{
+    /** Current simulation tick. */
+    Tick now = 0;
+
+    /** Total KV token capacity of the system. */
+    TokenCount capacityTokens = 0;
+
+    /** KV token slots currently allocated. */
+    TokenCount usedTokens = 0;
+
+    /**
+     * Worst-case token overhead per resident request beyond its
+     * logical footprint (paged-allocator block rounding plus the
+     * slot the admission prefill emits into). Memory-exact policies
+     * must budget `overhead * batch_size` on top of Eq. 4's M*.
+     */
+    TokenCount perRequestOverhead = 0;
+
+    /** Running batch, arbitrary order. */
+    std::span<const RunningView> running;
+
+    /** Waiting queue, front (next to admit) first. */
+    std::span<const WaitingView> waiting;
+};
+
+/** Abstract admission policy. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Number of requests to admit from the front of ctx.waiting
+     * (0 admits nothing). Implementations must be deterministic
+     * given their construction-time seed.
+     */
+    virtual std::size_t selectAdmissions(
+        const SchedulerContext &ctx) = 0;
+
+    /**
+     * Notification that request `id` finished with `output_len`
+     * generated tokens (feeds the historical distribution).
+     */
+    virtual void onRequestFinished(RequestId id,
+                                   TokenCount output_len);
+
+    /** Notification that a request was evicted from the batch. */
+    virtual void onRequestEvicted(RequestId id);
+
+    /**
+     * Estimated total memory load of this instance in tokens —
+     * the signal the paper's future-work section proposes for
+     * routing requests across service instances. The default is the
+     * current resident footprint plus the queued prompts; the
+     * Past-Future scheduler overrides it with its predicted future
+     * peak plus predicted queue footprints.
+     */
+    virtual TokenCount estimateLoad(const SchedulerContext &ctx);
+
+    /** Human-readable policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_SCHEDULER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Construction of schedulers from a declarative configuration,
+ * used by the engine builder, the benches, and the examples.
+ */
+
+#ifndef LIGHTLLM_CORE_SCHEDULER_FACTORY_HH
+#define LIGHTLLM_CORE_SCHEDULER_FACTORY_HH
+
+#include <memory>
+
+#include "core/past_future_scheduler.hh"
+#include "core/scheduler.hh"
+
+namespace lightllm {
+namespace core {
+
+/** Which admission policy to build. */
+enum class SchedulerKind
+{
+    Conservative,
+    Aggressive,
+    PastFuture,
+    Oracle,
+};
+
+/** Declarative scheduler configuration. */
+struct SchedulerConfig
+{
+    SchedulerKind kind = SchedulerKind::PastFuture;
+
+    /** Conservative: capacity multiplier. */
+    double overcommit = 1.0;
+
+    /** Aggressive: admission watermark. */
+    double watermark = 0.95;
+
+    /** Past-Future tunables. */
+    PastFutureParams pastFuture;
+
+    // Convenience named constructors for the paper's configurations.
+    static SchedulerConfig conservative(double overcommit = 1.0);
+    static SchedulerConfig aggressive(double watermark = 0.95);
+    static SchedulerConfig pastFutureDefault(
+        double reserved_ratio = 0.03);
+    static SchedulerConfig oracle();
+};
+
+/** Instantiate the configured scheduler. */
+std::unique_ptr<Scheduler> makeScheduler(const SchedulerConfig &config);
+
+/** Short lowercase label for the kind ("conservative", ...). */
+const char *schedulerKindName(SchedulerKind kind);
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_SCHEDULER_FACTORY_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Configuration of the continuous-batching serving engine.
+ */
+
+#ifndef LIGHTLLM_ENGINE_ENGINE_CONFIG_HH
+#define LIGHTLLM_ENGINE_ENGINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace engine {
+
+/** Which running request is evicted first on memory exhaustion. */
+enum class EvictionPolicy
+{
+    /** Most recently admitted first (vLLM-style recompute). */
+    Lifo,
+
+    /** Oldest admission first. */
+    Fifo,
+};
+
+/** What happens to an evicted request's KV cache (§2.4/§6: evicted
+ *  requests need "recomputation or swapping"). */
+enum class EvictionMode
+{
+    /** Drop the KV; a later prefill recomputes prompt + generated
+     *  tokens (vLLM default). */
+    Recompute,
+
+    /** Offload the KV over the host link and restore it later; no
+     *  recompute, but both transfers stall the engine. */
+    Swap,
+};
+
+/** Engine-level tunables (scheduler config is provided separately). */
+struct EngineConfig
+{
+    /** KV block size in token slots (PagedAttention granularity). */
+    TokenCount blockSize = 16;
+
+    /** Split-fuse / chunked prefill (DeepSpeed-MII FastGen style):
+     *  prefills are processed in chunks fused with decode steps so
+     *  the running batch never stalls on a long prompt. */
+    bool splitFuse = false;
+
+    /** Prompt tokens per fused chunk when splitFuse is on. */
+    TokenCount splitFuseChunk = 512;
+
+    /** Latency multiplier emulating backend efficiency differences
+     *  between frameworks (< 1 is faster than the reference). */
+    double timeFactor = 1.0;
+
+    EvictionPolicy evictionPolicy = EvictionPolicy::Lifo;
+
+    EvictionMode evictionMode = EvictionMode::Recompute;
+
+    /** Cap on concurrent running requests (0 = unlimited). */
+    std::size_t maxBatchSize = 0;
+
+    /** Record a memory time-series sample every N decode steps
+     *  (0 disables; used by the Fig 1 bench). */
+    std::int64_t timeseriesInterval = 0;
+
+    /**
+     * Steady-state measurement: metrics collected before this many
+     * requests have finished are discarded (0 = measure everything).
+     * Lets benches exclude the cold-start transient, matching the
+     * paper's always-warm production setting.
+     */
+    std::size_t warmupRequests = 0;
+};
+
+/** Stop conditions for a run. */
+struct RunLimits
+{
+    /** Stop after this many finished requests (0 = no limit). */
+    std::size_t maxFinishedRequests = 0;
+
+    /** Stop once the clock passes this tick (0 = no limit). */
+    Tick maxTicks = 0;
+};
+
+} // namespace engine
+} // namespace lightllm
+
+#endif // LIGHTLLM_ENGINE_ENGINE_CONFIG_HH

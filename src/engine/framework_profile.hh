@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Serving-framework profiles for the Figure 9 comparison.
+ *
+ * The paper compares LightLLM against TGI, vLLM, DeepSpeed-MII
+ * (FastGen) and TensorRT-LLM. In this reproduction a "framework" is
+ * a point in configuration space: which admission policy it ships,
+ * how its backend speed compares (timeFactor), and whether it uses
+ * split-fuse chunked prefill. Backend speed factors are rough
+ * relative efficiencies of the December-2023 versions the paper
+ * benchmarked (TensorRT-LLM fastest static backend; TGI's Python
+ * serving layer slowest); the goodput ordering Figure 9 reports is
+ * driven by the scheduler, not these factors, and the bench includes
+ * a sensitivity mode that sets all factors to 1.
+ */
+
+#ifndef LIGHTLLM_ENGINE_FRAMEWORK_PROFILE_HH
+#define LIGHTLLM_ENGINE_FRAMEWORK_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/scheduler_factory.hh"
+#include "engine/engine_config.hh"
+
+namespace lightllm {
+namespace engine {
+
+/** One serving framework as a (scheduler, engine) configuration. */
+struct FrameworkProfile
+{
+    std::string name;
+    core::SchedulerConfig scheduler;
+    double timeFactor = 1.0;
+    bool splitFuse = false;
+
+    /** Apply the profile to an engine config. */
+    EngineConfig toEngineConfig() const;
+
+    static FrameworkProfile tgi();
+    static FrameworkProfile vllm();
+    static FrameworkProfile deepspeedMii();
+    static FrameworkProfile tensorrtLlm();
+    static FrameworkProfile lightllm();
+
+    /** All five profiles in the paper's Figure 9 order. */
+    static std::vector<FrameworkProfile> all();
+};
+
+} // namespace engine
+} // namespace lightllm
+
+#endif // LIGHTLLM_ENGINE_FRAMEWORK_PROFILE_HH

@@ -1,0 +1,549 @@
+#include "engine/serving_engine.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+#include "core/future_memory.hh"
+
+namespace lightllm {
+namespace engine {
+
+ServingEngine::ServingEngine(model::PerfModel perf_model,
+                             std::unique_ptr<core::Scheduler> scheduler,
+                             EngineConfig config)
+    : perf_(std::move(perf_model)), scheduler_(std::move(scheduler)),
+      config_(config),
+      kv_(perf_.tokenCapacity(), config.blockSize),
+      collector_(kv_.capacityTokens(), config.timeseriesInterval)
+{
+    LIGHTLLM_ASSERT(scheduler_ != nullptr, "engine needs a scheduler");
+    LIGHTLLM_ASSERT(config_.timeFactor > 0.0,
+                    "time factor must be positive");
+    LIGHTLLM_ASSERT(!config_.splitFuse || config_.splitFuseChunk > 0,
+                    "split-fuse chunk must be positive");
+}
+
+ServingEngine::~ServingEngine() = default;
+
+void
+ServingEngine::submitAt(const workload::RequestSpec &spec, Tick arrival)
+{
+    LIGHTLLM_ASSERT(spec.id != kInvalidRequestId, "invalid request id");
+    LIGHTLLM_ASSERT(spec.inputLen >= 1, "request ", spec.id,
+                    " has empty prompt");
+    LIGHTLLM_ASSERT(spec.maxNewTokens >= 1, "request ", spec.id,
+                    " has zero max_new_tokens");
+    LIGHTLLM_ASSERT(spec.effectiveOutputLen() >= 1, "request ",
+                    spec.id, " would generate no tokens");
+    undeliveredTokens_ += spec.inputLen;
+    events_.schedule(std::max(arrival, now_), [this, spec](Tick when) {
+        auto request = std::make_unique<EngineRequest>();
+        request->spec = spec;
+        request->arrival = when;
+        EngineRequest *raw = request.get();
+        const bool inserted =
+            requests_.emplace(spec.id, std::move(request)).second;
+        LIGHTLLM_ASSERT(inserted, "duplicate request id ", spec.id);
+        waiting_.push_back(raw);
+        undeliveredTokens_ -= spec.inputLen;
+    });
+}
+
+void
+ServingEngine::setOnFinish(FinishCallback callback)
+{
+    onFinish_ = std::move(callback);
+}
+
+Tick
+ServingEngine::scaled(Tick duration) const
+{
+    const auto scaled_ticks = static_cast<Tick>(
+        static_cast<double>(duration) * config_.timeFactor + 0.5);
+    return std::max<Tick>(1, scaled_ticks);
+}
+
+void
+ServingEngine::deliverArrivals()
+{
+    events_.runUntil(now_);
+}
+
+core::SchedulerContext
+ServingEngine::buildContext()
+{
+    runningViews_.clear();
+    auto add_running = [this](const EngineRequest *request) {
+        runningViews_.push_back(core::RunningView{
+            request->spec.id, request->spec.inputLen,
+            request->generated, request->spec.maxNewTokens,
+            request->spec.outputLen});
+    };
+    for (const EngineRequest *request : running_)
+        add_running(request);
+    // Admitted-but-prefilling requests already hold KV memory and
+    // will generate; the scheduler must see them as part of the
+    // running batch.
+    for (const EngineRequest *request : prefillPending_)
+        add_running(request);
+
+    waitingViews_.clear();
+    for (const EngineRequest *request : waiting_) {
+        waitingViews_.push_back(core::WaitingView{
+            request->spec.id, request->spec.inputLen,
+            request->generated, request->spec.maxNewTokens,
+            request->arrival, request->spec.outputLen});
+    }
+
+    core::SchedulerContext ctx;
+    ctx.now = now_;
+    ctx.capacityTokens = kv_.capacityTokens();
+    ctx.usedTokens = kv_.usedTokens();
+    // Block rounding wastes at most blockSize - 1 slots per request,
+    // and admission allocates one extra slot for the prefill token.
+    ctx.perRequestOverhead = kv_.blockSize();
+    ctx.running = runningViews_;
+    ctx.waiting = waitingViews_;
+    return ctx;
+}
+
+bool
+ServingEngine::admitOne(EngineRequest *request)
+{
+    if (request->swappedOut) {
+        // Swap-in restores the KV exactly as it was evicted.
+        const TokenCount tokens =
+            request->spec.inputLen + request->generated;
+        if (!kv_.allocate(request->spec.id, tokens))
+            return false;
+        request->admitSeq = nextAdmitSeq_++;
+        request->remainingPrompt = 0;
+        prefillPending_.push_back(request);
+        return true;
+    }
+    // Allocate prompt + recompute tokens + one slot for the token
+    // the prefill itself emits.
+    const TokenCount tokens =
+        request->spec.inputLen + request->generated + 1;
+    if (!kv_.allocate(request->spec.id, tokens))
+        return false;
+    request->admitSeq = nextAdmitSeq_++;
+    request->remainingPrompt =
+        request->spec.inputLen + request->generated;
+    prefillPending_.push_back(request);
+    return true;
+}
+
+void
+ServingEngine::admitRequests()
+{
+    if (waiting_.empty())
+        return;
+
+    const core::SchedulerContext ctx = buildContext();
+    std::size_t admit = scheduler_->selectAdmissions(ctx);
+
+    if (config_.maxBatchSize > 0) {
+        const std::size_t active =
+            running_.size() + prefillPending_.size();
+        const std::size_t room = config_.maxBatchSize > active
+            ? config_.maxBatchSize - active
+            : 0;
+        admit = std::min(admit, room);
+    }
+
+    if (admit == 0 && running_.empty() && prefillPending_.empty()) {
+        // The system is idle yet the policy refuses the head request
+        // (e.g. conservative with prompt + max_new_tokens beyond
+        // capacity). Real frameworks always run at least one
+        // request; force progress.
+        admit = 1;
+    }
+
+    for (std::size_t i = 0; i < admit && !waiting_.empty(); ++i) {
+        EngineRequest *request = waiting_.front();
+        if (!admitOne(request)) {
+            if (running_.empty() && prefillPending_.empty()) {
+                fatal("request ", request->spec.id, " (prompt ",
+                      request->spec.inputLen + request->generated,
+                      " tokens) cannot fit in capacity ",
+                      kv_.capacityTokens());
+            }
+            break;
+        }
+        waiting_.pop_front();
+    }
+}
+
+void
+ServingEngine::recordEmission(EngineRequest &request, Tick tick)
+{
+    if (request.firstToken < 0)
+        request.firstToken = tick;
+    if (request.lastEmit >= 0)
+        request.maxGap = std::max(request.maxGap,
+                                  tick - request.lastEmit);
+    request.lastEmit = tick;
+}
+
+void
+ServingEngine::finishRequest(EngineRequest *request)
+{
+    metrics::RequestRecord record;
+    record.id = request->spec.id;
+    record.inputLen = request->spec.inputLen;
+    record.outputTokens = request->generated;
+    record.arrival = request->arrival;
+    record.firstToken = request->firstToken;
+    record.finish = now_;
+    record.maxGap = request->maxGap;
+    record.evictions = request->evictions;
+    collector_.onRequestFinished(record);
+
+    kv_.release(request->spec.id);
+    scheduler_->onRequestFinished(request->spec.id,
+                                  request->generated);
+    ++finished_;
+    if (config_.warmupRequests > 0 &&
+        finished_ == config_.warmupRequests) {
+        collector_.resetMeasurement(now_);
+    }
+
+    const workload::RequestSpec spec = request->spec;
+    requests_.erase(spec.id);
+    if (onFinish_)
+        onFinish_(spec, now_);
+}
+
+Tick
+ServingEngine::evictOne()
+{
+    LIGHTLLM_ASSERT(!running_.empty(),
+                    "eviction with empty running batch");
+    // Pick the victim per policy over admission order.
+    auto victim_it = running_.begin();
+    for (auto it = running_.begin() + 1; it != running_.end(); ++it) {
+        const bool newer = (*it)->admitSeq > (*victim_it)->admitSeq;
+        if (config_.evictionPolicy == EvictionPolicy::Lifo ? newer
+                                                           : !newer) {
+            victim_it = it;
+        }
+    }
+    EngineRequest *victim = *victim_it;
+    running_.erase(victim_it);
+    std::erase(runningIds_, victim->spec.id);
+
+    const TokenCount victim_tokens =
+        kv_.requestTokens(victim->spec.id);
+    kv_.release(victim->spec.id);
+    victim->evictions += 1;
+    victim->remainingPrompt = 0;
+    collector_.onEviction(victim->evictions == 1);
+    scheduler_->onRequestEvicted(victim->spec.id);
+    // Back to the front of the queue; the KV is either rebuilt by a
+    // future recompute prefill or restored by a swap-in.
+    waiting_.push_front(victim);
+
+    if (config_.evictionMode == EvictionMode::Swap) {
+        victim->swappedOut = true;
+        const Tick cost = scaled(perf_.swapLatency(victim_tokens));
+        collector_.onSwap(victim_tokens, cost);
+        return cost;
+    }
+    return 0;
+}
+
+TokenCount
+ServingEngine::trueFutureMemory() const
+{
+    scratchEntries_.clear();
+    auto add_entry = [this](const EngineRequest *request) {
+        const TokenCount target =
+            std::max(request->targetOutput(), request->generated);
+        scratchEntries_.push_back(core::BatchEntry{
+            request->spec.inputLen, request->generated, target});
+    };
+    for (const EngineRequest *request : running_)
+        add_entry(request);
+    for (const EngineRequest *request : prefillPending_)
+        add_entry(request);
+    return core::futureRequiredMemory(scratchEntries_);
+}
+
+void
+ServingEngine::runPrefillPhase()
+{
+    for (EngineRequest *request : prefillPending_) {
+        if (request->swappedOut) {
+            // Swap-in: restore the KV; no compute, no new token
+            // (the request resumes decoding from where it was).
+            const Tick duration = scaled(perf_.swapLatency(
+                request->spec.inputLen + request->generated));
+            now_ += duration;
+            collector_.onSwap(
+                request->spec.inputLen + request->generated,
+                duration);
+            request->swappedOut = false;
+            running_.push_back(request);
+            continue;
+        }
+        const Tick duration =
+            scaled(perf_.prefillLatency(request->remainingPrompt));
+        now_ += duration;
+        collector_.onPrefill(request->remainingPrompt, duration);
+        request->remainingPrompt = 0;
+        request->generated += 1;
+        recordEmission(*request, now_);
+        if (request->generated >= request->targetOutput())
+            finishRequest(request);
+        else
+            running_.push_back(request);
+    }
+    prefillPending_.clear();
+}
+
+void
+ServingEngine::runDecodeStep()
+{
+    runningIds_.clear();
+    for (const EngineRequest *request : running_)
+        runningIds_.push_back(request->spec.id);
+
+    Tick eviction_stall = 0;
+    while (!running_.empty() &&
+           !kv_.canExtendBatchByOne(runningIds_)) {
+        if (running_.size() == 1) {
+            // A lone request that cannot extend would evict and
+            // re-admit itself forever.
+            fatal("request ", running_.front()->spec.id,
+                  " outgrew the KV capacity of ",
+                  kv_.capacityTokens(),
+                  " tokens; raise capacity or lower "
+                  "max_new_tokens");
+        }
+        eviction_stall += evictOne();
+    }
+    if (running_.empty()) {
+        now_ += eviction_stall;
+        return;
+    }
+
+    TokenCount batch_kv = 0;
+    for (EngineRequest *request : running_) {
+        const bool ok = kv_.extend(request->spec.id, 1);
+        LIGHTLLM_ASSERT(ok, "extend failed after capacity check");
+        request->generated += 1;
+        batch_kv += request->spec.inputLen + request->generated;
+    }
+
+    const auto batch_size =
+        static_cast<std::int64_t>(running_.size());
+    const Tick duration = eviction_stall +
+        scaled(perf_.decodeLatency(batch_size, batch_kv));
+    now_ += duration;
+    collector_.onDecodeStep(batch_size, kv_.usedTokens(),
+                            trueFutureMemory(), now_, duration);
+
+    // Emissions and completions.
+    std::vector<EngineRequest *> finished;
+    for (EngineRequest *request : running_)
+        recordEmission(*request, now_);
+    std::erase_if(running_, [&](EngineRequest *request) {
+        if (request->generated >= request->targetOutput()) {
+            finished.push_back(request);
+            return true;
+        }
+        return false;
+    });
+    for (EngineRequest *request : finished)
+        finishRequest(request);
+}
+
+void
+ServingEngine::runFusedStep()
+{
+    runningIds_.clear();
+    for (const EngineRequest *request : running_)
+        runningIds_.push_back(request->spec.id);
+
+    Tick extra_stall = 0;
+    while (!running_.empty() &&
+           !kv_.canExtendBatchByOne(runningIds_)) {
+        if (running_.size() == 1) {
+            fatal("request ", running_.front()->spec.id,
+                  " outgrew the KV capacity of ",
+                  kv_.capacityTokens(),
+                  " tokens; raise capacity or lower "
+                  "max_new_tokens");
+        }
+        extra_stall += evictOne();
+    }
+
+    // Swap-ins restore admitted-but-offloaded requests; they join
+    // the batch after this step (no token emitted while restoring).
+    std::vector<EngineRequest *> swapped_in;
+    std::erase_if(prefillPending_, [&](EngineRequest *request) {
+        if (!request->swappedOut)
+            return false;
+        const TokenCount tokens =
+            request->spec.inputLen + request->generated;
+        const Tick cost = scaled(perf_.swapLatency(tokens));
+        extra_stall += cost;
+        collector_.onSwap(tokens, cost);
+        request->swappedOut = false;
+        swapped_in.push_back(request);
+        return true;
+    });
+
+    // Consume up to one chunk of pending prompt tokens (front
+    // requests first).
+    TokenCount chunk_used = 0;
+    for (EngineRequest *request : prefillPending_) {
+        if (chunk_used >= config_.splitFuseChunk)
+            break;
+        const TokenCount take = std::min(
+            config_.splitFuseChunk - chunk_used,
+            request->remainingPrompt);
+        request->remainingPrompt -= take;
+        chunk_used += take;
+    }
+
+    TokenCount batch_kv = 0;
+    for (EngineRequest *request : running_) {
+        const bool ok = kv_.extend(request->spec.id, 1);
+        LIGHTLLM_ASSERT(ok, "extend failed after capacity check");
+        request->generated += 1;
+        batch_kv += request->spec.inputLen + request->generated;
+    }
+
+    const auto batch_size =
+        static_cast<std::int64_t>(running_.size());
+    if (batch_size == 0 && chunk_used == 0 && swapped_in.empty())
+        return;
+    Tick duration = extra_stall;
+    if (batch_size > 0 || chunk_used > 0) {
+        duration += scaled(perf_.fusedStepLatency(
+            batch_size, batch_kv, chunk_used));
+    }
+    now_ += duration;
+    if (batch_size > 0) {
+        collector_.onDecodeStep(batch_size, kv_.usedTokens(),
+                                trueFutureMemory(), now_, duration);
+    }
+    if (chunk_used > 0)
+        collector_.onPrefill(chunk_used, duration);
+
+    std::vector<EngineRequest *> finished;
+    for (EngineRequest *request : running_)
+        recordEmission(*request, now_);
+    std::erase_if(running_, [&](EngineRequest *request) {
+        if (request->generated >= request->targetOutput()) {
+            finished.push_back(request);
+            return true;
+        }
+        return false;
+    });
+
+    // Requests whose prefill completed emit their first token and
+    // join the running batch.
+    std::erase_if(prefillPending_, [&](EngineRequest *request) {
+        if (request->remainingPrompt > 0)
+            return false;
+        request->generated += 1;
+        recordEmission(*request, now_);
+        if (request->generated >= request->targetOutput())
+            finished.push_back(request);
+        else
+            running_.push_back(request);
+        return true;
+    });
+
+    for (EngineRequest *request : finished)
+        finishRequest(request);
+
+    // Restored requests resume decoding from the next step.
+    for (EngineRequest *request : swapped_in)
+        running_.push_back(request);
+}
+
+bool
+ServingEngine::limitsReached(const RunLimits &limits) const
+{
+    if (limits.maxFinishedRequests > 0 &&
+        finished_ >= limits.maxFinishedRequests) {
+        return true;
+    }
+    if (limits.maxTicks > 0 && now_ >= limits.maxTicks)
+        return true;
+    return false;
+}
+
+bool
+ServingEngine::stepOnce(const RunLimits &limits)
+{
+    if (limitsReached(limits))
+        return false;
+    deliverArrivals();
+    if (running_.empty() && prefillPending_.empty() &&
+        waiting_.empty()) {
+        if (events_.empty())
+            return false;  // drained
+        now_ = events_.nextTick();
+        deliverArrivals();
+        return true;
+    }
+    admitRequests();
+    if (config_.splitFuse) {
+        runFusedStep();
+    } else {
+        if (!prefillPending_.empty())
+            runPrefillPhase();
+        if (!running_.empty())
+            runDecodeStep();
+    }
+    return true;
+}
+
+metrics::RunReport
+ServingEngine::run(const RunLimits &limits)
+{
+    LIGHTLLM_ASSERT(!ran_, "engine instances are single-run");
+    ran_ = true;
+
+    while (stepOnce(limits)) {
+    }
+    return report();
+}
+
+metrics::RunReport
+ServingEngine::report() const
+{
+    return collector_.finish(scheduler_->name(), now_);
+}
+
+bool
+ServingEngine::hasWork() const
+{
+    return !running_.empty() || !prefillPending_.empty() ||
+        !waiting_.empty();
+}
+
+TokenCount
+ServingEngine::outstandingTokens() const
+{
+    TokenCount total = kv_.usedTokens() + undeliveredTokens_;
+    for (const EngineRequest *request : waiting_)
+        total += request->spec.inputLen + request->generated;
+    return total;
+}
+
+TokenCount
+ServingEngine::predictedLoadTokens()
+{
+    const core::SchedulerContext ctx = buildContext();
+    return scheduler_->estimateLoad(ctx) + undeliveredTokens_;
+}
+
+} // namespace engine
+} // namespace lightllm

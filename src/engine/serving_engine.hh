@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Continuous-batching LLM serving engine (discrete-event simulated).
+ *
+ * Reproduces the iteration-level serving loop of LightLLM/ORCA-style
+ * frameworks: each iteration the scheduler may admit queued requests
+ * (prefill), then the running batch advances one decode step; every
+ * request's tokens are timestamped so TTFT/TPOT/MTPOT and goodput
+ * can be evaluated exactly. Memory is managed by the paged KV block
+ * manager; when a decode step cannot allocate the next token slots,
+ * requests are evicted (recompute semantics: the victim re-queues at
+ * the front and its KV is rebuilt by a later prefill over
+ * prompt + already-generated tokens).
+ *
+ * Iteration durations come from the roofline PerfModel, which is the
+ * simulation substitute for GPU execution (see DESIGN.md §1).
+ */
+
+#ifndef LIGHTLLM_ENGINE_SERVING_ENGINE_HH
+#define LIGHTLLM_ENGINE_SERVING_ENGINE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/future_memory.hh"
+#include "core/scheduler.hh"
+#include "engine/engine_config.hh"
+#include "memory/kv_block_manager.hh"
+#include "metrics/collector.hh"
+#include "metrics/report.hh"
+#include "model/perf_model.hh"
+#include "sim/event_queue.hh"
+#include "workload/client_pool.hh"
+#include "workload/request_spec.hh"
+
+namespace lightllm {
+namespace engine {
+
+/** Continuous-batching serving engine over the simulated substrate. */
+class ServingEngine : public workload::RequestSink
+{
+  public:
+    /** Callback fired when a request finishes. */
+    using FinishCallback =
+        std::function<void(const workload::RequestSpec &, Tick)>;
+
+    ServingEngine(model::PerfModel perf_model,
+                  std::unique_ptr<core::Scheduler> scheduler,
+                  EngineConfig config = {});
+
+    ~ServingEngine() override;
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /** Enqueue a request to arrive at `arrival` (>= current time). */
+    void submitAt(const workload::RequestSpec &spec,
+                  Tick arrival) override;
+
+    /** Register a completion listener (e.g. the client pool). */
+    void setOnFinish(FinishCallback callback);
+
+    /**
+     * Run the serving loop until the limits are hit or no work and
+     * no future arrivals remain.
+     *
+     * @return The final metrics report.
+     */
+    metrics::RunReport run(const RunLimits &limits = {});
+
+    /**
+     * Advance the engine by one iteration (arrival delivery +
+     * admissions + prefill/decode). Used by the multi-instance
+     * cluster to co-simulate several engines on interleaved clocks;
+     * single-instance users should call run().
+     *
+     * @return false when nothing could be done (no work, no pending
+     *         arrivals, or the limits are reached).
+     */
+    bool stepOnce(const RunLimits &limits = {});
+
+    /** Snapshot the metrics collected so far (cluster use). */
+    metrics::RunReport report() const;
+
+    // --- Introspection (tests, benches) ------------------------------
+
+    /** True when any request is running, prefilling, or queued. */
+    bool hasWork() const;
+
+    /** Pending (future) arrival events. */
+    bool hasPendingArrivals() const { return !events_.empty(); }
+
+    /**
+     * Current + queued resident footprint in tokens (used KV plus
+     * the prompts waiting to be admitted) — the "outstanding work"
+     * signal for least-loaded routing.
+     */
+    TokenCount outstandingTokens() const;
+
+    /**
+     * Scheduler-estimated future load in tokens: for the
+     * Past-Future scheduler this is the predicted peak memory of
+     * the running batch plus predicted footprints of the queue —
+     * the signal the paper's future-work section proposes for
+     * cross-instance request forwarding.
+     */
+    TokenCount predictedLoadTokens();
+
+    Tick now() const { return now_; }
+    std::size_t runningSize() const { return running_.size(); }
+    std::size_t waitingSize() const { return waiting_.size(); }
+    std::size_t numFinished() const { return finished_; }
+    const memory::KvBlockManager &kvManager() const { return kv_; }
+    const model::PerfModel &perfModel() const { return perf_; }
+    core::Scheduler &scheduler() { return *scheduler_; }
+    TokenCount capacityTokens() const { return kv_.capacityTokens(); }
+
+  private:
+    /** Engine-side mutable request state. */
+    struct EngineRequest
+    {
+        workload::RequestSpec spec;
+        TokenCount generated = 0;
+        Tick arrival = 0;
+        Tick firstToken = -1;
+        Tick lastEmit = -1;
+        Tick maxGap = 0;
+        int evictions = 0;
+
+        /** Admission order stamp for the eviction policy. */
+        std::uint64_t admitSeq = 0;
+
+        /** Prompt tokens still to process (split-fuse prefill). */
+        TokenCount remainingPrompt = 0;
+
+        /** KV lives in host memory awaiting swap-in. */
+        bool swappedOut = false;
+
+        /** Tokens generation will produce (EOS or cap). */
+        TokenCount
+        targetOutput() const
+        {
+            return spec.effectiveOutputLen();
+        }
+    };
+
+    /** Move due arrivals from the event queue into the wait queue. */
+    void deliverArrivals();
+
+    /** Ask the scheduler for admissions and allocate them. */
+    void admitRequests();
+
+    /** Admit one request: allocate KV and queue its prefill. */
+    bool admitOne(EngineRequest *request);
+
+    /** Process all pending prefills as dedicated iterations. */
+    void runPrefillPhase();
+
+    /** One decode iteration over the running batch. */
+    void runDecodeStep();
+
+    /** One split-fuse iteration (decode + prompt chunk). */
+    void runFusedStep();
+
+    /**
+     * Evict one running request per the configured policy.
+     *
+     * @return Stall ticks charged to the current iteration (the
+     *         swap-out transfer; recompute eviction is free now and
+     *         pays at re-prefill).
+     */
+    Tick evictOne();
+
+    /** Mark a token emission for `request` at `tick`. */
+    void recordEmission(EngineRequest &request, Tick tick);
+
+    /** Complete a request and notify listeners. */
+    void finishRequest(EngineRequest *request);
+
+    /** Exact future required memory with ground-truth lengths. */
+    TokenCount trueFutureMemory() const;
+
+    /** Scheduler context over the current queues. */
+    core::SchedulerContext buildContext();
+
+    /** Scale a modelled latency by the engine time factor. */
+    Tick scaled(Tick duration) const;
+
+    /** True when a stop limit has been reached. */
+    bool limitsReached(const RunLimits &limits) const;
+
+    model::PerfModel perf_;
+    std::unique_ptr<core::Scheduler> scheduler_;
+    EngineConfig config_;
+    memory::KvBlockManager kv_;
+    metrics::MetricsCollector collector_;
+    sim::EventQueue events_;
+
+    std::unordered_map<RequestId,
+                       std::unique_ptr<EngineRequest>> requests_;
+    std::deque<EngineRequest *> waiting_;
+    std::vector<EngineRequest *> prefillPending_;
+    std::vector<EngineRequest *> running_;
+
+    Tick now_ = 0;
+    std::size_t finished_ = 0;
+
+    /** Prompt tokens of submitted-but-undelivered arrivals (load
+     *  visibility for the cluster router). */
+    TokenCount undeliveredTokens_ = 0;
+    std::uint64_t nextAdmitSeq_ = 0;
+    bool ran_ = false;
+    FinishCallback onFinish_;
+
+    // Scratch buffers reused across iterations.
+    std::vector<core::RunningView> runningViews_;
+    std::vector<core::WaitingView> waitingViews_;
+    std::vector<RequestId> runningIds_;
+    mutable std::vector<core::BatchEntry> scratchEntries_;
+};
+
+} // namespace engine
+} // namespace lightllm
+
+#endif // LIGHTLLM_ENGINE_SERVING_ENGINE_HH

@@ -1,0 +1,91 @@
+#include "memory/contiguous_allocator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace memory {
+
+ContiguousAllocator::ContiguousAllocator(TokenCount capacity_tokens)
+    : capacityTokens_(capacity_tokens)
+{
+    LIGHTLLM_ASSERT(capacity_tokens > 0, "capacity must be positive");
+    freeSegments_.emplace(0, capacity_tokens);
+}
+
+bool
+ContiguousAllocator::allocate(RequestId id, TokenCount num_tokens)
+{
+    LIGHTLLM_ASSERT(num_tokens > 0, "allocation must be positive");
+    if (regions_.count(id) > 0)
+        return false;
+    // First fit: lowest-offset segment that is large enough.
+    for (auto it = freeSegments_.begin(); it != freeSegments_.end();
+         ++it) {
+        if (it->second < num_tokens)
+            continue;
+        const TokenCount offset = it->first;
+        const TokenCount remaining = it->second - num_tokens;
+        freeSegments_.erase(it);
+        if (remaining > 0)
+            freeSegments_.emplace(offset + num_tokens, remaining);
+        regions_.emplace(id, Region{offset, num_tokens});
+        usedTokens_ += num_tokens;
+        return true;
+    }
+    return false;
+}
+
+void
+ContiguousAllocator::release(RequestId id)
+{
+    auto it = regions_.find(id);
+    if (it == regions_.end())
+        return;
+    TokenCount offset = it->second.offset;
+    TokenCount size = it->second.size;
+    usedTokens_ -= size;
+    regions_.erase(it);
+
+    // Coalesce with the following free segment, if adjacent.
+    auto next = freeSegments_.lower_bound(offset);
+    if (next != freeSegments_.end() &&
+        next->first == offset + size) {
+        size += next->second;
+        next = freeSegments_.erase(next);
+    }
+    // Coalesce with the preceding free segment, if adjacent.
+    if (next != freeSegments_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == offset) {
+            offset = prev->first;
+            size += prev->second;
+            freeSegments_.erase(prev);
+        }
+    }
+    freeSegments_.emplace(offset, size);
+}
+
+TokenCount
+ContiguousAllocator::largestFreeSegment() const
+{
+    TokenCount largest = 0;
+    for (const auto &[offset, size] : freeSegments_)
+        largest = std::max(largest, size);
+    return largest;
+}
+
+double
+ContiguousAllocator::fragmentation() const
+{
+    const TokenCount free = freeTokens();
+    if (free == 0)
+        return 0.0;
+    return 1.0 -
+        static_cast<double>(largestFreeSegment()) /
+        static_cast<double>(free);
+}
+
+} // namespace memory
+} // namespace lightllm

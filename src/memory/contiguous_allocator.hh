@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Contiguous KV-cache allocator (FasterTransformer-style baseline).
+ *
+ * Pre-paging frameworks reserve one contiguous region of
+ * input + max_new_tokens slots per request for its whole lifetime.
+ * This allocator models that scheme with a first-fit free list so the
+ * library can demonstrate (and the tests can quantify) the external
+ * fragmentation PagedAttention eliminates. It also backs the
+ * static-batch "origin" engine used in the Table 2 reproduction.
+ */
+
+#ifndef LIGHTLLM_MEMORY_CONTIGUOUS_ALLOCATOR_HH
+#define LIGHTLLM_MEMORY_CONTIGUOUS_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace memory {
+
+/** First-fit contiguous allocator over a linear token arena. */
+class ContiguousAllocator
+{
+  public:
+    explicit ContiguousAllocator(TokenCount capacity_tokens);
+
+    /**
+     * Reserve a contiguous region of `num_tokens` slots.
+     *
+     * @return false when no single free segment is large enough
+     *         (even if the total free space would suffice — that is
+     *         exactly the fragmentation failure mode).
+     */
+    bool allocate(RequestId id, TokenCount num_tokens);
+
+    /** Release a request's region and coalesce free neighbours. */
+    void release(RequestId id);
+
+    TokenCount capacityTokens() const { return capacityTokens_; }
+    TokenCount usedTokens() const { return usedTokens_; }
+    TokenCount freeTokens() const
+    {
+        return capacityTokens_ - usedTokens_;
+    }
+
+    /** Size of the largest free segment (0 when full). */
+    TokenCount largestFreeSegment() const;
+
+    /** Number of disjoint free segments. */
+    std::size_t numFreeSegments() const { return freeSegments_.size(); }
+
+    /**
+     * External fragmentation in [0, 1]:
+     * 1 - largest_free_segment / free_tokens (0 when no free space).
+     */
+    double fragmentation() const;
+
+    std::size_t numRequests() const { return regions_.size(); }
+
+  private:
+    struct Region
+    {
+        TokenCount offset = 0;
+        TokenCount size = 0;
+    };
+
+    TokenCount capacityTokens_;
+    TokenCount usedTokens_ = 0;
+    // offset -> size of each free segment, ordered for coalescing.
+    std::map<TokenCount, TokenCount> freeSegments_;
+    std::unordered_map<RequestId, Region> regions_;
+};
+
+} // namespace memory
+} // namespace lightllm
+
+#endif // LIGHTLLM_MEMORY_CONTIGUOUS_ALLOCATOR_HH

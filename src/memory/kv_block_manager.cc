@@ -1,0 +1,152 @@
+#include "memory/kv_block_manager.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace memory {
+
+namespace {
+
+/** Ceiling division for non-negative token counts. */
+std::int64_t
+ceilDiv(TokenCount value, TokenCount divisor)
+{
+    return (value + divisor - 1) / divisor;
+}
+
+} // namespace
+
+KvBlockManager::KvBlockManager(TokenCount capacity_tokens,
+                               TokenCount block_size_tokens)
+    : blockSize_(block_size_tokens)
+{
+    LIGHTLLM_ASSERT(block_size_tokens >= 1, "block size must be >= 1");
+    LIGHTLLM_ASSERT(capacity_tokens >= block_size_tokens,
+                    "capacity smaller than one block");
+    const std::int64_t num_blocks = capacity_tokens / blockSize_;
+    capacityTokens_ = num_blocks * blockSize_;
+    freeList_.reserve(static_cast<std::size_t>(num_blocks));
+    // Populate descending so blocks are handed out in ascending order.
+    for (std::int64_t b = num_blocks - 1; b >= 0; --b)
+        freeList_.push_back(static_cast<BlockId>(b));
+}
+
+bool
+KvBlockManager::allocate(RequestId id, TokenCount num_tokens)
+{
+    LIGHTLLM_ASSERT(num_tokens >= 0, "negative allocation");
+    if (tables_.count(id) > 0)
+        return false;
+    const std::int64_t need = ceilDiv(num_tokens, blockSize_);
+    if (need > freeBlocks())
+        return false;
+
+    Allocation alloc;
+    alloc.numTokens = num_tokens;
+    alloc.blocks.reserve(static_cast<std::size_t>(need));
+    for (std::int64_t i = 0; i < need; ++i) {
+        alloc.blocks.push_back(freeList_.back());
+        freeList_.pop_back();
+    }
+    usedTokens_ += num_tokens;
+    tables_.emplace(id, std::move(alloc));
+    return true;
+}
+
+std::int64_t
+KvBlockManager::blocksForExtension(const Allocation &alloc,
+                                   TokenCount extra) const
+{
+    const TokenCount slack =
+        static_cast<TokenCount>(alloc.blocks.size()) * blockSize_ -
+        alloc.numTokens;
+    if (extra <= slack)
+        return 0;
+    return ceilDiv(extra - slack, blockSize_);
+}
+
+bool
+KvBlockManager::extend(RequestId id, TokenCount num_tokens)
+{
+    LIGHTLLM_ASSERT(num_tokens >= 0, "negative extension");
+    auto it = tables_.find(id);
+    LIGHTLLM_ASSERT(it != tables_.end(),
+                    "extend of unknown request ", id);
+    Allocation &alloc = it->second;
+    const std::int64_t need = blocksForExtension(alloc, num_tokens);
+    if (need > freeBlocks())
+        return false;
+    for (std::int64_t i = 0; i < need; ++i) {
+        alloc.blocks.push_back(freeList_.back());
+        freeList_.pop_back();
+    }
+    alloc.numTokens += num_tokens;
+    usedTokens_ += num_tokens;
+    return true;
+}
+
+void
+KvBlockManager::release(RequestId id)
+{
+    auto it = tables_.find(id);
+    if (it == tables_.end())
+        return;
+    for (BlockId block : it->second.blocks)
+        freeList_.push_back(block);
+    usedTokens_ -= it->second.numTokens;
+    tables_.erase(it);
+}
+
+bool
+KvBlockManager::canAllocate(TokenCount num_tokens) const
+{
+    return ceilDiv(num_tokens, blockSize_) <= freeBlocks();
+}
+
+bool
+KvBlockManager::canExtendBatchByOne(
+    const std::vector<RequestId> &ids) const
+{
+    std::int64_t blocks_needed = 0;
+    for (RequestId id : ids) {
+        const auto it = tables_.find(id);
+        LIGHTLLM_ASSERT(it != tables_.end(),
+                        "unknown request in batch: ", id);
+        blocks_needed += blocksForExtension(it->second, 1);
+    }
+    return blocks_needed <= freeBlocks();
+}
+
+TokenCount
+KvBlockManager::freeTokens() const
+{
+    return static_cast<TokenCount>(freeList_.size()) * blockSize_;
+}
+
+double
+KvBlockManager::utilization() const
+{
+    return static_cast<double>(usedTokens_) /
+        static_cast<double>(capacityTokens_);
+}
+
+TokenCount
+KvBlockManager::requestTokens(RequestId id) const
+{
+    const auto it = tables_.find(id);
+    return it == tables_.end() ? 0 : it->second.numTokens;
+}
+
+const std::vector<BlockId> &
+KvBlockManager::blockTable(RequestId id) const
+{
+    const auto it = tables_.find(id);
+    LIGHTLLM_ASSERT(it != tables_.end(),
+                    "block table of unknown request ", id);
+    return it->second.blocks;
+}
+
+} // namespace memory
+} // namespace lightllm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Paged KV-cache block manager (PagedAttention-style).
+ *
+ * KV memory is carved into fixed-size blocks of token slots. Each
+ * request owns a block table mapping its logical token positions to
+ * physical blocks; blocks are handed out from a free list and
+ * returned on release. This reproduces vLLM-style block accounting:
+ * a request's last block may be partially filled, so the manager
+ * distinguishes token-level occupancy (what the paper's equations
+ * reason about) from block-level occupancy (what actually limits
+ * allocation).
+ */
+
+#ifndef LIGHTLLM_MEMORY_KV_BLOCK_MANAGER_HH
+#define LIGHTLLM_MEMORY_KV_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace memory {
+
+/** Physical block index within the KV pool. */
+using BlockId = std::int32_t;
+
+/** Allocates KV-cache token slots in fixed-size blocks. */
+class KvBlockManager
+{
+  public:
+    /**
+     * @param capacity_tokens Total token slots in the pool (rounded
+     *        down to a whole number of blocks).
+     * @param block_size_tokens Token slots per block (>= 1).
+     */
+    KvBlockManager(TokenCount capacity_tokens,
+                   TokenCount block_size_tokens = 16);
+
+    /** Token capacity after rounding to whole blocks. */
+    TokenCount capacityTokens() const { return capacityTokens_; }
+
+    TokenCount blockSize() const { return blockSize_; }
+
+    /**
+     * Allocate `num_tokens` slots for a new request.
+     *
+     * @return false (and allocate nothing) when the free list cannot
+     *         cover the required blocks or the request already has
+     *         an allocation.
+     */
+    bool allocate(RequestId id, TokenCount num_tokens);
+
+    /**
+     * Grow an existing request's allocation by `num_tokens` slots.
+     * Fills the slack in the request's last block before taking new
+     * blocks.
+     *
+     * @return false (and change nothing) when insufficient blocks
+     *         remain.
+     */
+    bool extend(RequestId id, TokenCount num_tokens);
+
+    /** Release all blocks owned by the request. */
+    void release(RequestId id);
+
+    /** True when `num_tokens` more slots could be allocated now. */
+    bool canAllocate(TokenCount num_tokens) const;
+
+    /**
+     * True when every request in a batch can extend by one token.
+     * Slack in last blocks is considered, so this is exact for the
+     * per-step growth pattern of continuous batching.
+     */
+    bool canExtendBatchByOne(
+        const std::vector<RequestId> &ids) const;
+
+    /** Token slots currently assigned to requests. */
+    TokenCount usedTokens() const { return usedTokens_; }
+
+    /** Token slots not yet assigned (block slack excluded). */
+    TokenCount freeTokens() const;
+
+    /** Blocks currently on the free list. */
+    std::int64_t freeBlocks() const
+    {
+        return static_cast<std::int64_t>(freeList_.size());
+    }
+
+    /** Token-level utilization in [0, 1]. */
+    double utilization() const;
+
+    /** Tokens allocated to one request; 0 if absent. */
+    TokenCount requestTokens(RequestId id) const;
+
+    /** Block table of one request (for attention-kernel mapping). */
+    const std::vector<BlockId> &blockTable(RequestId id) const;
+
+    /** Number of live requests. */
+    std::size_t numRequests() const { return tables_.size(); }
+
+  private:
+    struct Allocation
+    {
+        TokenCount numTokens = 0;
+        std::vector<BlockId> blocks;
+    };
+
+    /** Blocks needed to extend an allocation by `extra` tokens. */
+    std::int64_t blocksForExtension(const Allocation &alloc,
+                                    TokenCount extra) const;
+
+    TokenCount blockSize_;
+    TokenCount capacityTokens_;
+    std::vector<BlockId> freeList_;
+    std::unordered_map<RequestId, Allocation> tables_;
+    TokenCount usedTokens_ = 0;
+};
+
+} // namespace memory
+} // namespace lightllm
+
+#endif // LIGHTLLM_MEMORY_KV_BLOCK_MANAGER_HH

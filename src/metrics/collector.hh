@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Streaming metrics collection during a serving run.
+ *
+ * The engine reports iteration-level and request-level events; the
+ * collector maintains duration-weighted aggregates and assembles the
+ * final RunReport.
+ */
+
+#ifndef LIGHTLLM_METRICS_COLLECTOR_HH
+#define LIGHTLLM_METRICS_COLLECTOR_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "metrics/report.hh"
+
+namespace lightllm {
+namespace metrics {
+
+/** Aggregates engine events into a RunReport. */
+class MetricsCollector
+{
+  public:
+    /**
+     * @param capacity_tokens KV token capacity (ratio denominator).
+     * @param timeseries_interval Record a MemoryTimePoint every this
+     *        many decode steps (0 disables the time series).
+     */
+    explicit MetricsCollector(TokenCount capacity_tokens,
+                              std::int64_t timeseries_interval = 0);
+
+    /**
+     * One decode iteration completed.
+     *
+     * @param batch_size Requests decoded this step.
+     * @param used_tokens KV tokens allocated during the step.
+     * @param true_future_tokens Exact future required memory of the
+     *        running batch (computed with ground-truth lengths).
+     * @param tick Simulation time at the end of the step.
+     * @param duration Step duration in ticks.
+     */
+    void onDecodeStep(std::int64_t batch_size, TokenCount used_tokens,
+                      TokenCount true_future_tokens, Tick tick,
+                      Tick duration);
+
+    /** One prefill iteration (or split-fuse chunk) completed. */
+    void onPrefill(TokenCount prompt_tokens, Tick duration);
+
+    /** A request was evicted from the running batch. */
+    void onEviction(bool first_eviction_of_request);
+
+    /** A KV swap transfer (either direction) of `tokens` slots. */
+    void onSwap(TokenCount tokens, Tick duration);
+
+    /** A request finished; `record` must be fully populated. */
+    void onRequestFinished(const RequestRecord &record);
+
+    /**
+     * Discard everything observed so far and start measuring from
+     * `now` (end-of-warmup boundary for steady-state measurement).
+     */
+    void resetMeasurement(Tick now);
+
+    /** Finalize into a report; `makespan` is the end-of-run tick. */
+    RunReport finish(std::string scheduler_name, Tick makespan) const;
+
+    TokenCount capacityTokens() const { return capacity_; }
+
+  private:
+    TokenCount capacity_;
+    std::int64_t timeseriesInterval_;
+    Tick measureStart_ = 0;
+
+    std::int64_t decodeSteps_ = 0;
+    std::int64_t prefillIterations_ = 0;
+    std::int64_t evictionEvents_ = 0;
+    std::size_t requestsEvicted_ = 0;
+    std::int64_t swapEvents_ = 0;
+    TokenCount swappedTokens_ = 0;
+    TokenCount totalOutputTokens_ = 0;
+    TokenCount totalPrefillTokens_ = 0;
+
+    double consumedWeighted_ = 0.0;
+    double futureWeighted_ = 0.0;
+    double batchWeighted_ = 0.0;
+    double decodeDuration_ = 0.0;
+
+    std::vector<RequestRecord> requests_;
+    std::vector<MemoryTimePoint> timeseries_;
+};
+
+} // namespace metrics
+} // namespace lightllm
+
+#endif // LIGHTLLM_METRICS_COLLECTOR_HH

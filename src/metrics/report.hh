@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Aggregated outcome of one serving run.
+ */
+
+#ifndef LIGHTLLM_METRICS_REPORT_HH
+#define LIGHTLLM_METRICS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "metrics/sla.hh"
+
+namespace lightllm {
+namespace metrics {
+
+/** One sampled point of the memory time series (Fig 1). */
+struct MemoryTimePoint
+{
+    Tick tick = 0;
+
+    /** Currently consumed memory / capacity. */
+    double consumedRatio = 0.0;
+
+    /** True future required memory M* / capacity (> 1 predicts an
+     *  eviction). */
+    double futureRequiredRatio = 0.0;
+
+    /** Running batch size at the sample. */
+    std::int64_t batchSize = 0;
+};
+
+/** Everything measured during a run. */
+struct RunReport
+{
+    std::string schedulerName;
+
+    std::size_t numFinished = 0;
+
+    /** Continuous-batching decode iterations executed. */
+    std::int64_t decodeSteps = 0;
+
+    /** Prefill iterations (or split-fuse chunks) executed. */
+    std::int64_t prefillIterations = 0;
+
+    /** Total eviction events (one request may count repeatedly). */
+    std::int64_t evictionEvents = 0;
+
+    /** Requests evicted at least once. */
+    std::size_t requestsEvicted = 0;
+
+    /** KV swap transfers (swap eviction mode; both directions). */
+    std::int64_t swapEvents = 0;
+
+    /** Token slots moved across the host link in total. */
+    TokenCount swappedTokens = 0;
+
+    TokenCount totalOutputTokens = 0;
+    TokenCount totalPrefillTokens = 0;
+
+    /** End-of-run simulated time. */
+    Tick makespan = 0;
+
+    /** Duration-weighted mean of consumed-memory ratio over decode
+     *  steps ("Current Consumed Memory" of Table 1). */
+    double avgConsumedMemory = 0.0;
+
+    /** Duration-weighted mean of the true future-required-memory
+     *  ratio over decode steps ("Future Required Memory"). */
+    double avgFutureRequired = 0.0;
+
+    /** Decode-step-weighted mean running batch size. */
+    double avgBatchSize = 0.0;
+
+    /** Per-request latency records. */
+    std::vector<RequestRecord> requests;
+
+    /** Optional sampled memory time series. */
+    std::vector<MemoryTimePoint> timeseries;
+
+    // --- Derived metrics --------------------------------------------
+
+    /** Total output tokens per second over the makespan. */
+    double throughputTokensPerSec() const;
+
+    /** Output tokens of SLA-compliant requests per second. */
+    double goodputTokensPerSec(const SlaSpec &sla) const;
+
+    /** Fraction of requests meeting the SLA. */
+    double slaCompliantFraction(const SlaSpec &sla) const;
+
+    /** Eviction events / finished requests (the paper's "Evicted
+     *  Reqs"; exceeds 1 when requests are evicted repeatedly). */
+    double evictedReqRatio() const;
+
+    double p99TtftSeconds() const;
+    double p99MtpotSeconds() const;
+    double meanTtftSeconds() const;
+    double meanTpotSeconds() const;
+
+    /** One-line human-readable summary. */
+    std::string summary(const SlaSpec &sla) const;
+};
+
+/**
+ * Merge per-instance reports into a cluster-level report: counts and
+ * tokens are summed, request records concatenated, the makespan is
+ * the maximum, and memory ratios are decode-step-weighted averages.
+ */
+RunReport mergeReports(const std::vector<RunReport> &reports,
+                       std::string name);
+
+} // namespace metrics
+} // namespace lightllm
+
+#endif // LIGHTLLM_METRICS_REPORT_HH

@@ -1,0 +1,79 @@
+#include "metrics/report_io.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "base/logging.hh"
+#include "base/str_util.hh"
+
+namespace lightllm {
+namespace metrics {
+
+void
+writeRequestsCsv(std::ostream &os, const RunReport &report,
+                 const SlaSpec &sla)
+{
+    os << "id,input_len,output_tokens,ttft_s,avg_tpot_s,mtpot_s,"
+          "evictions,sla_compliant\n";
+    for (const auto &record : report.requests) {
+        os << record.id << ',' << record.inputLen << ','
+           << record.outputTokens << ','
+           << formatDouble(ticksToSeconds(record.ttft()), 6) << ','
+           << formatDouble(record.avgTpotSeconds(), 6) << ','
+           << formatDouble(ticksToSeconds(record.maxGap), 6) << ','
+           << record.evictions << ','
+           << (sla.compliant(record) ? 1 : 0) << '\n';
+    }
+}
+
+void
+writeRequestsCsvFile(const std::string &path, const RunReport &report,
+                     const SlaSpec &sla)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open report file for writing: ", path);
+    writeRequestsCsv(file, report, sla);
+    if (!file)
+        fatal("error while writing report file: ", path);
+}
+
+void
+writeSummaryJson(std::ostream &os, const RunReport &report,
+                 const SlaSpec &sla)
+{
+    os << "{\n"
+       << "  \"scheduler\": \"" << report.schedulerName << "\",\n"
+       << "  \"num_finished\": " << report.numFinished << ",\n"
+       << "  \"decode_steps\": " << report.decodeSteps << ",\n"
+       << "  \"prefill_iterations\": " << report.prefillIterations
+       << ",\n"
+       << "  \"eviction_events\": " << report.evictionEvents << ",\n"
+       << "  \"requests_evicted\": " << report.requestsEvicted
+       << ",\n"
+       << "  \"swap_events\": " << report.swapEvents << ",\n"
+       << "  \"total_output_tokens\": " << report.totalOutputTokens
+       << ",\n"
+       << "  \"makespan_s\": "
+       << formatDouble(ticksToSeconds(report.makespan), 3) << ",\n"
+       << "  \"throughput_tok_s\": "
+       << formatDouble(report.throughputTokensPerSec(), 3) << ",\n"
+       << "  \"goodput_tok_s\": "
+       << formatDouble(report.goodputTokensPerSec(sla), 3) << ",\n"
+       << "  \"sla_compliant_fraction\": "
+       << formatDouble(report.slaCompliantFraction(sla), 4) << ",\n"
+       << "  \"p99_ttft_s\": "
+       << formatDouble(report.p99TtftSeconds(), 3) << ",\n"
+       << "  \"p99_mtpot_s\": "
+       << formatDouble(report.p99MtpotSeconds(), 3) << ",\n"
+       << "  \"avg_consumed_memory\": "
+       << formatDouble(report.avgConsumedMemory, 4) << ",\n"
+       << "  \"avg_future_required\": "
+       << formatDouble(report.avgFutureRequired, 4) << ",\n"
+       << "  \"avg_batch_size\": "
+       << formatDouble(report.avgBatchSize, 2) << "\n"
+       << "}\n";
+}
+
+} // namespace metrics
+} // namespace lightllm

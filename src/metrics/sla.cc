@@ -1,0 +1,25 @@
+#include "metrics/sla.hh"
+
+namespace lightllm {
+namespace metrics {
+
+bool
+SlaSpec::compliant(const RequestRecord &record) const
+{
+    return record.ttft() < ttftLimit && record.maxGap < mtpotLimit;
+}
+
+SlaSpec
+SlaSpec::small7b13b()
+{
+    return SlaSpec{secondsToTicks(10.0), secondsToTicks(1.5)};
+}
+
+SlaSpec
+SlaSpec::large70b()
+{
+    return SlaSpec{secondsToTicks(15.0), secondsToTicks(5.0)};
+}
+
+} // namespace metrics
+} // namespace lightllm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Service-level-agreement metrics (§2.5).
+ *
+ * TTFT  — time to first token: arrival to first emitted token.
+ * TPOT  — time per output token: mean inter-token interval.
+ * MTPOT — maximum TPOT within a request: the largest inter-token
+ *         gap; a single large gap is a visible output stall even
+ *         when the average looks fine, which is why the paper's SLA
+ *         bounds MTPOT rather than mean TPOT.
+ *
+ * A request is SLA-compliant when both its TTFT and its MTPOT are
+ * within the limits. Goodput is the token throughput contributed by
+ * compliant requests only.
+ */
+
+#ifndef LIGHTLLM_METRICS_SLA_HH
+#define LIGHTLLM_METRICS_SLA_HH
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace metrics {
+
+/** Completed-request latency record. */
+struct RequestRecord
+{
+    RequestId id = kInvalidRequestId;
+    TokenCount inputLen = 0;
+
+    /** Output tokens actually generated. */
+    TokenCount outputTokens = 0;
+
+    Tick arrival = 0;
+    Tick firstToken = 0;
+    Tick finish = 0;
+
+    /** Largest inter-token emission gap (MTPOT), in ticks. */
+    Tick maxGap = 0;
+
+    /** Times this request was evicted and recomputed. */
+    int evictions = 0;
+
+    /** Time to first token in ticks. */
+    Tick ttft() const { return firstToken - arrival; }
+
+    /** Mean time per output token in seconds (0 if single token). */
+    double
+    avgTpotSeconds() const
+    {
+        if (outputTokens <= 1)
+            return 0.0;
+        return ticksToSeconds(finish - firstToken) /
+            static_cast<double>(outputTokens - 1);
+    }
+};
+
+/** SLA limits for one service configuration. */
+struct SlaSpec
+{
+    Tick ttftLimit = 0;
+    Tick mtpotLimit = 0;
+
+    /** True when the request meets both limits. */
+    bool compliant(const RequestRecord &record) const;
+
+    /** The paper's SLA for 7B/13B: TTFT < 10 s, MTPOT < 1.5 s. */
+    static SlaSpec small7b13b();
+
+    /** The paper's SLA for 70B: TTFT < 15 s, MTPOT < 5 s. */
+    static SlaSpec large70b();
+};
+
+} // namespace metrics
+} // namespace lightllm
+
+#endif // LIGHTLLM_METRICS_SLA_HH

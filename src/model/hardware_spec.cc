@@ -1,0 +1,90 @@
+#include "model/hardware_spec.hh"
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace model {
+
+ByteCount
+HardwareSpec::totalMemBytes() const
+{
+    return memBytesPerDevice * numDevices;
+}
+
+double
+HardwareSpec::effectiveBandwidth() const
+{
+    const double scale =
+        numDevices > 1 ? tpEfficiency : 1.0;
+    return memBandwidthPerDevice * numDevices * scale;
+}
+
+double
+HardwareSpec::effectiveFlops() const
+{
+    const double scale =
+        numDevices > 1 ? tpEfficiency : 1.0;
+    return flopsPerDevice * numDevices * scale;
+}
+
+HardwareSpec
+HardwareSpec::withTensorParallel(int n) const
+{
+    LIGHTLLM_ASSERT(n >= 1, "tensor parallel degree must be >= 1");
+    HardwareSpec spec = *this;
+    spec.numDevices = n;
+    if (n > 1)
+        spec.name += " x" + std::to_string(n);
+    return spec;
+}
+
+HardwareSpec
+HardwareSpec::a100_80g()
+{
+    HardwareSpec spec;
+    spec.name = "A100-80G";
+    spec.memBytesPerDevice = 80ll * 1000 * 1000 * 1000;
+    spec.memBandwidthPerDevice = 2.039e12;
+    spec.flopsPerDevice = 312e12;
+    spec.tpEfficiency = 0.88;  // NVLink
+    return spec;
+}
+
+HardwareSpec
+HardwareSpec::h800()
+{
+    HardwareSpec spec;
+    spec.name = "H800";
+    spec.memBytesPerDevice = 80ll * 1000 * 1000 * 1000;
+    spec.memBandwidthPerDevice = 3.35e12;
+    spec.flopsPerDevice = 990e12;
+    spec.tpEfficiency = 0.85;  // reduced NVLink vs H100
+    return spec;
+}
+
+HardwareSpec
+HardwareSpec::rtx4090()
+{
+    HardwareSpec spec;
+    spec.name = "RTX-4090";
+    spec.memBytesPerDevice = 24ll * 1000 * 1000 * 1000;
+    spec.memBandwidthPerDevice = 1.008e12;
+    spec.flopsPerDevice = 165e12;
+    spec.tpEfficiency = 0.72;  // PCIe interconnect
+    return spec;
+}
+
+HardwareSpec
+HardwareSpec::a30()
+{
+    HardwareSpec spec;
+    spec.name = "A30";
+    spec.memBytesPerDevice = 24ll * 1000 * 1000 * 1000;
+    spec.memBandwidthPerDevice = 933e9;
+    spec.flopsPerDevice = 165e12;
+    spec.tpEfficiency = 0.8;
+    return spec;
+}
+
+} // namespace model
+} // namespace lightllm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPU platform descriptions used by the performance model.
+ *
+ * Numbers are published per-device specifications: HBM/GDDR size,
+ * memory bandwidth, and dense FP16/BF16 throughput. Tensor
+ * parallelism aggregates devices with an efficiency factor that
+ * accounts for all-reduce overhead (NVLink vs PCIe).
+ */
+
+#ifndef LIGHTLLM_MODEL_HARDWARE_SPEC_HH
+#define LIGHTLLM_MODEL_HARDWARE_SPEC_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace model {
+
+/** Static description of the serving hardware. */
+struct HardwareSpec
+{
+    std::string name;
+
+    /** Device memory per GPU in bytes. */
+    ByteCount memBytesPerDevice = 0;
+
+    /** Memory bandwidth per GPU in bytes/second. */
+    double memBandwidthPerDevice = 0.0;
+
+    /** Dense FP16 throughput per GPU in FLOP/s. */
+    double flopsPerDevice = 0.0;
+
+    /** Number of tensor-parallel devices. */
+    int numDevices = 1;
+
+    /** Scaling efficiency when numDevices > 1 (interconnect cost). */
+    double tpEfficiency = 0.85;
+
+    /** Host link (PCIe) bandwidth per device in bytes/second, used
+     *  by swap-based eviction (KV offload to host memory). */
+    double hostLinkBandwidth = 25e9;
+
+    /** Total memory across devices. */
+    ByteCount totalMemBytes() const;
+
+    /** Aggregate effective bandwidth (with TP efficiency). */
+    double effectiveBandwidth() const;
+
+    /** Aggregate effective FP16 throughput (with TP efficiency). */
+    double effectiveFlops() const;
+
+    /** Copy of this spec spread across n tensor-parallel devices. */
+    HardwareSpec withTensorParallel(int n) const;
+
+    // --- Platforms used in the paper's evaluation --------------------
+
+    static HardwareSpec a100_80g();
+    static HardwareSpec h800();
+    static HardwareSpec rtx4090();
+    static HardwareSpec a30();
+};
+
+} // namespace model
+} // namespace lightllm
+
+#endif // LIGHTLLM_MODEL_HARDWARE_SPEC_HH

@@ -1,0 +1,98 @@
+#include "model/model_spec.hh"
+
+namespace lightllm {
+namespace model {
+
+ByteCount
+ModelSpec::kvBytesPerToken() const
+{
+    // K and V, per layer, per KV head, per head dim, in dtype bytes.
+    return static_cast<ByteCount>(2) * numLayers * numKvHeads *
+        headDim * dtypeBytes;
+}
+
+ByteCount
+ModelSpec::weightBytes() const
+{
+    return numParams * dtypeBytes;
+}
+
+double
+ModelSpec::flopsPerToken() const
+{
+    // Dense forward pass: ~2 FLOPs per parameter per token.
+    return 2.0 * static_cast<double>(numParams);
+}
+
+ModelSpec
+ModelSpec::llama2_7b()
+{
+    ModelSpec spec;
+    spec.name = "Llama-2-7B";
+    spec.numParams = 6'738'000'000;
+    spec.numLayers = 32;
+    spec.hiddenSize = 4096;
+    spec.numHeads = 32;
+    spec.numKvHeads = 32;
+    spec.headDim = 128;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::llama2_13b()
+{
+    ModelSpec spec;
+    spec.name = "Llama-2-13B";
+    spec.numParams = 13'016'000'000;
+    spec.numLayers = 40;
+    spec.hiddenSize = 5120;
+    spec.numHeads = 40;
+    spec.numKvHeads = 40;
+    spec.headDim = 128;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::llama2_70b()
+{
+    ModelSpec spec;
+    spec.name = "Llama-2-70B";
+    spec.numParams = 68'977'000'000;
+    spec.numLayers = 80;
+    spec.hiddenSize = 8192;
+    spec.numHeads = 64;
+    spec.numKvHeads = 8;  // grouped-query attention
+    spec.headDim = 128;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::qwenVlChat()
+{
+    ModelSpec spec = llama2_7b();
+    spec.name = "Qwen-VL-Chat";
+    spec.numParams = 9'600'000'000;  // includes the ViT tower
+    spec.imageTokens = 256;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::llava15_7b()
+{
+    ModelSpec spec = llama2_7b();
+    spec.name = "LLaVA-1.5-7B";
+    spec.imageTokens = 576;
+    return spec;
+}
+
+ModelSpec
+ModelSpec::llava15_13b()
+{
+    ModelSpec spec = llama2_13b();
+    spec.name = "LLaVA-1.5-13B";
+    spec.imageTokens = 576;
+    return spec;
+}
+
+} // namespace model
+} // namespace lightllm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Architectural descriptions of the served models.
+ *
+ * Only the quantities that drive serving behaviour are modelled:
+ * parameter count (weight bytes and per-token FLOPs), transformer
+ * shape (KV-cache bytes per token), and, for multimodal models, the
+ * number of image tokens each request's vision encoder prepends.
+ * Shapes follow the published Llama-2 / Qwen-VL / LLaVA-1.5 configs.
+ */
+
+#ifndef LIGHTLLM_MODEL_MODEL_SPEC_HH
+#define LIGHTLLM_MODEL_MODEL_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace model {
+
+/** Static description of a served LLM. */
+struct ModelSpec
+{
+    std::string name;
+
+    /** Total parameter count. */
+    std::int64_t numParams = 0;
+
+    /** Number of transformer layers. */
+    int numLayers = 0;
+
+    /** Hidden (embedding) dimension. */
+    int hiddenSize = 0;
+
+    /** Attention query heads. */
+    int numHeads = 0;
+
+    /** KV heads (< numHeads under grouped-query attention). */
+    int numKvHeads = 0;
+
+    /** Per-head dimension. */
+    int headDim = 0;
+
+    /** Bytes per weight/KV element (2 for FP16/BF16). */
+    int dtypeBytes = 2;
+
+    /** Image tokens prepended per request (multimodal; 0 for text). */
+    TokenCount imageTokens = 0;
+
+    /** KV-cache bytes consumed by one token slot (K and V). */
+    ByteCount kvBytesPerToken() const;
+
+    /** Total bytes of model weights. */
+    ByteCount weightBytes() const;
+
+    /** FLOPs to process one token through the full model (~2 * N). */
+    double flopsPerToken() const;
+
+    // --- Published model configurations -----------------------------
+
+    static ModelSpec llama2_7b();
+    static ModelSpec llama2_13b();
+    static ModelSpec llama2_70b();
+
+    /** Qwen-VL-Chat: 7B-class LLM + 256 image tokens per image. */
+    static ModelSpec qwenVlChat();
+
+    /** LLaVA-1.5-7B: Llama-2-7B base + 576 image tokens per image. */
+    static ModelSpec llava15_7b();
+
+    /** LLaVA-1.5-13B: Llama-2-13B base + 576 image tokens. */
+    static ModelSpec llava15_13b();
+};
+
+} // namespace model
+} // namespace lightllm
+
+#endif // LIGHTLLM_MODEL_MODEL_SPEC_HH

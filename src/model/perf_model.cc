@@ -1,0 +1,121 @@
+#include "model/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace model {
+
+PerfModel::PerfModel(ModelSpec model_spec, HardwareSpec hardware_spec,
+                     PerfModelParams params)
+    : model_(std::move(model_spec)),
+      hardware_(std::move(hardware_spec)),
+      params_(params)
+{
+    const double usable =
+        static_cast<double>(hardware_.totalMemBytes()) *
+        params_.usableMemFraction;
+    const double weights =
+        static_cast<double>(model_.weightBytes());
+    const double reserve =
+        weights * params_.activationReserveFraction;
+    const double kv_budget = usable - weights - reserve;
+    if (kv_budget <= 0) {
+        fatal("model ", model_.name, " does not fit on ",
+              hardware_.name, ": weights ", model_.weightBytes(),
+              " B vs usable ", usable, " B");
+    }
+    tokenCapacity_ = static_cast<TokenCount>(
+        kv_budget / static_cast<double>(model_.kvBytesPerToken()));
+    LIGHTLLM_ASSERT(tokenCapacity_ > 0, "zero token capacity");
+}
+
+double
+PerfModel::computeSeconds(TokenCount tokens) const
+{
+    const double flops =
+        model_.flopsPerToken() * static_cast<double>(tokens);
+    return flops /
+        (hardware_.effectiveFlops() * params_.prefillFlopEfficiency);
+}
+
+double
+PerfModel::memorySeconds(TokenCount kv_tokens) const
+{
+    const double bytes =
+        static_cast<double>(model_.weightBytes()) +
+        static_cast<double>(kv_tokens) *
+            static_cast<double>(model_.kvBytesPerToken());
+    return bytes /
+        (hardware_.effectiveBandwidth() * params_.bandwidthEfficiency);
+}
+
+Tick
+PerfModel::prefillLatency(TokenCount prompt_tokens) const
+{
+    LIGHTLLM_ASSERT(prompt_tokens >= 0, "negative prompt length");
+    // Compute-bound matmuls over the prompt, plus the quadratic
+    // attention term (usually small next to the matmuls), but never
+    // faster than a single streaming pass over the weights.
+    const double matmul = computeSeconds(prompt_tokens);
+    const double n = static_cast<double>(prompt_tokens);
+    const double attn_flops = 4.0 * n * n *
+        static_cast<double>(model_.numLayers) *
+        static_cast<double>(model_.numHeads * model_.headDim);
+    const double attn = attn_flops /
+        (hardware_.effectiveFlops() * params_.prefillFlopEfficiency);
+    const double weight_floor = memorySeconds(0);
+    const double seconds =
+        std::max(matmul + attn, weight_floor) +
+        params_.iterationOverheadSeconds;
+    return secondsToTicks(seconds * params_.timeFactor);
+}
+
+Tick
+PerfModel::decodeLatency(std::int64_t batch_size,
+                         TokenCount batch_kv_tokens) const
+{
+    LIGHTLLM_ASSERT(batch_size >= 0, "negative batch size");
+    LIGHTLLM_ASSERT(batch_kv_tokens >= 0, "negative KV footprint");
+    // Bandwidth-bound: stream weights + the batch's KV cache; the
+    // roofline keeps the compute term in case of very large batches.
+    const double mem = memorySeconds(batch_kv_tokens);
+    const double compute = computeSeconds(batch_size);
+    const double seconds =
+        std::max(mem, compute) + params_.iterationOverheadSeconds;
+    return secondsToTicks(seconds * params_.timeFactor);
+}
+
+Tick
+PerfModel::fusedStepLatency(std::int64_t batch_size,
+                            TokenCount batch_kv_tokens,
+                            TokenCount chunk_tokens) const
+{
+    // A fused step streams weights once; the prompt chunk adds its
+    // compute on top of the decode step's bandwidth cost.
+    const double mem = memorySeconds(batch_kv_tokens);
+    const double compute =
+        computeSeconds(batch_size + chunk_tokens);
+    const double seconds =
+        std::max(mem, compute) + params_.iterationOverheadSeconds;
+    return secondsToTicks(seconds * params_.timeFactor);
+}
+
+Tick
+PerfModel::swapLatency(TokenCount kv_tokens) const
+{
+    LIGHTLLM_ASSERT(kv_tokens >= 0, "negative swap size");
+    const double bytes = static_cast<double>(kv_tokens) *
+        static_cast<double>(model_.kvBytesPerToken());
+    // KV shards move over every device's host link in parallel.
+    const double bandwidth = hardware_.hostLinkBandwidth *
+        static_cast<double>(hardware_.numDevices);
+    const double seconds =
+        bytes / bandwidth + 0.0005;  // transfer + launch overhead
+    return secondsToTicks(seconds * params_.timeFactor);
+}
+
+} // namespace model
+} // namespace lightllm

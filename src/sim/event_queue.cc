@@ -1,0 +1,56 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace sim {
+
+void
+EventQueue::schedule(Tick when, EventHandler handler)
+{
+    LIGHTLLM_ASSERT(when >= 0, "cannot schedule at negative tick ", when);
+    heap_.push(Entry{when, nextSeq_++, std::move(handler)});
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    LIGHTLLM_ASSERT(!heap_.empty(), "nextTick on empty queue");
+    return heap_.top().when;
+}
+
+std::size_t
+EventQueue::runUntil(Tick now)
+{
+    std::size_t fired = 0;
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // Copy out before pop so the handler may schedule new events.
+        Entry entry = heap_.top();
+        heap_.pop();
+        entry.handler(entry.when);
+        ++fired;
+    }
+    return fired;
+}
+
+Tick
+EventQueue::runNext()
+{
+    LIGHTLLM_ASSERT(!heap_.empty(), "runNext on empty queue");
+    Entry entry = heap_.top();
+    heap_.pop();
+    entry.handler(entry.when);
+    return entry.when;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace sim
+} // namespace lightllm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Discrete-event queue driving the serving simulation.
+ *
+ * The serving engine advances its own clock while executing model
+ * iterations; the event queue carries everything that happens
+ * *around* the engine — client request arrivals, load-phase changes,
+ * instrumentation callbacks. Events at equal ticks fire in insertion
+ * order so simulations are fully deterministic.
+ */
+
+#ifndef LIGHTLLM_SIM_EVENT_QUEUE_HH
+#define LIGHTLLM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace sim {
+
+/** Callback invoked when an event fires; receives the fire tick. */
+using EventHandler = std::function<void(Tick)>;
+
+/** Min-heap of timestamped events with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Schedule a handler to fire at the given absolute tick. */
+    void schedule(Tick when, EventHandler handler);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; requires !empty(). */
+    Tick nextTick() const;
+
+    /**
+     * Pop and run every event scheduled at tick <= now.
+     *
+     * @param now Upper bound (inclusive) on event ticks to fire.
+     * @return Number of events fired.
+     */
+    std::size_t runUntil(Tick now);
+
+    /**
+     * Pop and run exactly the earliest event; requires !empty().
+     *
+     * @return The tick at which the event fired.
+     */
+    Tick runNext();
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventHandler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace sim
+} // namespace lightllm
+
+#endif // LIGHTLLM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Streaming mean/variance/extrema accumulator (Welford's algorithm).
+ */
+
+#ifndef LIGHTLLM_STATS_ONLINE_STATS_HH
+#define LIGHTLLM_STATS_ONLINE_STATS_HH
+
+#include <cstdint>
+
+namespace lightllm {
+namespace stats {
+
+/** Accumulates count, mean, variance, min, and max in O(1) space. */
+class OnlineStats
+{
+  public:
+    /** Record one sample. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    std::int64_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    void clear() { *this = OnlineStats(); }
+
+  private:
+    std::int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace stats
+} // namespace lightllm
+
+#endif // LIGHTLLM_STATS_ONLINE_STATS_HH

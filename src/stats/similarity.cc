@@ -1,0 +1,30 @@
+#include "stats/similarity.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace stats {
+
+double
+cosineSimilarity(std::span<const double> a, std::span<const double> b)
+{
+    LIGHTLLM_ASSERT(a.size() == b.size(),
+                    "cosine similarity size mismatch: ",
+                    a.size(), " vs ", b.size());
+    double dot = 0.0;
+    double norm_a = 0.0;
+    double norm_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        norm_a += a[i] * a[i];
+        norm_b += b[i] * b[i];
+    }
+    if (norm_a == 0.0 || norm_b == 0.0)
+        return 0.0;
+    return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+} // namespace stats
+} // namespace lightllm

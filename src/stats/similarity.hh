@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Vector similarity measures for distribution comparison.
+ *
+ * The paper's Figures 3/4 compare output-length distributions of
+ * trace windows via cosine similarity of their histogram vectors.
+ */
+
+#ifndef LIGHTLLM_STATS_SIMILARITY_HH
+#define LIGHTLLM_STATS_SIMILARITY_HH
+
+#include <span>
+
+namespace lightllm {
+namespace stats {
+
+/**
+ * Cosine similarity of two equally sized vectors.
+ * Returns 0 when either vector has zero norm.
+ */
+double cosineSimilarity(std::span<const double> a,
+                        std::span<const double> b);
+
+} // namespace stats
+} // namespace lightllm
+
+#endif // LIGHTLLM_STATS_SIMILARITY_HH

@@ -1,0 +1,148 @@
+#include "stats/window_analysis.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "stats/histogram.hh"
+#include "stats/similarity.hh"
+
+namespace lightllm {
+namespace stats {
+
+namespace {
+
+/** Histogram a half-open index range of the trace into probabilities. */
+std::vector<double>
+histogramRange(std::span<const std::int64_t> outputs,
+               std::size_t begin, std::size_t end,
+               const WindowBinning &binning)
+{
+    Histogram hist(binning.binWidth, binning.numBins);
+    for (std::size_t i = begin; i < end; ++i)
+        hist.add(outputs[i]);
+    return hist.normalized();
+}
+
+} // namespace
+
+double
+SimilarityMatrix::adjacentMean() const
+{
+    if (numWindows < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i + 1 < numWindows; ++i)
+        sum += at(i, i + 1);
+    return sum / static_cast<double>(numWindows - 1);
+}
+
+double
+SimilarityMatrix::globalMean() const
+{
+    if (numWindows < 2)
+        return 0.0;
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < numWindows; ++i) {
+        for (std::size_t j = i + 1; j < numWindows; ++j) {
+            sum += at(i, j);
+            ++pairs;
+        }
+    }
+    return sum / static_cast<double>(pairs);
+}
+
+SimilarityMatrix
+windowSimilarityMatrix(std::span<const std::int64_t> outputs,
+                       std::size_t window_size,
+                       const WindowBinning &binning)
+{
+    LIGHTLLM_ASSERT(window_size > 0, "window size must be positive");
+    const std::size_t num_windows = outputs.size() / window_size;
+
+    std::vector<std::vector<double>> hists;
+    hists.reserve(num_windows);
+    for (std::size_t w = 0; w < num_windows; ++w) {
+        hists.push_back(histogramRange(outputs, w * window_size,
+                                       (w + 1) * window_size, binning));
+    }
+
+    SimilarityMatrix matrix;
+    matrix.numWindows = num_windows;
+    matrix.values.assign(num_windows * num_windows, 0.0);
+    for (std::size_t i = 0; i < num_windows; ++i) {
+        matrix.values[i * num_windows + i] = 1.0;
+        for (std::size_t j = i + 1; j < num_windows; ++j) {
+            const double sim = cosineSimilarity(hists[i], hists[j]);
+            matrix.values[i * num_windows + j] = sim;
+            matrix.values[j * num_windows + i] = sim;
+        }
+    }
+    return matrix;
+}
+
+AdjacentWindowStats
+adjacentWindowSimilarity(std::span<const std::int64_t> outputs,
+                         std::size_t history_size,
+                         std::size_t running_size,
+                         const WindowBinning &binning)
+{
+    LIGHTLLM_ASSERT(history_size > 0 && running_size > 0,
+                    "window sizes must be positive");
+
+    // Anchor positions where a full history window precedes and a
+    // full running window follows.
+    std::vector<std::size_t> anchors;
+    for (std::size_t p = history_size;
+         p + running_size <= outputs.size(); p += running_size) {
+        anchors.push_back(p);
+    }
+
+    AdjacentWindowStats result;
+    if (anchors.empty())
+        return result;
+
+    std::vector<std::vector<double>> history_hists;
+    std::vector<std::vector<double>> running_hists;
+    history_hists.reserve(anchors.size());
+    running_hists.reserve(anchors.size());
+    for (std::size_t p : anchors) {
+        history_hists.push_back(
+            histogramRange(outputs, p - history_size, p, binning));
+        running_hists.push_back(
+            histogramRange(outputs, p, p + running_size, binning));
+    }
+
+    double diag_sum = 0.0;
+    double global_sum = 0.0;
+    std::size_t global_pairs = 0;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+        diag_sum += cosineSimilarity(history_hists[i],
+                                     running_hists[i]);
+        for (std::size_t j = 0; j < anchors.size(); ++j) {
+            if (i == j)
+                continue;
+            // Skip running windows that overlap this history window.
+            const std::size_t run_begin = anchors[j];
+            const std::size_t run_end = anchors[j] + running_size;
+            const std::size_t hist_begin = anchors[i] - history_size;
+            const std::size_t hist_end = anchors[i];
+            if (run_begin < hist_end && hist_begin < run_end)
+                continue;
+            global_sum += cosineSimilarity(history_hists[i],
+                                           running_hists[j]);
+            ++global_pairs;
+        }
+    }
+
+    result.numPairs = anchors.size();
+    result.diagonalMean =
+        diag_sum / static_cast<double>(anchors.size());
+    result.globalMean = global_pairs > 0
+        ? global_sum / static_cast<double>(global_pairs)
+        : result.diagonalMean;
+    return result;
+}
+
+} // namespace stats
+} // namespace lightllm

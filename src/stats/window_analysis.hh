@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Output-length distribution similarity across trace time windows.
+ *
+ * Implements the analysis behind the paper's Figures 3 and 4: a trace
+ * of request output lengths is partitioned into request-count windows,
+ * each window is reduced to a binned histogram, and windows are
+ * compared by cosine similarity. The paper's key observation — that
+ * adjacent windows are similar even when the global distribution
+ * drifts — is what justifies predicting output lengths from recent
+ * history (Eq. 1).
+ */
+
+#ifndef LIGHTLLM_STATS_WINDOW_ANALYSIS_HH
+#define LIGHTLLM_STATS_WINDOW_ANALYSIS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lightllm {
+namespace stats {
+
+/** Dense square matrix of window-pair cosine similarities. */
+struct SimilarityMatrix
+{
+    /** Number of windows (matrix is numWindows x numWindows). */
+    std::size_t numWindows = 0;
+
+    /** Row-major similarity values; diagonal entries are 1. */
+    std::vector<double> values;
+
+    double
+    at(std::size_t i, std::size_t j) const
+    {
+        return values[i * numWindows + j];
+    }
+
+    /** Mean over pairs exactly one window apart (|i - j| == 1). */
+    double adjacentMean() const;
+
+    /** Mean over all off-diagonal pairs (i != j). */
+    double globalMean() const;
+};
+
+/** Parameters controlling histogram binning of a window. */
+struct WindowBinning
+{
+    std::int64_t binWidth = 64;
+    std::size_t numBins = 256;
+};
+
+/**
+ * Partition `outputs` into consecutive non-overlapping windows of
+ * `window_size` requests (a trailing partial window is dropped) and
+ * compute the all-pairs cosine-similarity matrix of their
+ * histograms. This reproduces one panel of Figure 3.
+ */
+SimilarityMatrix
+windowSimilarityMatrix(std::span<const std::int64_t> outputs,
+                       std::size_t window_size,
+                       const WindowBinning &binning = {});
+
+/** Result of the historical-vs-running window comparison (Fig 4). */
+struct AdjacentWindowStats
+{
+    /** Mean similarity of each history window with the window of
+     *  requests immediately following it ("diagonal" in Fig 4). */
+    double diagonalMean = 0.0;
+
+    /** Mean similarity of each history window with running windows
+     *  elsewhere in the trace ("global" in Fig 4). */
+    double globalMean = 0.0;
+
+    /** Number of (history, running) diagonal pairs evaluated. */
+    std::size_t numPairs = 0;
+};
+
+/**
+ * For every anchor position p (multiples of `running_size`, starting
+ * at `history_size`), compare the distribution of the `history_size`
+ * requests before p against the `running_size` requests at and after
+ * p (diagonal), and against running windows at all other anchors
+ * (global). This mirrors Figure 4's sweep where the history window is
+ * the scheduler's record of finished requests and the running window
+ * is the batch being scheduled.
+ */
+AdjacentWindowStats
+adjacentWindowSimilarity(std::span<const std::int64_t> outputs,
+                         std::size_t history_size,
+                         std::size_t running_size,
+                         const WindowBinning &binning = {});
+
+} // namespace stats
+} // namespace lightllm
+
+#endif // LIGHTLLM_STATS_WINDOW_ANALYSIS_HH

@@ -1,0 +1,65 @@
+#include "workload/client_pool.hh"
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace lightllm {
+namespace workload {
+
+ClosedLoopClientPool::ClosedLoopClientPool(std::size_t num_clients,
+                                           const Dataset &dataset,
+                                           RequestSink &sink,
+                                           Tick think_time,
+                                           Tick ramp_interval)
+    : numClients_(num_clients), dataset_(dataset), sink_(sink),
+      thinkTime_(think_time), rampInterval_(ramp_interval)
+{
+    LIGHTLLM_ASSERT(num_clients > 0, "need at least one client");
+    LIGHTLLM_ASSERT(think_time >= 0, "negative think time");
+    LIGHTLLM_ASSERT(ramp_interval >= 0, "negative ramp interval");
+}
+
+void
+ClosedLoopClientPool::start(Tick now)
+{
+    const std::size_t initial =
+        std::min(numClients_, dataset_.requests.size());
+    for (std::size_t c = 0; c < initial; ++c) {
+        submitNext(now +
+                   static_cast<Tick>(c) * rampInterval_);
+    }
+}
+
+void
+ClosedLoopClientPool::onRequestFinished(RequestId, Tick finish_tick)
+{
+    // Closed loop: a completion frees exactly one client slot.
+    if (!exhausted())
+        submitNext(finish_tick + thinkTime_);
+}
+
+void
+ClosedLoopClientPool::submitNext(Tick when)
+{
+    LIGHTLLM_ASSERT(!exhausted(), "no dataset requests left");
+    sink_.submitAt(dataset_.requests[nextIndex_], when);
+    ++nextIndex_;
+}
+
+void
+submitPoissonArrivals(const Dataset &dataset, RequestSink &sink,
+                      double rate_per_second, std::uint64_t seed,
+                      Tick start)
+{
+    LIGHTLLM_ASSERT(rate_per_second > 0.0,
+                    "arrival rate must be positive");
+    Rng rng(seed);
+    double now_seconds = ticksToSeconds(start);
+    for (const auto &spec : dataset.requests) {
+        now_seconds += rng.exponential(rate_per_second);
+        sink.submitAt(spec, secondsToTicks(now_seconds));
+    }
+}
+
+} // namespace workload
+} // namespace lightllm

@@ -1,0 +1,171 @@
+#include "workload/datasets.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "workload/length_sampler.hh"
+
+namespace lightllm {
+namespace workload {
+
+double
+Dataset::meanInputLen() const
+{
+    if (requests.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &request : requests)
+        sum += static_cast<double>(request.inputLen);
+    return sum / static_cast<double>(requests.size());
+}
+
+double
+Dataset::meanOutputLen() const
+{
+    if (requests.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &request : requests)
+        sum += static_cast<double>(request.effectiveOutputLen());
+    return sum / static_cast<double>(requests.size());
+}
+
+TokenCount
+Dataset::totalOutputTokens() const
+{
+    TokenCount sum = 0;
+    for (const auto &request : requests)
+        sum += request.effectiveOutputLen();
+    return sum;
+}
+
+namespace {
+
+/** Draw n requests from input/output samplers. */
+Dataset
+sampleDataset(const std::string &name, std::size_t n,
+              const LengthSampler &input_sampler,
+              const LengthSampler &output_sampler,
+              TokenCount max_new_tokens, std::uint64_t seed)
+{
+    Dataset dataset;
+    dataset.name = name;
+    dataset.maxNewTokens = max_new_tokens;
+    dataset.requests.reserve(n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        RequestSpec spec;
+        spec.id = static_cast<RequestId>(i);
+        spec.inputLen = input_sampler.sample(rng);
+        spec.outputLen = output_sampler.sample(rng);
+        spec.maxNewTokens = max_new_tokens;
+        dataset.requests.push_back(spec);
+    }
+    return dataset;
+}
+
+} // namespace
+
+Dataset
+makeUniformDataset(const std::string &name, std::size_t n,
+                   TokenCount in_lo, TokenCount in_hi,
+                   TokenCount out_lo, TokenCount out_hi,
+                   TokenCount max_new_tokens, std::uint64_t seed)
+{
+    const UniformLengthSampler input(in_lo, in_hi);
+    const UniformLengthSampler output(out_lo, out_hi);
+    return sampleDataset(name, n, input, output, max_new_tokens,
+                         seed);
+}
+
+Dataset
+makeDistribution1(std::size_t n, std::uint64_t seed)
+{
+    return makeUniformDataset("Distribution-1", n, 32, 4096, 2048,
+                              4096, 4096, seed);
+}
+
+Dataset
+makeDistribution2(std::size_t n, std::uint64_t seed)
+{
+    return makeUniformDataset("Distribution-2", n, 3072, 5120, 3072,
+                              5120, 5120, seed);
+}
+
+Dataset
+makeDistribution3(std::size_t n, std::uint64_t seed)
+{
+    return makeUniformDataset("Distribution-3", n, 2048, 4096, 32,
+                              4096, 4096, seed);
+}
+
+Dataset
+makeShareGpt(std::size_t n, std::uint64_t seed)
+{
+    // Chat prompts: median ~250 input tokens, outputs median ~280
+    // with a wide spread, capped by max_new_tokens = 2048 (§5.4).
+    const LogNormalLengthSampler input(std::log(250.0), 1.0, 16,
+                                       4096);
+    const LogNormalLengthSampler output(std::log(280.0), 0.9, 8,
+                                        8192);
+    return sampleDataset("ShareGPT", n, input, output, 2048, seed);
+}
+
+Dataset
+makeShareGptO1(std::size_t n, std::uint64_t seed)
+{
+    // Chain-of-thought serving: the o1-preview responses are long
+    // and heavy-tailed. Parameters chosen so the sampled averages
+    // match the paper's caption (input ~381, output ~2160).
+    const LogNormalLengthSampler input(std::log(270.0), 0.85, 16,
+                                       4096);
+    const LogNormalLengthSampler output(std::log(1750.0), 0.62, 128,
+                                        8192);
+    return sampleDataset("ShareGPT-o1", n, input, output, 8192,
+                         seed);
+}
+
+Dataset
+makeTextVqaLike(std::size_t n, TokenCount image_tokens,
+                std::uint64_t seed)
+{
+    LIGHTLLM_ASSERT(image_tokens >= 0, "negative image tokens");
+    Dataset dataset;
+    dataset.name = "TextVQA-like";
+    dataset.maxNewTokens = 256;
+    dataset.requests.reserve(n);
+    Rng rng(seed);
+    const UniformLengthSampler question(16, 96);
+    const LogNormalLengthSampler answer(std::log(24.0), 0.8, 2, 256);
+    for (std::size_t i = 0; i < n; ++i) {
+        RequestSpec spec;
+        spec.id = static_cast<RequestId>(i);
+        spec.inputLen = image_tokens + question.sample(rng);
+        spec.outputLen = answer.sample(rng);
+        spec.maxNewTokens = dataset.maxNewTokens;
+        dataset.requests.push_back(spec);
+    }
+    return dataset;
+}
+
+Dataset
+concatDatasets(const std::string &name,
+               const std::vector<Dataset> &parts)
+{
+    Dataset dataset;
+    dataset.name = name;
+    RequestId next_id = 0;
+    for (const auto &part : parts) {
+        dataset.maxNewTokens =
+            std::max(dataset.maxNewTokens, part.maxNewTokens);
+        for (RequestSpec spec : part.requests) {
+            spec.id = next_id++;
+            dataset.requests.push_back(spec);
+        }
+    }
+    return dataset;
+}
+
+} // namespace workload
+} // namespace lightllm

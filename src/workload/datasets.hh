@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Builders for the request datasets used in the paper's evaluation.
+ *
+ * Distribution-1/2/3 follow §5.1 exactly (uniform input/output
+ * ranges). ShareGPT and ShareGPT-o1 are synthetic stand-ins for the
+ * paper's datasets: the real ones are derived from user logs and the
+ * OpenAI o1-preview API, which are not available offline, so we use
+ * log-normal fits matched to the summary statistics the paper
+ * reports (ShareGPT-o1: average input 381, average output 2160
+ * tokens — Figure 7's caption). TextVQA-like requests model the
+ * multimodal workload: a fixed image-token prefix plus a short
+ * question, with short answers.
+ */
+
+#ifndef LIGHTLLM_WORKLOAD_DATASETS_HH
+#define LIGHTLLM_WORKLOAD_DATASETS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "workload/request_spec.hh"
+
+namespace lightllm {
+namespace workload {
+
+/** A named list of requests plus the generation cap they share. */
+struct Dataset
+{
+    std::string name;
+    std::vector<RequestSpec> requests;
+    TokenCount maxNewTokens = 0;
+
+    /** Mean input length over all requests. */
+    double meanInputLen() const;
+
+    /** Mean effective output length over all requests. */
+    double meanOutputLen() const;
+
+    /** Sum of effective output tokens. */
+    TokenCount totalOutputTokens() const;
+};
+
+/** Uniform input/output dataset with explicit ranges. */
+Dataset makeUniformDataset(const std::string &name, std::size_t n,
+                           TokenCount in_lo, TokenCount in_hi,
+                           TokenCount out_lo, TokenCount out_hi,
+                           TokenCount max_new_tokens,
+                           std::uint64_t seed);
+
+/** Distribution-1 (decode-heavy): input 32-4k, output 2k-4k. */
+Dataset makeDistribution1(std::size_t n, std::uint64_t seed);
+
+/** Distribution-2 (balanced): input 3k-5k, output 3k-5k. */
+Dataset makeDistribution2(std::size_t n, std::uint64_t seed);
+
+/** Distribution-3 (prefill-heavy): input 2k-4k, output 32-4k. */
+Dataset makeDistribution3(std::size_t n, std::uint64_t seed);
+
+/**
+ * ShareGPT-like chat requests with max_new_tokens = 2048
+ * (the Fig 9 end-to-end setup).
+ */
+Dataset makeShareGpt(std::size_t n, std::uint64_t seed);
+
+/**
+ * ShareGPT-o1-like chain-of-thought requests: short prompts,
+ * heavy-tailed long outputs (avg input ~381, avg output ~2160).
+ */
+Dataset makeShareGptO1(std::size_t n, std::uint64_t seed);
+
+/**
+ * TextVQA-like multimodal requests: `image_tokens` vision prefix +
+ * short question prompt, short answers.
+ */
+Dataset makeTextVqaLike(std::size_t n, TokenCount image_tokens,
+                        std::uint64_t seed);
+
+/** Concatenate datasets back to back (Fig 8's varying load). */
+Dataset concatDatasets(const std::string &name,
+                       const std::vector<Dataset> &parts);
+
+} // namespace workload
+} // namespace lightllm
+
+#endif // LIGHTLLM_WORKLOAD_DATASETS_HH

@@ -1,0 +1,96 @@
+#include "workload/length_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace workload {
+
+ConstantLengthSampler::ConstantLengthSampler(TokenCount value)
+    : value_(value)
+{
+    LIGHTLLM_ASSERT(value >= 0, "negative constant length");
+}
+
+TokenCount
+ConstantLengthSampler::sample(Rng &) const
+{
+    return value_;
+}
+
+UniformLengthSampler::UniformLengthSampler(TokenCount lo, TokenCount hi)
+    : lo_(lo), hi_(hi)
+{
+    LIGHTLLM_ASSERT(0 <= lo && lo <= hi,
+                    "bad uniform range [", lo, ", ", hi, "]");
+}
+
+TokenCount
+UniformLengthSampler::sample(Rng &rng) const
+{
+    return rng.uniformInt(lo_, hi_);
+}
+
+LogNormalLengthSampler::LogNormalLengthSampler(double mu, double sigma,
+                                               TokenCount lo,
+                                               TokenCount hi)
+    : mu_(mu), sigma_(sigma), lo_(lo), hi_(hi)
+{
+    LIGHTLLM_ASSERT(0 <= lo && lo <= hi,
+                    "bad clamp range [", lo, ", ", hi, "]");
+    LIGHTLLM_ASSERT(sigma >= 0.0, "negative sigma");
+}
+
+TokenCount
+LogNormalLengthSampler::sample(Rng &rng) const
+{
+    const double value = rng.logNormal(mu_, sigma_);
+    const auto rounded =
+        static_cast<TokenCount>(std::llround(value));
+    return std::clamp(rounded, lo_, hi_);
+}
+
+MixtureLengthSampler::MixtureLengthSampler(
+    std::vector<Component> components)
+    : components_(std::move(components)), totalWeight_(0.0)
+{
+    LIGHTLLM_ASSERT(!components_.empty(), "empty mixture");
+    for (const auto &component : components_) {
+        LIGHTLLM_ASSERT(component.weight >= 0.0, "negative weight");
+        LIGHTLLM_ASSERT(component.sampler != nullptr, "null sampler");
+        totalWeight_ += component.weight;
+    }
+    LIGHTLLM_ASSERT(totalWeight_ > 0.0, "zero total mixture weight");
+}
+
+TokenCount
+MixtureLengthSampler::sample(Rng &rng) const
+{
+    double pick = rng.uniformDouble() * totalWeight_;
+    for (const auto &component : components_) {
+        pick -= component.weight;
+        if (pick <= 0.0)
+            return component.sampler->sample(rng);
+    }
+    return components_.back().sampler->sample(rng);
+}
+
+EmpiricalLengthSampler::EmpiricalLengthSampler(
+    std::vector<TokenCount> values)
+    : values_(std::move(values))
+{
+    LIGHTLLM_ASSERT(!values_.empty(), "empty empirical sample set");
+}
+
+TokenCount
+EmpiricalLengthSampler::sample(Rng &rng) const
+{
+    const auto index = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(values_.size()) - 1));
+    return values_[index];
+}
+
+} // namespace workload
+} // namespace lightllm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Token-length samplers used to synthesize workloads.
+ */
+
+#ifndef LIGHTLLM_WORKLOAD_LENGTH_SAMPLER_HH
+#define LIGHTLLM_WORKLOAD_LENGTH_SAMPLER_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace lightllm {
+namespace workload {
+
+/** Source of random token lengths. */
+class LengthSampler
+{
+  public:
+    virtual ~LengthSampler() = default;
+
+    /** Draw one length. */
+    virtual TokenCount sample(Rng &rng) const = 0;
+};
+
+/** Always returns the same length. */
+class ConstantLengthSampler : public LengthSampler
+{
+  public:
+    explicit ConstantLengthSampler(TokenCount value);
+    TokenCount sample(Rng &rng) const override;
+
+  private:
+    TokenCount value_;
+};
+
+/** Uniform integer lengths in [lo, hi]. */
+class UniformLengthSampler : public LengthSampler
+{
+  public:
+    UniformLengthSampler(TokenCount lo, TokenCount hi);
+    TokenCount sample(Rng &rng) const override;
+
+  private:
+    TokenCount lo_;
+    TokenCount hi_;
+};
+
+/** Log-normal lengths, clamped into [lo, hi]. */
+class LogNormalLengthSampler : public LengthSampler
+{
+  public:
+    /**
+     * @param mu Mean of the underlying normal (log of the median).
+     * @param sigma Std dev of the underlying normal.
+     * @param lo,hi Clamp bounds.
+     */
+    LogNormalLengthSampler(double mu, double sigma,
+                           TokenCount lo, TokenCount hi);
+
+    TokenCount sample(Rng &rng) const override;
+
+  private:
+    double mu_;
+    double sigma_;
+    TokenCount lo_;
+    TokenCount hi_;
+};
+
+/** Weighted mixture of component samplers. */
+class MixtureLengthSampler : public LengthSampler
+{
+  public:
+    struct Component
+    {
+        double weight;
+        std::shared_ptr<const LengthSampler> sampler;
+    };
+
+    explicit MixtureLengthSampler(std::vector<Component> components);
+
+    TokenCount sample(Rng &rng) const override;
+
+  private:
+    std::vector<Component> components_;
+    double totalWeight_;
+};
+
+/** Resamples uniformly from a recorded set of lengths. */
+class EmpiricalLengthSampler : public LengthSampler
+{
+  public:
+    explicit EmpiricalLengthSampler(std::vector<TokenCount> values);
+
+    TokenCount sample(Rng &rng) const override;
+
+  private:
+    std::vector<TokenCount> values_;
+};
+
+} // namespace workload
+} // namespace lightllm
+
+#endif // LIGHTLLM_WORKLOAD_LENGTH_SAMPLER_HH

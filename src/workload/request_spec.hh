@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Immutable description of a single serving request.
+ */
+
+#ifndef LIGHTLLM_WORKLOAD_REQUEST_SPEC_HH
+#define LIGHTLLM_WORKLOAD_REQUEST_SPEC_HH
+
+#include "base/types.hh"
+
+namespace lightllm {
+namespace workload {
+
+/**
+ * One request as produced by a workload generator.
+ *
+ * `outputLen` is the ground-truth number of tokens the model will
+ * generate before emitting EOS — the serving system does not know it
+ * (only the oracle scheduler may read it); generation also stops at
+ * `maxNewTokens`.
+ */
+struct RequestSpec
+{
+    RequestId id = kInvalidRequestId;
+
+    /** Prompt length in tokens (image tokens included if any). */
+    TokenCount inputLen = 0;
+
+    /** Ground-truth output length (EOS position). */
+    TokenCount outputLen = 0;
+
+    /** User-configured generation cap (max_new_tokens). */
+    TokenCount maxNewTokens = 0;
+
+    /** Number of output tokens generation will actually produce. */
+    TokenCount
+    effectiveOutputLen() const
+    {
+        return outputLen < maxNewTokens ? outputLen : maxNewTokens;
+    }
+};
+
+} // namespace workload
+} // namespace lightllm
+
+#endif // LIGHTLLM_WORKLOAD_REQUEST_SPEC_HH

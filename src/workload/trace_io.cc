@@ -1,0 +1,104 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/str_util.hh"
+
+namespace lightllm {
+namespace workload {
+
+void
+writeTraceCsv(std::ostream &os, const Trace &trace)
+{
+    os << "task_type,input_len,output_len\n";
+    for (const auto &record : trace.records) {
+        os << record.taskType << ',' << record.inputLen << ','
+           << record.outputLen << '\n';
+    }
+}
+
+void
+writeTraceCsvFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open trace file for writing: ", path);
+    writeTraceCsv(file, trace);
+    if (!file)
+        fatal("error while writing trace file: ", path);
+}
+
+Trace
+readTraceCsv(std::istream &is, const std::string &name)
+{
+    Trace trace;
+    trace.name = name;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(is, line)) {
+        ++line_number;
+        const std::string_view trimmed = trimString(line);
+        if (trimmed.empty())
+            continue;
+        if (line_number == 1 &&
+            trimmed.find("task_type") != std::string_view::npos) {
+            continue;  // header
+        }
+        const auto fields = splitString(trimmed, ',');
+        if (fields.size() != 3) {
+            fatal("trace ", name, " line ", line_number,
+                  ": expected 3 fields, got ", fields.size());
+        }
+        TraceRecord record;
+        try {
+            record.taskType = std::stoi(fields[0]);
+            record.inputLen = std::stoll(fields[1]);
+            record.outputLen = std::stoll(fields[2]);
+        } catch (const std::exception &) {
+            fatal("trace ", name, " line ", line_number,
+                  ": non-integer field");
+        }
+        if (record.inputLen < 0 || record.outputLen < 0) {
+            fatal("trace ", name, " line ", line_number,
+                  ": negative length");
+        }
+        trace.records.push_back(record);
+    }
+    return trace;
+}
+
+Trace
+readTraceCsvFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot open trace file: ", path);
+    return readTraceCsv(file, path);
+}
+
+Dataset
+traceToDataset(const Trace &trace, TokenCount max_new_tokens)
+{
+    LIGHTLLM_ASSERT(max_new_tokens > 0,
+                    "max_new_tokens must be positive");
+    Dataset dataset;
+    dataset.name = trace.name;
+    dataset.maxNewTokens = max_new_tokens;
+    dataset.requests.reserve(trace.records.size());
+    RequestId next_id = 0;
+    for (const auto &record : trace.records) {
+        RequestSpec spec;
+        spec.id = next_id++;
+        spec.inputLen = record.inputLen;
+        spec.outputLen = record.outputLen;
+        spec.maxNewTokens = max_new_tokens;
+        dataset.requests.push_back(spec);
+    }
+    return dataset;
+}
+
+} // namespace workload
+} // namespace lightllm

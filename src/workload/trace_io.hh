@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CSV persistence for traces and datasets.
+ *
+ * Lets users replay their own production traces through the
+ * simulator (the paper's workflow with BurstGPT/Mooncake logs) and
+ * lets the benchmark harnesses dump the exact workloads they used.
+ *
+ * Format: a header line `task_type,input_len,output_len` followed by
+ * one integer triple per request.
+ */
+
+#ifndef LIGHTLLM_WORKLOAD_TRACE_IO_HH
+#define LIGHTLLM_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/datasets.hh"
+#include "workload/trace_gen.hh"
+
+namespace lightllm {
+namespace workload {
+
+/** Write a trace as CSV. */
+void writeTraceCsv(std::ostream &os, const Trace &trace);
+
+/** Write a trace to a file; fatal() on I/O failure. */
+void writeTraceCsvFile(const std::string &path, const Trace &trace);
+
+/** Parse a CSV trace; fatal() on malformed content. */
+Trace readTraceCsv(std::istream &is, const std::string &name);
+
+/** Read a CSV trace from a file; fatal() on I/O failure. */
+Trace readTraceCsvFile(const std::string &path);
+
+/**
+ * Convert a trace into a runnable dataset: each record becomes a
+ * request with the given generation cap.
+ */
+Dataset traceToDataset(const Trace &trace,
+                       TokenCount max_new_tokens);
+
+} // namespace workload
+} // namespace lightllm
+
+#endif // LIGHTLLM_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the paged KV block manager and the contiguous baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "memory/contiguous_allocator.hh"
+#include "memory/kv_block_manager.hh"
+
+namespace lightllm {
+namespace memory {
+namespace {
+
+TEST(KvBlockManagerTest, CapacityRoundsDownToBlocks)
+{
+    KvBlockManager kv(1000, 16);
+    EXPECT_EQ(kv.capacityTokens(), 992);  // 62 blocks
+    EXPECT_EQ(kv.freeBlocks(), 62);
+}
+
+TEST(KvBlockManagerTest, AllocateTracksTokensAndBlocks)
+{
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 100));
+    EXPECT_EQ(kv.usedTokens(), 100);
+    EXPECT_EQ(kv.requestTokens(1), 100);
+    EXPECT_EQ(kv.blockTable(1).size(), 7u);  // ceil(100/16)
+    EXPECT_EQ(kv.freeBlocks(), 64 - 7);
+}
+
+TEST(KvBlockManagerTest, DuplicateAllocateFails)
+{
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 10));
+    EXPECT_FALSE(kv.allocate(1, 10));
+    EXPECT_EQ(kv.usedTokens(), 10);
+}
+
+TEST(KvBlockManagerTest, AllocateFailureChangesNothing)
+{
+    KvBlockManager kv(64, 16);  // 4 blocks
+    ASSERT_TRUE(kv.allocate(1, 33));  // 3 blocks
+    EXPECT_FALSE(kv.allocate(2, 32));  // needs 2, only 1 free
+    EXPECT_EQ(kv.usedTokens(), 33);
+    EXPECT_EQ(kv.numRequests(), 1u);
+    EXPECT_TRUE(kv.allocate(3, 16));  // exactly the last block
+}
+
+TEST(KvBlockManagerTest, ExtendUsesLastBlockSlackFirst)
+{
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 10));  // 1 block, 6 slack
+    ASSERT_TRUE(kv.extend(1, 6));
+    EXPECT_EQ(kv.blockTable(1).size(), 1u);
+    ASSERT_TRUE(kv.extend(1, 1));  // now needs a second block
+    EXPECT_EQ(kv.blockTable(1).size(), 2u);
+    EXPECT_EQ(kv.requestTokens(1), 17);
+}
+
+TEST(KvBlockManagerTest, ExtendFailureIsAtomic)
+{
+    KvBlockManager kv(32, 16);  // 2 blocks
+    ASSERT_TRUE(kv.allocate(1, 16));
+    ASSERT_TRUE(kv.allocate(2, 16));
+    EXPECT_FALSE(kv.extend(1, 1));
+    EXPECT_EQ(kv.requestTokens(1), 16);
+    EXPECT_EQ(kv.freeBlocks(), 0);
+}
+
+TEST(KvBlockManagerTest, ReleaseReturnsBlocks)
+{
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 100));
+    ASSERT_TRUE(kv.allocate(2, 200));
+    kv.release(1);
+    EXPECT_EQ(kv.usedTokens(), 200);
+    EXPECT_EQ(kv.requestTokens(1), 0);
+    EXPECT_EQ(kv.numRequests(), 1u);
+    EXPECT_EQ(kv.freeBlocks(), 64 - 13);
+}
+
+TEST(KvBlockManagerTest, ReleaseUnknownIsNoop)
+{
+    KvBlockManager kv(1024, 16);
+    kv.release(42);
+    EXPECT_EQ(kv.usedTokens(), 0);
+}
+
+TEST(KvBlockManagerTest, BlocksAreNeverSharedBetweenRequests)
+{
+    KvBlockManager kv(4096, 16);
+    Rng rng(5);
+    std::vector<RequestId> live;
+    for (RequestId id = 0; id < 40; ++id) {
+        if (kv.allocate(id, rng.uniformInt(1, 120)))
+            live.push_back(id);
+    }
+    std::unordered_map<BlockId, RequestId> owner;
+    for (RequestId id : live) {
+        for (BlockId block : kv.blockTable(id)) {
+            const auto [it, inserted] = owner.emplace(block, id);
+            EXPECT_TRUE(inserted)
+                << "block " << block << " owned by both " << it->second
+                << " and " << id;
+        }
+    }
+}
+
+TEST(KvBlockManagerTest, CanExtendBatchAccountsSlack)
+{
+    KvBlockManager kv(48, 16);  // 3 blocks
+    ASSERT_TRUE(kv.allocate(1, 16));  // full block, no slack
+    ASSERT_TRUE(kv.allocate(2, 15));  // 1 token slack
+    ASSERT_TRUE(kv.allocate(3, 10));  // 6 tokens slack
+    // Requests 2 and 3 can grow within slack; request 1 needs a new
+    // block but none are free.
+    EXPECT_FALSE(kv.canExtendBatchByOne({1, 2, 3}));
+    EXPECT_TRUE(kv.canExtendBatchByOne({2, 3}));
+}
+
+TEST(KvBlockManagerTest, CanAllocateMatchesAllocate)
+{
+    KvBlockManager kv(64, 16);
+    ASSERT_TRUE(kv.allocate(1, 40));  // 3 blocks
+    EXPECT_TRUE(kv.canAllocate(16));
+    EXPECT_FALSE(kv.canAllocate(17));
+}
+
+TEST(KvBlockManagerTest, UtilizationIsTokenLevel)
+{
+    KvBlockManager kv(100, 10);
+    ASSERT_TRUE(kv.allocate(1, 25));
+    EXPECT_DOUBLE_EQ(kv.utilization(), 0.25);
+}
+
+TEST(KvBlockManagerDeathTest, ExtendUnknownRequestPanics)
+{
+    KvBlockManager kv(64, 16);
+    EXPECT_DEATH(kv.extend(9, 1), "unknown request");
+}
+
+/**
+ * Property: a random allocate/extend/release workload conserves
+ * blocks exactly — used + free always equals total, and releasing
+ * everything restores the initial state.
+ */
+class KvBlockManagerProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(KvBlockManagerProperty, RandomWorkloadConservesBlocks)
+{
+    KvBlockManager kv(8192, 16);
+    const std::int64_t total_blocks = kv.freeBlocks();
+    Rng rng(GetParam());
+    std::vector<RequestId> live;
+    RequestId next_id = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+        const double action = rng.uniformDouble();
+        if (action < 0.4) {
+            const RequestId id = next_id++;
+            if (kv.allocate(id, rng.uniformInt(1, 300)))
+                live.push_back(id);
+        } else if (action < 0.8 && !live.empty()) {
+            const auto index = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(
+                                   live.size()) - 1));
+            kv.extend(live[index], rng.uniformInt(1, 50));
+        } else if (!live.empty()) {
+            const auto index = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(
+                                   live.size()) - 1));
+            kv.release(live[index]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+        }
+
+        // Block conservation.
+        std::int64_t owned = 0;
+        TokenCount tokens = 0;
+        for (RequestId id : live) {
+            owned += static_cast<std::int64_t>(
+                kv.blockTable(id).size());
+            tokens += kv.requestTokens(id);
+        }
+        ASSERT_EQ(owned + kv.freeBlocks(), total_blocks);
+        ASSERT_EQ(tokens, kv.usedTokens());
+        ASSERT_LE(kv.usedTokens(),
+                  owned * kv.blockSize());
+    }
+
+    for (RequestId id : live)
+        kv.release(id);
+    EXPECT_EQ(kv.usedTokens(), 0);
+    EXPECT_EQ(kv.freeBlocks(), total_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvBlockManagerProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(ContiguousAllocatorTest, FirstFitPicksLowestOffset)
+{
+    ContiguousAllocator arena(100);
+    ASSERT_TRUE(arena.allocate(1, 30));
+    ASSERT_TRUE(arena.allocate(2, 30));
+    arena.release(1);
+    // A 20-token request fits in the freed [0, 30) hole.
+    ASSERT_TRUE(arena.allocate(3, 20));
+    EXPECT_EQ(arena.usedTokens(), 50);
+    EXPECT_EQ(arena.numFreeSegments(), 2u);
+}
+
+TEST(ContiguousAllocatorTest, FragmentationBlocksLargeAllocation)
+{
+    ContiguousAllocator arena(100);
+    ASSERT_TRUE(arena.allocate(1, 40));
+    ASSERT_TRUE(arena.allocate(2, 20));
+    ASSERT_TRUE(arena.allocate(3, 40));
+    arena.release(1);
+    arena.release(3);
+    // 80 tokens are free but the largest hole is only 40: the
+    // fragmentation failure pre-paging allocators hit.
+    EXPECT_EQ(arena.freeTokens(), 80);
+    EXPECT_EQ(arena.largestFreeSegment(), 40);
+    EXPECT_FALSE(arena.allocate(4, 60));
+    EXPECT_NEAR(arena.fragmentation(), 0.5, 1e-12);
+}
+
+TEST(ContiguousAllocatorTest, ReleaseCoalescesNeighbours)
+{
+    ContiguousAllocator arena(100);
+    ASSERT_TRUE(arena.allocate(1, 30));
+    ASSERT_TRUE(arena.allocate(2, 30));
+    ASSERT_TRUE(arena.allocate(3, 40));
+    arena.release(1);
+    arena.release(3);
+    EXPECT_EQ(arena.numFreeSegments(), 2u);
+    arena.release(2);  // merges with both neighbours
+    EXPECT_EQ(arena.numFreeSegments(), 1u);
+    EXPECT_EQ(arena.largestFreeSegment(), 100);
+    EXPECT_DOUBLE_EQ(arena.fragmentation(), 0.0);
+}
+
+TEST(ContiguousAllocatorTest, DuplicateIdRejected)
+{
+    ContiguousAllocator arena(100);
+    ASSERT_TRUE(arena.allocate(1, 10));
+    EXPECT_FALSE(arena.allocate(1, 10));
+}
+
+TEST(ContiguousAllocatorTest, FullArenaHasZeroFragmentation)
+{
+    ContiguousAllocator arena(100);
+    ASSERT_TRUE(arena.allocate(1, 100));
+    EXPECT_DOUBLE_EQ(arena.fragmentation(), 0.0);
+    EXPECT_EQ(arena.largestFreeSegment(), 0);
+}
+
+/** Property: paged allocation succeeds where contiguous fragments. */
+TEST(AllocatorComparisonTest, PagingDefeatsFragmentation)
+{
+    // Interleave allocations and free the even ones, then ask for
+    // one large request. The paged manager serves it from the
+    // scattered free blocks; the contiguous arena cannot.
+    ContiguousAllocator arena(1600);
+    KvBlockManager kv(1600, 16);
+    for (RequestId id = 0; id < 10; ++id) {
+        ASSERT_TRUE(arena.allocate(id, 160));
+        ASSERT_TRUE(kv.allocate(id, 160));
+    }
+    for (RequestId id = 0; id < 10; id += 2) {
+        arena.release(id);
+        kv.release(id);
+    }
+    EXPECT_EQ(arena.freeTokens(), 800);
+    EXPECT_FALSE(arena.allocate(100, 600));
+    EXPECT_TRUE(kv.allocate(100, 600));
+}
+
+} // namespace
+} // namespace memory
+} // namespace lightllm

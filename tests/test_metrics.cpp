@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for SLA metrics, the streaming collector, and report
+ * derivations, against hand-computed values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hh"
+#include "metrics/report.hh"
+#include "metrics/sla.hh"
+
+namespace lightllm {
+namespace metrics {
+namespace {
+
+RequestRecord
+record(Tick arrival, Tick first, Tick finish, Tick max_gap,
+       TokenCount tokens)
+{
+    RequestRecord r;
+    r.id = 1;
+    r.arrival = arrival;
+    r.firstToken = first;
+    r.finish = finish;
+    r.maxGap = max_gap;
+    r.outputTokens = tokens;
+    return r;
+}
+
+TEST(RequestRecordTest, TtftIsFirstTokenMinusArrival)
+{
+    const auto r = record(secondsToTicks(2.0), secondsToTicks(5.0),
+                          secondsToTicks(9.0), 100, 10);
+    EXPECT_EQ(r.ttft(), secondsToTicks(3.0));
+}
+
+TEST(RequestRecordTest, AvgTpotDividesByGapCount)
+{
+    // 9 gaps over 4.5 seconds -> 0.5 s per output token.
+    const auto r = record(0, secondsToTicks(1.0),
+                          secondsToTicks(5.5), 0, 10);
+    EXPECT_DOUBLE_EQ(r.avgTpotSeconds(), 0.5);
+}
+
+TEST(RequestRecordTest, SingleTokenHasZeroTpot)
+{
+    const auto r = record(0, secondsToTicks(1.0),
+                          secondsToTicks(1.0), 0, 1);
+    EXPECT_DOUBLE_EQ(r.avgTpotSeconds(), 0.0);
+}
+
+TEST(SlaSpecTest, CompliantRequiresBothLimits)
+{
+    const SlaSpec sla = SlaSpec::small7b13b();
+    // TTFT 9.9s, MTPOT 1.4s: compliant.
+    EXPECT_TRUE(sla.compliant(record(0, secondsToTicks(9.9),
+                                     secondsToTicks(20.0),
+                                     secondsToTicks(1.4), 10)));
+    // TTFT violated.
+    EXPECT_FALSE(sla.compliant(record(0, secondsToTicks(10.1),
+                                      secondsToTicks(20.0),
+                                      secondsToTicks(0.5), 10)));
+    // MTPOT violated.
+    EXPECT_FALSE(sla.compliant(record(0, secondsToTicks(1.0),
+                                      secondsToTicks(20.0),
+                                      secondsToTicks(1.6), 10)));
+}
+
+TEST(SlaSpecTest, PresetsMatchThePaper)
+{
+    EXPECT_EQ(SlaSpec::small7b13b().ttftLimit, secondsToTicks(10.0));
+    EXPECT_EQ(SlaSpec::small7b13b().mtpotLimit, secondsToTicks(1.5));
+    EXPECT_EQ(SlaSpec::large70b().ttftLimit, secondsToTicks(15.0));
+    EXPECT_EQ(SlaSpec::large70b().mtpotLimit, secondsToTicks(5.0));
+}
+
+TEST(CollectorTest, DurationWeightedMemoryAverages)
+{
+    MetricsCollector collector(1000);
+    // Step 1: 500/1000 used for 30 ticks; step 2: 900/1000 for 10.
+    collector.onDecodeStep(4, 500, 600, 30, 30);
+    collector.onDecodeStep(4, 900, 950, 40, 10);
+    const auto report = collector.finish("test", 40);
+    EXPECT_NEAR(report.avgConsumedMemory,
+                (0.5 * 30 + 0.9 * 10) / 40.0, 1e-12);
+    EXPECT_NEAR(report.avgFutureRequired,
+                (0.6 * 30 + 0.95 * 10) / 40.0, 1e-12);
+    EXPECT_EQ(report.decodeSteps, 2);
+    EXPECT_DOUBLE_EQ(report.avgBatchSize, 4.0);
+}
+
+TEST(CollectorTest, EvictionCountsSplitFirstFromRepeat)
+{
+    MetricsCollector collector(1000);
+    collector.onEviction(true);
+    collector.onEviction(false);
+    collector.onEviction(true);
+    const auto report = collector.finish("test", 10);
+    EXPECT_EQ(report.evictionEvents, 3);
+    EXPECT_EQ(report.requestsEvicted, 2u);
+}
+
+TEST(CollectorTest, TimeseriesRespectsInterval)
+{
+    MetricsCollector collector(1000, 2);
+    for (int step = 1; step <= 7; ++step)
+        collector.onDecodeStep(1, 100, 100, step, 1);
+    const auto report = collector.finish("test", 7);
+    EXPECT_EQ(report.timeseries.size(), 3u);  // steps 2, 4, 6
+    EXPECT_EQ(report.timeseries[0].tick, 2);
+}
+
+TEST(CollectorTest, ResetMeasurementDiscardsHistory)
+{
+    MetricsCollector collector(1000);
+    collector.onDecodeStep(2, 500, 500, 10, 10);
+    collector.onRequestFinished(record(0, 1, 2, 1, 100));
+    collector.onEviction(true);
+    collector.resetMeasurement(50);
+    collector.onDecodeStep(8, 800, 800, 60, 10);
+    collector.onRequestFinished(record(50, 60, 70, 1, 40));
+    const auto report = collector.finish("test", 150);
+    EXPECT_EQ(report.numFinished, 1u);
+    EXPECT_EQ(report.totalOutputTokens, 40);
+    EXPECT_EQ(report.evictionEvents, 0);
+    EXPECT_DOUBLE_EQ(report.avgBatchSize, 8.0);
+    // Makespan excludes the warmup portion.
+    EXPECT_EQ(report.makespan, 100);
+}
+
+RunReport
+twoRequestReport()
+{
+    RunReport report;
+    report.makespan = secondsToTicks(10.0);
+    // Compliant: 300 tokens. Non-compliant (TTFT 12s): 700 tokens.
+    report.requests.push_back(record(0, secondsToTicks(1.0),
+                                     secondsToTicks(8.0),
+                                     secondsToTicks(0.1), 300));
+    report.requests.push_back(record(0, secondsToTicks(12.0),
+                                     secondsToTicks(19.0),
+                                     secondsToTicks(0.1), 700));
+    report.totalOutputTokens = 1000;
+    report.numFinished = 2;
+    return report;
+}
+
+TEST(RunReportTest, ThroughputCountsEverything)
+{
+    const auto report = twoRequestReport();
+    EXPECT_DOUBLE_EQ(report.throughputTokensPerSec(), 100.0);
+}
+
+TEST(RunReportTest, GoodputCountsCompliantOnly)
+{
+    const auto report = twoRequestReport();
+    const auto sla = SlaSpec::small7b13b();
+    EXPECT_DOUBLE_EQ(report.goodputTokensPerSec(sla), 30.0);
+    EXPECT_DOUBLE_EQ(report.slaCompliantFraction(sla), 0.5);
+}
+
+TEST(RunReportTest, EvictedRatioCanExceedOne)
+{
+    RunReport report;
+    report.numFinished = 10;
+    report.evictionEvents = 15;
+    EXPECT_DOUBLE_EQ(report.evictedReqRatio(), 1.5);
+}
+
+TEST(RunReportTest, EmptyReportIsAllZero)
+{
+    const RunReport report;
+    const auto sla = SlaSpec::small7b13b();
+    EXPECT_DOUBLE_EQ(report.throughputTokensPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(report.goodputTokensPerSec(sla), 0.0);
+    EXPECT_DOUBLE_EQ(report.slaCompliantFraction(sla), 0.0);
+    EXPECT_DOUBLE_EQ(report.evictedReqRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(report.p99TtftSeconds(), 0.0);
+}
+
+TEST(RunReportTest, P99UsesNearestRank)
+{
+    RunReport report;
+    report.makespan = 1;
+    for (int i = 1; i <= 100; ++i) {
+        report.requests.push_back(
+            record(0, secondsToTicks(static_cast<double>(i)),
+                   secondsToTicks(200.0), secondsToTicks(0.1), 1));
+    }
+    EXPECT_DOUBLE_EQ(report.p99TtftSeconds(), 99.0);
+}
+
+TEST(RunReportTest, SummaryMentionsKeyNumbers)
+{
+    auto report = twoRequestReport();
+    report.schedulerName = "TestSched";
+    const auto text = report.summary(SlaSpec::small7b13b());
+    EXPECT_NE(text.find("TestSched"), std::string::npos);
+    EXPECT_NE(text.find("goodput"), std::string::npos);
+    EXPECT_NE(text.find("30.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace metrics
+} // namespace lightllm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace lightllm {
+namespace sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&](Tick) { order.push_back(3); });
+    queue.schedule(10, [&](Tick) { order.push_back(1); });
+    queue.schedule(20, [&](Tick) { order.push_back(2); });
+    queue.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTicksFireInInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        queue.schedule(5, [&order, i](Tick) { order.push_back(i); });
+    queue.runUntil(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, RunUntilIsInclusive)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, [&](Tick) { ++fired; });
+    queue.schedule(11, [&](Tick) { ++fired; });
+    EXPECT_EQ(queue.runUntil(10), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.nextTick(), 11);
+}
+
+TEST(EventQueueTest, HandlerReceivesScheduledTick)
+{
+    EventQueue queue;
+    Tick seen = -1;
+    queue.schedule(42, [&](Tick when) { seen = when; });
+    queue.runUntil(100);
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, HandlerMaySchedule)
+{
+    EventQueue queue;
+    std::vector<Tick> fired;
+    queue.schedule(1, [&](Tick when) {
+        fired.push_back(when);
+        queue.schedule(2, [&](Tick w2) { fired.push_back(w2); });
+    });
+    queue.runUntil(5);
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 2}));
+}
+
+TEST(EventQueueTest, ChainedSchedulingPastHorizonStaysPending)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&](Tick) {
+        ++fired;
+        queue.schedule(50, [&](Tick) { ++fired; });
+    });
+    queue.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.size(), 1u);
+    EXPECT_EQ(queue.nextTick(), 50);
+}
+
+TEST(EventQueueTest, RunNextPopsExactlyOne)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(3, [&](Tick) { ++fired; });
+    queue.schedule(3, [&](Tick) { ++fired; });
+    EXPECT_EQ(queue.runNext(), 3);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, ClearDropsEverything)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&](Tick) { ++fired; });
+    queue.schedule(2, [&](Tick) { ++fired; });
+    queue.clear();
+    EXPECT_TRUE(queue.empty());
+    queue.runUntil(100);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueDeathTest, NegativeTickPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.schedule(-1, [](Tick) {}), "negative tick");
+}
+
+TEST(EventQueueDeathTest, NextTickOnEmptyPanics)
+{
+    EventQueue queue;
+    EXPECT_DEATH(queue.nextTick(), "empty");
+}
+
+} // namespace
+} // namespace sim
+} // namespace lightllm

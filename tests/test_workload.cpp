@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for workload synthesis: samplers, datasets, traces, clients.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "base/rng.hh"
+#include "stats/window_analysis.hh"
+#include "workload/client_pool.hh"
+#include "workload/datasets.hh"
+#include "workload/length_sampler.hh"
+#include "workload/trace_gen.hh"
+#include "workload/trace_io.hh"
+
+namespace lightllm {
+namespace workload {
+namespace {
+
+TEST(LengthSamplerTest, ConstantAlwaysSame)
+{
+    Rng rng(1);
+    const ConstantLengthSampler sampler(42);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sampler.sample(rng), 42);
+}
+
+TEST(LengthSamplerTest, UniformStaysInRange)
+{
+    Rng rng(2);
+    const UniformLengthSampler sampler(100, 200);
+    for (int i = 0; i < 5000; ++i) {
+        const auto value = sampler.sample(rng);
+        EXPECT_GE(value, 100);
+        EXPECT_LE(value, 200);
+    }
+}
+
+TEST(LengthSamplerTest, LogNormalClampedToBounds)
+{
+    Rng rng(3);
+    const LogNormalLengthSampler sampler(std::log(100.0), 2.0, 50,
+                                         400);
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto value = sampler.sample(rng);
+        EXPECT_GE(value, 50);
+        EXPECT_LE(value, 400);
+        hit_lo |= value == 50;
+        hit_hi |= value == 400;
+    }
+    // With sigma 2.0 both clamp bounds must be exercised.
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(LengthSamplerTest, MixtureRespectsWeights)
+{
+    Rng rng(4);
+    MixtureLengthSampler sampler({
+        {0.9, std::make_shared<ConstantLengthSampler>(1)},
+        {0.1, std::make_shared<ConstantLengthSampler>(1000)},
+    });
+    int big = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (sampler.sample(rng) == 1000)
+            ++big;
+    }
+    EXPECT_NEAR(static_cast<double>(big) / n, 0.1, 0.01);
+}
+
+TEST(LengthSamplerTest, EmpiricalOnlyEmitsRecordedValues)
+{
+    Rng rng(5);
+    const EmpiricalLengthSampler sampler({7, 11, 13});
+    for (int i = 0; i < 100; ++i) {
+        const auto value = sampler.sample(rng);
+        EXPECT_TRUE(value == 7 || value == 11 || value == 13);
+    }
+}
+
+TEST(DatasetTest, Distribution1MatchesPaperRanges)
+{
+    const auto dataset = makeDistribution1(2000, 1);
+    EXPECT_EQ(dataset.requests.size(), 2000u);
+    EXPECT_EQ(dataset.maxNewTokens, 4096);
+    for (const auto &request : dataset.requests) {
+        EXPECT_GE(request.inputLen, 32);
+        EXPECT_LE(request.inputLen, 4096);
+        EXPECT_GE(request.outputLen, 2048);
+        EXPECT_LE(request.outputLen, 4096);
+    }
+    // Decode-heavy: mean output exceeds mean input.
+    EXPECT_GT(dataset.meanOutputLen(), dataset.meanInputLen());
+}
+
+TEST(DatasetTest, Distribution3IsPrefillHeavy)
+{
+    const auto dataset = makeDistribution3(2000, 2);
+    EXPECT_GT(dataset.meanInputLen(), dataset.meanOutputLen());
+    for (const auto &request : dataset.requests) {
+        EXPECT_GE(request.inputLen, 2048);
+        EXPECT_LE(request.outputLen, 4096);
+    }
+}
+
+TEST(DatasetTest, Distribution2IsBalanced)
+{
+    const auto dataset = makeDistribution2(2000, 3);
+    EXPECT_NEAR(dataset.meanInputLen(), dataset.meanOutputLen(),
+                120.0);
+}
+
+TEST(DatasetTest, ShareGptO1MatchesPaperAverages)
+{
+    // The paper's Figure 7 caption: avg input 381, avg output 2160.
+    const auto dataset = makeShareGptO1(5000, 4);
+    EXPECT_NEAR(dataset.meanInputLen(), 381.0, 60.0);
+    EXPECT_NEAR(dataset.meanOutputLen(), 2160.0, 250.0);
+}
+
+TEST(DatasetTest, ShareGptUsesMaxNewTokens2048)
+{
+    const auto dataset = makeShareGpt(1000, 5);
+    EXPECT_EQ(dataset.maxNewTokens, 2048);
+    for (const auto &request : dataset.requests)
+        EXPECT_LE(request.effectiveOutputLen(), 2048);
+}
+
+TEST(DatasetTest, IdsAreSequential)
+{
+    const auto dataset = makeDistribution1(100, 6);
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i)
+        EXPECT_EQ(dataset.requests[i].id,
+                  static_cast<RequestId>(i));
+}
+
+TEST(DatasetTest, SameSeedReproduces)
+{
+    const auto a = makeShareGptO1(200, 7);
+    const auto b = makeShareGptO1(200, 7);
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].inputLen, b.requests[i].inputLen);
+        EXPECT_EQ(a.requests[i].outputLen, b.requests[i].outputLen);
+    }
+}
+
+TEST(DatasetTest, TextVqaIncludesImageTokens)
+{
+    const auto dataset = makeTextVqaLike(500, 576, 8);
+    for (const auto &request : dataset.requests) {
+        EXPECT_GE(request.inputLen, 576 + 16);
+        EXPECT_LE(request.outputLen, 256);
+    }
+}
+
+TEST(DatasetTest, ConcatRenumbersIds)
+{
+    const auto a = makeDistribution1(50, 9);
+    const auto b = makeDistribution3(50, 10);
+    const auto joined = concatDatasets("mix", {a, b});
+    EXPECT_EQ(joined.requests.size(), 100u);
+    EXPECT_EQ(joined.maxNewTokens, 4096);
+    for (std::size_t i = 0; i < joined.requests.size(); ++i)
+        EXPECT_EQ(joined.requests[i].id,
+                  static_cast<RequestId>(i));
+}
+
+TEST(DatasetTest, EffectiveOutputCapsAtMaxNewTokens)
+{
+    RequestSpec spec;
+    spec.outputLen = 5000;
+    spec.maxNewTokens = 2048;
+    EXPECT_EQ(spec.effectiveOutputLen(), 2048);
+    spec.outputLen = 100;
+    EXPECT_EQ(spec.effectiveOutputLen(), 100);
+}
+
+TEST(TraceGenTest, Figure3SetHasSixNamedTraces)
+{
+    const auto traces = makeFigure3Traces(3000, 11);
+    ASSERT_EQ(traces.size(), 6u);
+    for (const auto &trace : traces) {
+        EXPECT_EQ(trace.records.size(), 3000u);
+        EXPECT_FALSE(trace.name.empty());
+    }
+}
+
+TEST(TraceGenTest, ConversationTraceIsStationary)
+{
+    const auto trace = makeConversationTrace(12000, 12);
+    const auto matrix = stats::windowSimilarityMatrix(
+        trace.outputLens(), 1000);
+    EXPECT_GT(matrix.globalMean(), 0.85);
+}
+
+TEST(TraceGenTest, ApiTraceAdjacentBeatsGlobal)
+{
+    // The regime-switching mixture must show the paper's diagonal
+    // pattern: adjacent windows similar, distant windows diverging.
+    const auto trace = makeApiTrace(24000, 13);
+    const auto matrix = stats::windowSimilarityMatrix(
+        trace.outputLens(), 1000);
+    EXPECT_GT(matrix.adjacentMean(), matrix.globalMean() + 0.03);
+    EXPECT_GT(matrix.adjacentMean(), 0.75);
+}
+
+TEST(TraceGenTest, CodeCompletionHasShortOutputsLongInputs)
+{
+    const auto trace = makeCodeCompletionTrace(2000, 14);
+    double in_sum = 0.0;
+    double out_sum = 0.0;
+    for (const auto &record : trace.records) {
+        in_sum += static_cast<double>(record.inputLen);
+        out_sum += static_cast<double>(record.outputLen);
+        EXPECT_LE(record.outputLen, 512);
+    }
+    EXPECT_GT(in_sum / 2000.0, 5.0 * out_sum / 2000.0);
+}
+
+TEST(TraceGenTest, LongDocTraceHasVeryLongInputs)
+{
+    const auto trace = makeLongDocTrace(1000, 15);
+    double in_sum = 0.0;
+    for (const auto &record : trace.records)
+        in_sum += static_cast<double>(record.inputLen);
+    EXPECT_GT(in_sum / 1000.0, 4000.0);
+}
+
+TEST(TraceGenTest, ApiTaskTypesAllAppear)
+{
+    const auto trace = makeApiTrace(8000, 16);
+    bool seen[4] = {false, false, false, false};
+    for (const auto &record : trace.records)
+        seen[record.taskType] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(TraceIoTest, CsvRoundTrip)
+{
+    const auto trace = makeApiTrace(500, 17);
+    std::stringstream buffer;
+    writeTraceCsv(buffer, trace);
+    const auto loaded = readTraceCsv(buffer, "roundtrip");
+    ASSERT_EQ(loaded.records.size(), trace.records.size());
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        EXPECT_EQ(loaded.records[i].taskType,
+                  trace.records[i].taskType);
+        EXPECT_EQ(loaded.records[i].inputLen,
+                  trace.records[i].inputLen);
+        EXPECT_EQ(loaded.records[i].outputLen,
+                  trace.records[i].outputLen);
+    }
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    const auto trace = makeConversationTrace(100, 18);
+    const auto path = std::filesystem::temp_directory_path() /
+        "lightllm_trace_test.csv";
+    writeTraceCsvFile(path.string(), trace);
+    const auto loaded = readTraceCsvFile(path.string());
+    EXPECT_EQ(loaded.records.size(), 100u);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, SkipsHeaderAndBlankLines)
+{
+    std::stringstream buffer(
+        "task_type,input_len,output_len\n\n1,10,20\n\n2,30,40\n");
+    const auto trace = readTraceCsv(buffer, "test");
+    ASSERT_EQ(trace.records.size(), 2u);
+    EXPECT_EQ(trace.records[1].outputLen, 40);
+}
+
+TEST(TraceIoDeathTest, MalformedLineIsFatal)
+{
+    std::stringstream buffer("1,2\n");
+    EXPECT_EXIT(readTraceCsv(buffer, "bad"),
+                ::testing::ExitedWithCode(1), "expected 3 fields");
+}
+
+TEST(TraceIoDeathTest, NonIntegerFieldIsFatal)
+{
+    std::stringstream buffer("a,b,c\n");
+    EXPECT_EXIT(readTraceCsv(buffer, "bad"),
+                ::testing::ExitedWithCode(1), "non-integer");
+}
+
+TEST(TraceIoTest, TraceToDatasetCopiesLengths)
+{
+    const auto trace = makeCodeCompletionTrace(50, 19);
+    const auto dataset = traceToDataset(trace, 512);
+    ASSERT_EQ(dataset.requests.size(), 50u);
+    EXPECT_EQ(dataset.maxNewTokens, 512);
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(dataset.requests[i].inputLen,
+                  trace.records[i].inputLen);
+        EXPECT_EQ(dataset.requests[i].outputLen,
+                  trace.records[i].outputLen);
+    }
+}
+
+/** Minimal sink capturing submissions. */
+class RecordingSink : public RequestSink
+{
+  public:
+    void
+    submitAt(const RequestSpec &spec, Tick arrival) override
+    {
+        submissions.emplace_back(spec.id, arrival);
+    }
+
+    std::vector<std::pair<RequestId, Tick>> submissions;
+};
+
+TEST(ClientPoolTest, StartSubmitsOnePerClient)
+{
+    const auto dataset = makeDistribution1(100, 20);
+    RecordingSink sink;
+    ClosedLoopClientPool pool(8, dataset, sink);
+    pool.start(0);
+    EXPECT_EQ(sink.submissions.size(), 8u);
+    EXPECT_EQ(pool.numSubmitted(), 8u);
+}
+
+TEST(ClientPoolTest, RampStaggersStarts)
+{
+    const auto dataset = makeDistribution1(100, 21);
+    RecordingSink sink;
+    ClosedLoopClientPool pool(4, dataset, sink, 0,
+                              secondsToTicks(1.0));
+    pool.start(0);
+    ASSERT_EQ(sink.submissions.size(), 4u);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(sink.submissions[c].second,
+                  static_cast<Tick>(c) * secondsToTicks(1.0));
+    }
+}
+
+TEST(ClientPoolTest, FinishTriggersNextWithThinkTime)
+{
+    const auto dataset = makeDistribution1(100, 22);
+    RecordingSink sink;
+    ClosedLoopClientPool pool(2, dataset, sink,
+                              secondsToTicks(3.0));
+    pool.start(0);
+    pool.onRequestFinished(0, secondsToTicks(10.0));
+    ASSERT_EQ(sink.submissions.size(), 3u);
+    EXPECT_EQ(sink.submissions[2].second, secondsToTicks(13.0));
+}
+
+TEST(ClientPoolTest, ExhaustionStopsSubmissions)
+{
+    const auto dataset = makeDistribution1(3, 23);
+    RecordingSink sink;
+    ClosedLoopClientPool pool(2, dataset, sink);
+    pool.start(0);
+    EXPECT_EQ(sink.submissions.size(), 2u);
+    pool.onRequestFinished(0, 100);
+    EXPECT_TRUE(pool.exhausted());
+    pool.onRequestFinished(1, 200);  // nothing left to submit
+    EXPECT_EQ(sink.submissions.size(), 3u);
+}
+
+TEST(ClientPoolTest, MoreClientsThanRequests)
+{
+    const auto dataset = makeDistribution1(2, 24);
+    RecordingSink sink;
+    ClosedLoopClientPool pool(10, dataset, sink);
+    pool.start(0);
+    EXPECT_EQ(sink.submissions.size(), 2u);
+}
+
+TEST(PoissonArrivalsTest, MonotoneAndRateMatched)
+{
+    const auto dataset = makeDistribution1(4000, 25);
+    RecordingSink sink;
+    submitPoissonArrivals(dataset, sink, 10.0, 99);
+    ASSERT_EQ(sink.submissions.size(), 4000u);
+    Tick prev = -1;
+    for (const auto &[id, tick] : sink.submissions) {
+        EXPECT_GE(tick, prev);
+        prev = tick;
+    }
+    // 4000 arrivals at 10 req/s: makespan near 400 s.
+    EXPECT_NEAR(ticksToSeconds(sink.submissions.back().second),
+                400.0, 30.0);
+}
+
+} // namespace
+} // namespace workload
+} // namespace lightllm
