@@ -1,12 +1,26 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "engine/serving_engine.hh"
 #include "workload/client_pool.hh"
 
 namespace lightllm {
 namespace bench {
+
+bool
+smokeMode()
+{
+    const char *value = std::getenv("PFS_BENCH_SMOKE");
+    return value != nullptr && value[0] != '\0';
+}
+
+std::size_t
+smokeSize(std::size_t full, std::size_t smoke)
+{
+    return smokeMode() ? smoke : full;
+}
 
 metrics::RunReport
 runClosedLoop(const model::PerfModel &perf,

@@ -21,6 +21,28 @@
 namespace lightllm {
 namespace bench {
 
+/**
+ * True when the PFS_BENCH_SMOKE environment variable is set and
+ * non-empty. The `bench_smoke` ctest label runs every bench in this
+ * mode; benches shrink their sweeps/datasets with smokeSize() so a
+ * smoke pass finishes in seconds while full runs stay unchanged.
+ */
+bool smokeMode();
+
+/** `full` normally; `smoke` under PFS_BENCH_SMOKE. */
+std::size_t smokeSize(std::size_t full, std::size_t smoke);
+
+/** Truncate a sweep vector to its first `smoke` entries in smoke
+ *  mode (no-op otherwise). */
+template <typename T>
+std::vector<T>
+smokeTruncate(std::vector<T> sweep, std::size_t smoke)
+{
+    if (smokeMode() && sweep.size() > smoke)
+        sweep.resize(smoke);
+    return sweep;
+}
+
 /** One closed-loop serving run. */
 struct ServeOptions
 {

@@ -28,8 +28,10 @@ main()
     std::cout << "# Extension: eviction handling - recompute vs "
                  "swap (Llama-2-7B / A100-80G, Distribution-1)\n\n";
 
-    const auto dataset = workload::makeDistribution1(600, 61);
-    const auto history = workload::makeDistribution1(1000, 62);
+    const auto dataset =
+        workload::makeDistribution1(smokeSize(600, 60), 61);
+    const auto history =
+        workload::makeDistribution1(smokeSize(1000, 120), 62);
     model::PerfModel perf(model::ModelSpec::llama2_7b(),
                           model::HardwareSpec::a100_80g());
     const auto sla = metrics::SlaSpec::small7b13b();

@@ -83,15 +83,16 @@ main()
 {
     std::cout << "# Figure 1: memory behaviour of request "
                  "schedulers (Llama-2-7B, A100-80G)\n\n";
-    const std::size_t n = 700;
+    const std::size_t n = smokeSize(700, 60);
+    const std::size_t history_n = smokeSize(1000, 120);
 
     // Prefill-heavy panel (left in the paper).
     profileDataset(workload::makeDistribution3(n, 301),
-                   workload::makeDistribution3(1000, 302));
+                   workload::makeDistribution3(history_n, 302));
 
     // Decode-heavy panel (right in the paper).
     profileDataset(workload::makeDistribution1(n, 303),
-                   workload::makeDistribution1(1000, 304));
+                   workload::makeDistribution1(history_n, 304));
 
     std::cout << "Reading: 'Future required' > 100% means the "
                  "running batch is guaranteed to outgrow memory "

@@ -15,6 +15,7 @@
 
 #include "base/str_util.hh"
 #include "base/table.hh"
+#include "bench_common.hh"
 #include "stats/window_analysis.hh"
 #include "workload/trace_gen.hh"
 
@@ -48,7 +49,8 @@ main()
     std::cout << "# Figure 3: output-length distribution similarity "
                  "between 1000-request windows\n\n";
 
-    const auto traces = workload::makeFigure3Traces(20000, 42);
+    const auto traces = workload::makeFigure3Traces(
+        bench::smokeSize(20000, 4000), 42);
 
     TextTable summary({"Trace", "Adjacent-window mean",
                        "Global mean", "Windows"});

@@ -15,6 +15,7 @@
 
 #include "base/str_util.hh"
 #include "base/table.hh"
+#include "bench_common.hh"
 #include "stats/window_analysis.hh"
 #include "workload/trace_gen.hh"
 
@@ -26,7 +27,7 @@ main()
     std::cout << "# Figure 4: window-size sweep of adjacent-window "
                  "similarity\n\n";
 
-    const std::size_t trace_len = 60000;
+    const std::size_t trace_len = bench::smokeSize(60000, 12000);
     const auto conversation =
         workload::makeConversationTrace(trace_len, 11);
     const auto api = workload::makeApiTrace(trace_len, 12);

@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <iostream>
+#include <utility>
 
 #include "base/str_util.hh"
 #include "base/table.hh"
@@ -46,14 +47,16 @@ sweepDataset(const ModelSetup &setup, const std::string &name,
              const DatasetMaker &make)
 {
     const model::PerfModel perf(setup.model, setup.hardware);
-    const auto reference = make(400, 1001);
-    const auto history = make(1000, 2002);
+    const std::size_t n_requests = smokeSize(400, 48);
+    const auto reference = make(n_requests, 1001);
+    const auto history = make(smokeSize(1000, 120), 2002);
 
     std::cout << "## " << setup.label << " - " << name << "\n\n";
 
-    const std::vector<double> load_fractions{0.2, 0.4, 0.6, 0.75,
-                                             0.85, 1.0, 1.2};
-    const int replicas = 3;
+    const std::vector<double> load_fractions = smokeTruncate(
+        std::vector<double>{0.2, 0.4, 0.6, 0.75, 0.85, 1.0, 1.2},
+        2);
+    const int replicas = smokeMode() ? 1 : 3;
 
     std::vector<std::string> headers{"Scheduler"};
     for (double fraction : load_fractions) {
@@ -69,8 +72,9 @@ sweepDataset(const ModelSetup &setup, const std::string &name,
         for (double fraction : load_fractions) {
             double goodput_sum = 0.0;
             for (int replica = 0; replica < replicas; ++replica) {
-                const auto dataset = make(
-                    400, 1001 + static_cast<std::uint64_t>(replica));
+                const auto dataset =
+                    make(n_requests,
+                         1001 + static_cast<std::uint64_t>(replica));
                 ServeOptions options;
                 options.numClients =
                     sizeClients(perf, dataset, fraction);
@@ -97,39 +101,48 @@ main()
     std::cout << "# Figure 7: goodput (tokens/s) vs closed-loop "
                  "client load\n\n";
 
-    const std::vector<ModelSetup> setups = {
-        {"Llama-2-7B-Chat / A100-80G",
-         model::ModelSpec::llama2_7b(),
-         model::HardwareSpec::a100_80g(),
-         metrics::SlaSpec::small7b13b()},
-        {"Llama-2-13B-Chat / A100-80G",
-         model::ModelSpec::llama2_13b(),
-         model::HardwareSpec::a100_80g(),
-         metrics::SlaSpec::small7b13b()},
-        {"Llama-2-70B-Chat / 4x A100-80G (NVLink)",
-         model::ModelSpec::llama2_70b(),
-         model::HardwareSpec::a100_80g().withTensorParallel(4),
-         metrics::SlaSpec::large70b()},
-    };
+    const std::vector<ModelSetup> setups = smokeTruncate(
+        std::vector<ModelSetup>{
+            {"Llama-2-7B-Chat / A100-80G",
+             model::ModelSpec::llama2_7b(),
+             model::HardwareSpec::a100_80g(),
+             metrics::SlaSpec::small7b13b()},
+            {"Llama-2-13B-Chat / A100-80G",
+             model::ModelSpec::llama2_13b(),
+             model::HardwareSpec::a100_80g(),
+             metrics::SlaSpec::small7b13b()},
+            {"Llama-2-70B-Chat / 4x A100-80G (NVLink)",
+             model::ModelSpec::llama2_70b(),
+             model::HardwareSpec::a100_80g().withTensorParallel(4),
+             metrics::SlaSpec::large70b()},
+        },
+        1);
 
-    for (const auto &setup : setups) {
-        sweepDataset(setup, "ShareGPT-o1",
-                     [](std::size_t n, std::uint64_t seed) {
-                         return workload::makeShareGptO1(n, seed);
-                     });
-        sweepDataset(setup, "Distribution-1 (decode-heavy)",
-                     [](std::size_t n, std::uint64_t seed) {
-                         return workload::makeDistribution1(n, seed);
-                     });
-        sweepDataset(setup, "Distribution-2 (balanced)",
-                     [](std::size_t n, std::uint64_t seed) {
-                         return workload::makeDistribution2(n, seed);
-                     });
-        sweepDataset(setup, "Distribution-3 (prefill-heavy)",
-                     [](std::size_t n, std::uint64_t seed) {
-                         return workload::makeDistribution3(n, seed);
-                     });
-    }
+    const std::vector<std::pair<std::string, DatasetMaker>>
+        datasets = smokeTruncate(
+            std::vector<std::pair<std::string, DatasetMaker>>{
+                {"ShareGPT-o1",
+                 [](std::size_t n, std::uint64_t seed) {
+                     return workload::makeShareGptO1(n, seed);
+                 }},
+                {"Distribution-1 (decode-heavy)",
+                 [](std::size_t n, std::uint64_t seed) {
+                     return workload::makeDistribution1(n, seed);
+                 }},
+                {"Distribution-2 (balanced)",
+                 [](std::size_t n, std::uint64_t seed) {
+                     return workload::makeDistribution2(n, seed);
+                 }},
+                {"Distribution-3 (prefill-heavy)",
+                 [](std::size_t n, std::uint64_t seed) {
+                     return workload::makeDistribution3(n, seed);
+                 }},
+            },
+            1);
+
+    for (const auto &setup : setups)
+        for (const auto &[name, make] : datasets)
+            sweepDataset(setup, name, make);
 
     std::cout << "Reading: goodput counts only tokens of requests "
                  "meeting the SLA (7B/13B: TTFT < 10 s, MTPOT < "

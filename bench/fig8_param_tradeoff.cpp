@@ -46,13 +46,15 @@ main()
     std::cout << "# Figure 8: eviction/throughput trade-off under a "
                  "varying load (ShareGPT-o1 ++ Distribution-1..3)\n\n";
 
+    const std::size_t part = smokeSize(350, 30);
     const auto mixed = workload::concatDatasets(
         "varying-load",
-        {workload::makeShareGptO1(350, 81),
-         workload::makeDistribution1(350, 82),
-         workload::makeDistribution2(350, 83),
-         workload::makeDistribution3(350, 84)});
-    const auto history = workload::makeShareGptO1(1000, 85);
+        {workload::makeShareGptO1(part, 81),
+         workload::makeDistribution1(part, 82),
+         workload::makeDistribution2(part, 83),
+         workload::makeDistribution3(part, 84)});
+    const auto history =
+        workload::makeShareGptO1(smokeSize(1000, 120), 85);
 
     model::PerfModel perf(model::ModelSpec::llama2_7b(),
                           model::HardwareSpec::a100_80g());
@@ -96,6 +98,8 @@ main()
                           0.05,
                           core::PredictionMode::TailQuantile)});
 
+    points = smokeTruncate(std::move(points), 4);
+
     TextTable table({"Scheduler", "Parameter", "Decoding steps",
                      "Evicted reqs", "Consumed memory"});
     std::string previous_family;
@@ -108,7 +112,7 @@ main()
 
         ServeOptions options;
         options.numClients = sizeClients(perf, mixed, 1.3);
-        options.warmupRequests = 150;
+        options.warmupRequests = smokeSize(150, 0);
         options.warmHistory = outputLengths(history);
         const auto report =
             runClosedLoop(perf, point.config, mixed, options);

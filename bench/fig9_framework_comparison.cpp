@@ -38,8 +38,10 @@ void
 runSetup(const Setup &setup, bool equal_backends = false)
 {
     const model::PerfModel reference(setup.model, setup.hardware);
-    const auto dataset = workload::makeShareGpt(500, 91);
-    const auto history = workload::makeShareGpt(1000, 92);
+    const auto dataset =
+        workload::makeShareGpt(smokeSize(500, 48), 91);
+    const auto history =
+        workload::makeShareGpt(smokeSize(1000, 120), 92);
 
     std::cout << "## " << setup.label
               << (equal_backends ? " [sensitivity: all backend "
@@ -59,7 +61,8 @@ runSetup(const Setup &setup, bool equal_backends = false)
         double best_goodput = 0.0;
         double evicted_at_best = 0.0;
         double ttft_at_best = 0.0;
-        for (double fraction : {0.8, 1.2}) {
+        for (double fraction :
+             smokeTruncate(std::vector<double>{0.8, 1.2}, 1)) {
             ServeOptions options;
             options.numClients =
                 sizeClients(reference, dataset, fraction);
@@ -142,6 +145,8 @@ main()
                       model::HardwareSpec::rtx4090()
                           .withTensorParallel(8),
                       metrics::SlaSpec::large70b()});
+
+    setups = smokeTruncate(std::move(setups), 1);
 
     for (const auto &setup : setups)
         runSetup(setup);

@@ -41,7 +41,7 @@ runDataset(const std::string &title, const workload::Dataset &dataset,
 
     std::cout << "## " << title << "\n\n";
 
-    const std::vector<Row> rows = {
+    const std::vector<Row> rows = smokeTruncate(std::vector<Row>{
         {"Theoretical optimum", core::SchedulerConfig::oracle()},
         {"Past-Future (reserved=3%)",
          core::SchedulerConfig::pastFutureDefault(0.03)},
@@ -60,14 +60,14 @@ runDataset(const std::string &title, const workload::Dataset &dataset,
         {"Conservative (overcommit=" +
              formatPercent(conservative_oc, 0) + ")",
          core::SchedulerConfig::conservative(conservative_oc)},
-    };
+    }, 3);
 
     TextTable table({"Method", "Decoding steps", "Consumed memory",
                      "Future required", "Evicted reqs"});
     for (const auto &row : rows) {
         ServeOptions options;
         options.numClients = sizeClients(perf, dataset, 1.5);
-        options.warmupRequests = 150;
+        options.warmupRequests = smokeSize(150, 0);
         options.warmHistory = outputLengths(history);
         const auto report =
             runClosedLoop(perf, row.config, dataset, options);
@@ -89,16 +89,17 @@ main()
     std::cout << "# Table 1: scheduler ablation on Llama-2-7B-Chat "
                  "/ A100-80G\n\n";
 
-    const std::size_t n = 1000;
+    const std::size_t n = smokeSize(1000, 80);
+    const std::size_t history_n = smokeSize(1000, 120);
     runDataset("Distribution-1 (decode-heavy)",
                workload::makeDistribution1(n, 11),
-               workload::makeDistribution1(1000, 12), 1.5);
+               workload::makeDistribution1(history_n, 12), 1.5);
     runDataset("Distribution-2 (balanced)",
                workload::makeDistribution2(n, 13),
-               workload::makeDistribution2(1000, 14), 1.25);
+               workload::makeDistribution2(history_n, 14), 1.25);
     runDataset("Distribution-3 (prefill-heavy)",
                workload::makeDistribution3(n, 15),
-               workload::makeDistribution3(1000, 16), 1.5);
+               workload::makeDistribution3(history_n, 16), 1.5);
 
     std::cout << "Reading: fewer decoding steps means larger "
                  "batches per step (better throughput); evicted "

@@ -36,10 +36,10 @@ main()
           model::ModelSpec::llava15_13b()}) {
         const model::PerfModel perf(spec,
                                     model::HardwareSpec::a100_80g());
-        const auto dataset =
-            workload::makeTextVqaLike(1500, spec.imageTokens, 71);
-        const auto history =
-            workload::makeTextVqaLike(1000, spec.imageTokens, 72);
+        const auto dataset = workload::makeTextVqaLike(
+            smokeSize(1500, 120), spec.imageTokens, 71);
+        const auto history = workload::makeTextVqaLike(
+            smokeSize(1000, 120), spec.imageTokens, 72);
 
         // Origin: HF-style static batching over contiguous memory.
         // Batch size 32 mirrors the modest batches the original

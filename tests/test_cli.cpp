@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Coverage of the pfs_cli flag-parsing and scenario-assembly path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_scenario.hh"
+
+namespace lightllm {
+namespace {
+
+std::string
+parse(std::vector<const char *> args, cli::CliOptions &options)
+{
+    args.insert(args.begin(), "pfs_cli");
+    return cli::parseCliArgs(static_cast<int>(args.size()),
+                             args.data(), options);
+}
+
+TEST(CliParse, DefaultsAreValid)
+{
+    cli::CliOptions options;
+    EXPECT_EQ(parse({}, options), "");
+    EXPECT_EQ(options.workload, "sharegpt");
+    EXPECT_EQ(options.scheduler, "past_future");
+    EXPECT_EQ(options.clients, 32u);
+}
+
+TEST(CliParse, AcceptsSpaceAndEqualsForms)
+{
+    cli::CliOptions options;
+    EXPECT_EQ(parse({"--scheduler", "aggressive",
+                     "--watermark=0.99", "--clients", "64",
+                     "--seed=7", "--format", "json"},
+                    options),
+              "");
+    EXPECT_EQ(options.scheduler, "aggressive");
+    EXPECT_DOUBLE_EQ(options.watermark, 0.99);
+    EXPECT_EQ(options.clients, 64u);
+    EXPECT_EQ(options.seed, 7u);
+    EXPECT_EQ(options.format, "json");
+}
+
+TEST(CliParse, RejectsUnknownFlagAndBadValues)
+{
+    cli::CliOptions options;
+    EXPECT_NE(parse({"--bogus"}, options), "");
+    EXPECT_NE(parse({"--clients", "many"}, options), "");
+    EXPECT_NE(parse({"--clients", "64x"}, options), "");
+    EXPECT_NE(parse({"--seed"}, options), "");
+    EXPECT_NE(parse({"--format", "xml"}, options), "");
+    EXPECT_NE(parse({"--clients", "0"}, options), "");
+    // Signed values must not wrap through unsigned parsing or
+    // reach the engine as negative ticks.
+    EXPECT_NE(parse({"--requests", "-1"}, options), "");
+    EXPECT_NE(parse({"--clients", "-1"}, options), "");
+    EXPECT_NE(parse({"--think-time", "-1"}, options), "");
+    EXPECT_NE(parse({"--rate", "-0.5"}, options), "");
+    EXPECT_NE(parse({"--max-seconds", "-2"}, options), "");
+}
+
+TEST(CliParse, HelpShortCircuits)
+{
+    cli::CliOptions options;
+    EXPECT_EQ(parse({"--help"}, options), "");
+    EXPECT_TRUE(options.showHelp);
+}
+
+TEST(CliAssemble, BuildsPastFutureScenario)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--scheduler", "past_future",
+                     "--reserved-ratio", "0.05", "--window-size",
+                     "500", "--workload", "sharegpt-o1",
+                     "--requests", "100", "--clients", "16"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+
+    EXPECT_EQ(scenario.schedulerConfig.kind,
+              core::SchedulerKind::PastFuture);
+    EXPECT_DOUBLE_EQ(
+        scenario.schedulerConfig.pastFuture.reservedRatio, 0.05);
+    EXPECT_EQ(scenario.schedulerConfig.pastFuture.windowSize, 500u);
+    EXPECT_EQ(scenario.dataset.requests.size(), 100u);
+    // Cold-start seeding wired from the dataset cap.
+    EXPECT_EQ(scenario.schedulerConfig.pastFuture.seedOutputLen,
+              scenario.dataset.maxNewTokens);
+    EXPECT_EQ(scenario.clients, 16u);
+    EXPECT_GT(scenario.perf.tokenCapacity(), 0);
+}
+
+TEST(CliAssemble, MapsEveryScheduler)
+{
+    const std::pair<const char *, core::SchedulerKind> cases[] = {
+        {"past_future", core::SchedulerKind::PastFuture},
+        {"aggressive", core::SchedulerKind::Aggressive},
+        {"conservative", core::SchedulerKind::Conservative},
+        {"oracle", core::SchedulerKind::Oracle},
+    };
+    for (const auto &[name, kind] : cases) {
+        cli::CliOptions options;
+        ASSERT_EQ(parse({"--scheduler", name, "--requests", "8"},
+                        options),
+                  "");
+        EXPECT_EQ(cli::assembleScenario(options).schedulerConfig.kind,
+                  kind)
+            << name;
+    }
+}
+
+TEST(CliAssemble, SlaDefaultsFollowModelSize)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--requests", "8"}, options), "");
+    EXPECT_EQ(cli::assembleScenario(options).sla.ttftLimit,
+              metrics::SlaSpec::small7b13b().ttftLimit);
+
+    cli::CliOptions large;
+    ASSERT_EQ(parse({"--model", "llama2-70b", "--tp", "4",
+                     "--requests", "8"},
+                    large),
+              "");
+    EXPECT_EQ(cli::assembleScenario(large).sla.ttftLimit,
+              metrics::SlaSpec::large70b().ttftLimit);
+
+    cli::CliOptions custom;
+    ASSERT_EQ(parse({"--ttft-limit", "2.5", "--requests", "8"},
+                    custom),
+              "");
+    EXPECT_EQ(cli::assembleScenario(custom).sla.ttftLimit,
+              secondsToTicks(2.5));
+}
+
+TEST(CliAssemble, TextVqaImageTokensFollowModel)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--workload", "textvqa", "--model",
+                     "qwen-vl-chat", "--requests", "8"},
+                    options),
+              "");
+    const cli::Scenario qwen = cli::assembleScenario(options);
+
+    cli::CliOptions llava_options;
+    ASSERT_EQ(parse({"--workload", "textvqa", "--model",
+                     "llava15-7b", "--requests", "8"},
+                    llava_options),
+              "");
+    const cli::Scenario llava =
+        cli::assembleScenario(llava_options);
+
+    // Qwen-VL's 256-token prefix vs LLaVA's 576 must show up in
+    // the generated prompts.
+    EXPECT_LT(qwen.dataset.meanInputLen() + 300.0,
+              llava.dataset.meanInputLen());
+}
+
+TEST(CliAssemble, RejectsUnknownNames)
+{
+    cli::CliOptions options;
+    options.workload = "nope";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+
+    options = {};
+    options.scheduler = "nope";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+
+    options = {};
+    options.model = "nope";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+
+    options = {};
+    options.evictionPolicy = "nope";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+}
+
+TEST(CliRun, TinyScenarioEndToEnd)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--requests", "24", "--clients", "6",
+                     "--workload", "dist1", "--format", "both"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+    const metrics::RunReport report = cli::runScenario(scenario);
+    EXPECT_EQ(report.numFinished, 24u);
+    EXPECT_GT(report.totalOutputTokens, 0);
+
+    std::ostringstream out;
+    cli::emitReport(out, options, scenario, report);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("scheduler"), std::string::npos);
+    EXPECT_NE(text.find("\"num_finished\""), std::string::npos);
+}
+
+} // namespace
+} // namespace lightllm

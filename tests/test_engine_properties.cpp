@@ -121,8 +121,9 @@ TEST_P(EngineInvariantProperty, RunSatisfiesInvariants)
     EXPECT_LE(report.avgConsumedMemory, 1.0);
     EXPECT_GE(report.avgFutureRequired, report.avgConsumedMemory);
     // Swap transfers only appear in swap mode.
-    if (evict_mode == EvictionMode::Recompute)
+    if (evict_mode == EvictionMode::Recompute) {
         EXPECT_EQ(report.swapEvents, 0);
+    }
     // Conservative and oracle never evict.
     if (kind == SchedulerKind::Conservative ||
         kind == SchedulerKind::Oracle) {

@@ -73,7 +73,7 @@ TEST(IntegrationTest, EveryRequestFinishesExactlyOnce)
 TEST(IntegrationTest, OutputTokensAreConserved)
 {
     const auto dataset = workload::makeShareGpt(150, 12);
-    for (const auto config :
+    for (const auto &config :
          {SchedulerConfig::conservative(),
           SchedulerConfig::aggressive(0.99),
           SchedulerConfig::pastFutureDefault(0.05),

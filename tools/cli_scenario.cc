@@ -1,0 +1,482 @@
+#include "cli_scenario.hh"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "engine/serving_engine.hh"
+#include "metrics/report_io.hh"
+#include "workload/client_pool.hh"
+#include "workload/trace_gen.hh"
+
+namespace lightllm {
+namespace cli {
+
+namespace {
+
+/** Parse helpers that reject trailing junk ("64x" is not a number)
+ *  and signs ("-1" would silently wrap through std::stoull). */
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || !std::isdigit(
+                            static_cast<unsigned char>(text[0])))
+        return false;
+    try {
+        std::size_t used = 0;
+        out = std::stoull(text, &used);
+        return used == text.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    try {
+        std::size_t used = 0;
+        out = std::stod(text, &used);
+        return used == text.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+/** Wrap a Trace as a Dataset so trace workloads are servable. */
+workload::Dataset
+traceToDataset(const workload::Trace &trace,
+               TokenCount max_new_tokens)
+{
+    workload::Dataset dataset;
+    dataset.name = trace.name;
+    dataset.maxNewTokens = max_new_tokens;
+    dataset.requests.reserve(trace.records.size());
+    RequestId next_id = 0;
+    for (const auto &record : trace.records) {
+        workload::RequestSpec spec;
+        spec.id = next_id++;
+        spec.inputLen = record.inputLen;
+        spec.outputLen = record.outputLen;
+        spec.maxNewTokens = max_new_tokens;
+        dataset.requests.push_back(spec);
+    }
+    return dataset;
+}
+
+workload::Dataset
+makeWorkload(const std::string &name, std::size_t n,
+             std::uint64_t seed, TokenCount image_tokens)
+{
+    if (name == "sharegpt")
+        return workload::makeShareGpt(n, seed);
+    if (name == "sharegpt-o1")
+        return workload::makeShareGptO1(n, seed);
+    if (name == "dist1")
+        return workload::makeDistribution1(n, seed);
+    if (name == "dist2")
+        return workload::makeDistribution2(n, seed);
+    if (name == "dist3")
+        return workload::makeDistribution3(n, seed);
+    if (name == "textvqa")
+        return workload::makeTextVqaLike(n, image_tokens, seed);
+    if (name == "trace-conversation")
+        return traceToDataset(workload::makeConversationTrace(n, seed),
+                              2048);
+    if (name == "trace-api")
+        return traceToDataset(workload::makeApiTrace(n, seed), 2048);
+    if (name == "trace-code")
+        return traceToDataset(
+            workload::makeCodeCompletionTrace(n, seed), 512);
+    if (name == "trace-longdoc")
+        return traceToDataset(workload::makeLongDocTrace(n, seed),
+                              2048);
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+core::SchedulerConfig
+makeSchedulerConfig(const CliOptions &options)
+{
+    core::SchedulerConfig config;
+    if (options.scheduler == "past_future") {
+        config = core::SchedulerConfig::pastFutureDefault(
+            options.reservedRatio);
+        config.pastFuture.windowSize = options.windowSize;
+    } else if (options.scheduler == "aggressive") {
+        config = core::SchedulerConfig::aggressive(options.watermark);
+    } else if (options.scheduler == "conservative") {
+        config = core::SchedulerConfig::conservative(
+            options.overcommit);
+    } else if (options.scheduler == "oracle") {
+        config = core::SchedulerConfig::oracle();
+    } else {
+        throw std::invalid_argument("unknown scheduler: " +
+                                    options.scheduler);
+    }
+    return config;
+}
+
+model::ModelSpec
+makeModelSpec(const std::string &name)
+{
+    if (name == "llama2-7b")
+        return model::ModelSpec::llama2_7b();
+    if (name == "llama2-13b")
+        return model::ModelSpec::llama2_13b();
+    if (name == "llama2-70b")
+        return model::ModelSpec::llama2_70b();
+    if (name == "qwen-vl-chat")
+        return model::ModelSpec::qwenVlChat();
+    if (name == "llava15-7b")
+        return model::ModelSpec::llava15_7b();
+    if (name == "llava15-13b")
+        return model::ModelSpec::llava15_13b();
+    throw std::invalid_argument("unknown model: " + name);
+}
+
+model::HardwareSpec
+makeHardwareSpec(const std::string &name, int tensor_parallel)
+{
+    model::HardwareSpec spec = [&] {
+        if (name == "a100-80g")
+            return model::HardwareSpec::a100_80g();
+        if (name == "h800")
+            return model::HardwareSpec::h800();
+        if (name == "rtx4090")
+            return model::HardwareSpec::rtx4090();
+        if (name == "a30")
+            return model::HardwareSpec::a30();
+        throw std::invalid_argument("unknown hardware: " + name);
+    }();
+    if (tensor_parallel > 1)
+        spec = spec.withTensorParallel(tensor_parallel);
+    return spec;
+}
+
+metrics::SlaSpec
+makeSla(const CliOptions &options)
+{
+    metrics::SlaSpec sla = options.model == "llama2-70b"
+        ? metrics::SlaSpec::large70b()
+        : metrics::SlaSpec::small7b13b();
+    if (options.ttftLimitSeconds > 0.0)
+        sla.ttftLimit = secondsToTicks(options.ttftLimitSeconds);
+    if (options.mtpotLimitSeconds > 0.0)
+        sla.mtpotLimit = secondsToTicks(options.mtpotLimitSeconds);
+    return sla;
+}
+
+engine::EngineConfig
+makeEngineConfig(const CliOptions &options)
+{
+    engine::EngineConfig config;
+    config.blockSize = options.blockSize;
+    config.splitFuse = options.splitFuse;
+    config.maxBatchSize = options.maxBatchSize;
+    config.warmupRequests = options.warmupRequests;
+
+    if (options.evictionPolicy == "lifo")
+        config.evictionPolicy = engine::EvictionPolicy::Lifo;
+    else if (options.evictionPolicy == "fifo")
+        config.evictionPolicy = engine::EvictionPolicy::Fifo;
+    else
+        throw std::invalid_argument("unknown eviction policy: " +
+                                    options.evictionPolicy);
+
+    if (options.evictionMode == "recompute")
+        config.evictionMode = engine::EvictionMode::Recompute;
+    else if (options.evictionMode == "swap")
+        config.evictionMode = engine::EvictionMode::Swap;
+    else
+        throw std::invalid_argument("unknown eviction mode: " +
+                                    options.evictionMode);
+    return config;
+}
+
+} // namespace
+
+std::string
+parseCliArgs(int argc, const char *const *argv, CliOptions &options)
+{
+    // Flags taking a value, keyed by name.
+    std::map<std::string, std::function<bool(const std::string &)>>
+        valued;
+
+    auto bind_string = [](std::string &slot) {
+        return [&slot](const std::string &value) {
+            slot = value;
+            return true;
+        };
+    };
+    auto bind_size = [](std::size_t &slot) {
+        return [&slot](const std::string &value) {
+            std::uint64_t parsed = 0;
+            if (!parseUnsigned(value, parsed))
+                return false;
+            slot = static_cast<std::size_t>(parsed);
+            return true;
+        };
+    };
+    auto bind_double = [](double &slot) {
+        return [&slot](const std::string &value) {
+            return parseDouble(value, slot);
+        };
+    };
+
+    valued["--workload"] = bind_string(options.workload);
+    valued["--requests"] = bind_size(options.requests);
+    valued["--seed"] = [&options](const std::string &value) {
+        return parseUnsigned(value, options.seed);
+    };
+    valued["--clients"] = bind_size(options.clients);
+    valued["--rate"] = bind_double(options.poissonRate);
+    valued["--think-time"] = bind_double(options.thinkSeconds);
+    valued["--scheduler"] = bind_string(options.scheduler);
+    valued["--overcommit"] = bind_double(options.overcommit);
+    valued["--watermark"] = bind_double(options.watermark);
+    valued["--reserved-ratio"] = bind_double(options.reservedRatio);
+    valued["--window-size"] = bind_size(options.windowSize);
+    valued["--model"] = bind_string(options.model);
+    valued["--hardware"] = bind_string(options.hardware);
+    valued["--tp"] = [&options](const std::string &value) {
+        std::uint64_t parsed = 0;
+        if (!parseUnsigned(value, parsed) || parsed == 0)
+            return false;
+        options.tensorParallel = static_cast<int>(parsed);
+        return true;
+    };
+    valued["--ttft-limit"] = bind_double(options.ttftLimitSeconds);
+    valued["--mtpot-limit"] = bind_double(options.mtpotLimitSeconds);
+    valued["--block-size"] = [&options](const std::string &value) {
+        std::uint64_t parsed = 0;
+        if (!parseUnsigned(value, parsed) || parsed == 0)
+            return false;
+        options.blockSize = static_cast<TokenCount>(parsed);
+        return true;
+    };
+    valued["--max-batch"] = bind_size(options.maxBatchSize);
+    valued["--eviction-policy"] =
+        bind_string(options.evictionPolicy);
+    valued["--eviction-mode"] = bind_string(options.evictionMode);
+    valued["--warmup"] = bind_size(options.warmupRequests);
+    valued["--max-requests"] = bind_size(options.maxFinishedRequests);
+    valued["--max-seconds"] = bind_double(options.maxSimSeconds);
+    valued["--format"] = bind_string(options.format);
+    valued["--csv"] = bind_string(options.csvPath);
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            options.showHelp = true;
+            return "";
+        }
+        if (arg == "--split-fuse") {
+            options.splitFuse = true;
+            continue;
+        }
+
+        // Accept both "--flag value" and "--flag=value".
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        }
+        auto it = valued.find(arg);
+        if (it == valued.end())
+            return "unknown flag: " + arg;
+        if (eq == std::string::npos) {
+            if (i + 1 >= argc)
+                return "missing value for " + arg;
+            value = argv[++i];
+        }
+        if (!it->second(value))
+            return "bad value for " + arg + ": " + value;
+    }
+
+    if (options.format != "table" && options.format != "json" &&
+        options.format != "both")
+        return "bad value for --format: " + options.format;
+    if (options.requests == 0)
+        return "--requests must be positive";
+    if (options.clients == 0 && options.poissonRate <= 0.0)
+        return "--clients must be positive in closed-loop mode";
+    if (options.thinkSeconds < 0.0)
+        return "--think-time must be non-negative";
+    if (options.poissonRate < 0.0)
+        return "--rate must be non-negative";
+    if (options.maxSimSeconds < 0.0)
+        return "--max-seconds must be non-negative";
+    return "";
+}
+
+void
+printCliUsage(std::ostream &os)
+{
+    os <<
+        "pfs_cli — run one serving scenario and report metrics\n"
+        "\n"
+        "Workload:\n"
+        "  --workload NAME     sharegpt | sharegpt-o1 | dist1 | dist2\n"
+        "                      | dist3 | textvqa | trace-conversation\n"
+        "                      | trace-api | trace-code | trace-longdoc\n"
+        "  --requests N        dataset size (default 512)\n"
+        "  --seed N            RNG seed (default 42)\n"
+        "  --clients N         closed-loop client count (default 32)\n"
+        "  --rate R            open-loop Poisson arrivals/sec\n"
+        "                      (overrides closed loop)\n"
+        "  --think-time S      closed-loop think time, seconds\n"
+        "\n"
+        "Scheduler:\n"
+        "  --scheduler NAME    past_future | aggressive |\n"
+        "                      conservative | oracle\n"
+        "  --reserved-ratio F  past_future reserve (default 0.03)\n"
+        "  --window-size N     past_future history window (1000)\n"
+        "  --watermark F       aggressive watermark (default 0.95)\n"
+        "  --overcommit F      conservative multiplier (default 1.0)\n"
+        "\n"
+        "Platform:\n"
+        "  --model NAME        llama2-7b | llama2-13b | llama2-70b |\n"
+        "                      qwen-vl-chat | llava15-7b | llava15-13b\n"
+        "  --hardware NAME     a100-80g | h800 | rtx4090 | a30\n"
+        "  --tp N              tensor-parallel degree (default 1)\n"
+        "\n"
+        "SLA (defaults follow the paper, by model size):\n"
+        "  --ttft-limit S      TTFT limit, seconds\n"
+        "  --mtpot-limit S     max time-per-output-token, seconds\n"
+        "\n"
+        "Engine:\n"
+        "  --block-size N      KV block size (default 16)\n"
+        "  --split-fuse        enable chunked prefill\n"
+        "  --max-batch N       running-batch cap (0 = unlimited)\n"
+        "  --eviction-policy P lifo | fifo\n"
+        "  --eviction-mode M   recompute | swap\n"
+        "  --warmup N          discard metrics of first N requests\n"
+        "\n"
+        "Run limits / output:\n"
+        "  --max-requests N    stop after N finished requests\n"
+        "  --max-seconds S     stop after S simulated seconds\n"
+        "  --format F          table | json | both (default table)\n"
+        "  --csv PATH          also write per-request CSV\n";
+}
+
+Scenario
+assembleScenario(const CliOptions &options)
+{
+    const model::ModelSpec model_spec = makeModelSpec(options.model);
+
+    // textvqa's vision prefix follows the selected model (Qwen-VL
+    // uses 256 image tokens, LLaVA 576); text-only models fall back
+    // to the LLaVA-sized prefix.
+    const TokenCount image_tokens =
+        model_spec.imageTokens > 0 ? model_spec.imageTokens : 576;
+    workload::Dataset dataset =
+        makeWorkload(options.workload, options.requests,
+                     options.seed, image_tokens);
+
+    core::SchedulerConfig scheduler_config =
+        makeSchedulerConfig(options);
+    // Cold-start seeding with the service cap, as the benches do.
+    scheduler_config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+
+    engine::RunLimits limits;
+    limits.maxFinishedRequests = options.maxFinishedRequests;
+    if (options.maxSimSeconds > 0.0)
+        limits.maxTicks = secondsToTicks(options.maxSimSeconds);
+
+    return Scenario{
+        std::move(dataset),
+        scheduler_config,
+        model::PerfModel(model_spec,
+                         makeHardwareSpec(options.hardware,
+                                          options.tensorParallel)),
+        makeSla(options),
+        makeEngineConfig(options),
+        limits,
+        options.clients,
+        options.poissonRate,
+        secondsToTicks(options.thinkSeconds),
+        options.seed,
+    };
+}
+
+metrics::RunReport
+runScenario(const Scenario &scenario)
+{
+    engine::ServingEngine engine(
+        scenario.perf, core::makeScheduler(scenario.schedulerConfig),
+        scenario.engineConfig);
+
+    if (scenario.poissonRate > 0.0) {
+        workload::submitPoissonArrivals(scenario.dataset, engine,
+                                        scenario.poissonRate,
+                                        scenario.seed);
+        return engine.run(scenario.limits);
+    }
+
+    workload::ClosedLoopClientPool clients(
+        scenario.clients, scenario.dataset, engine,
+        scenario.thinkTime);
+    engine.setOnFinish(
+        [&](const workload::RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    return engine.run(scenario.limits);
+}
+
+void
+emitReport(std::ostream &os, const CliOptions &options,
+           const Scenario &scenario,
+           const metrics::RunReport &report)
+{
+    const metrics::SlaSpec &sla = scenario.sla;
+    if (options.format == "table" || options.format == "both") {
+        TextTable table({"metric", "value"});
+        table.addRow({"scheduler", report.schedulerName});
+        table.addRow({"workload", scenario.dataset.name});
+        table.addRow({"finished",
+                      formatCount(static_cast<std::int64_t>(
+                          report.numFinished))});
+        table.addRow({"makespan_s",
+                      formatDouble(ticksToSeconds(report.makespan),
+                                   2)});
+        table.addRow({"throughput_tok_s",
+                      formatDouble(report.throughputTokensPerSec(),
+                                   1)});
+        table.addRow({"goodput_tok_s",
+                      formatDouble(report.goodputTokensPerSec(sla),
+                                   1)});
+        table.addRow({"sla_compliance",
+                      formatPercent(
+                          report.slaCompliantFraction(sla))});
+        table.addRow({"mean_ttft_s",
+                      formatDouble(report.meanTtftSeconds(), 3)});
+        table.addRow({"p99_ttft_s",
+                      formatDouble(report.p99TtftSeconds(), 3)});
+        table.addRow({"p99_mtpot_s",
+                      formatDouble(report.p99MtpotSeconds(), 3)});
+        table.addRow({"avg_batch_size",
+                      formatDouble(report.avgBatchSize, 1)});
+        table.addRow({"eviction_events",
+                      formatCount(report.evictionEvents)});
+        table.addRow({"avg_consumed_mem",
+                      formatPercent(report.avgConsumedMemory)});
+        table.print(os);
+        os << report.summary(sla) << "\n";
+    }
+    if (options.format == "json" || options.format == "both")
+        metrics::writeSummaryJson(os, report, sla);
+    if (!options.csvPath.empty())
+        metrics::writeRequestsCsvFile(options.csvPath, report, sla);
+}
+
+} // namespace cli
+} // namespace lightllm

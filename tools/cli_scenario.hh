@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scenario assembly for the `pfs` command-line runner.
+ *
+ * The benches hard-code their workload / scheduler / engine / SLA
+ * combinations; this header exposes the same composition as data so
+ * one binary can be pointed at any scenario from flags. Parsing and
+ * assembly are separated from main() so tests can cover the
+ * flag-to-config path without spawning a process.
+ */
+
+#ifndef LIGHTLLM_TOOLS_CLI_SCENARIO_HH
+#define LIGHTLLM_TOOLS_CLI_SCENARIO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "base/types.hh"
+#include "core/scheduler_factory.hh"
+#include "engine/engine_config.hh"
+#include "metrics/report.hh"
+#include "metrics/sla.hh"
+#include "model/perf_model.hh"
+#include "workload/datasets.hh"
+
+namespace lightllm {
+namespace cli {
+
+/** Everything configurable from the command line, as raw values. */
+struct CliOptions
+{
+    // Workload.
+    std::string workload = "sharegpt";
+    std::size_t requests = 512;
+    std::uint64_t seed = 42;
+
+    // Load generation: closed-loop clients by default; a positive
+    // rate switches to open-loop Poisson arrivals.
+    std::size_t clients = 32;
+    double poissonRate = 0.0;
+    double thinkSeconds = 0.0;
+
+    // Scheduler.
+    std::string scheduler = "past_future";
+    double overcommit = 1.0;
+    double watermark = 0.95;
+    double reservedRatio = 0.03;
+    std::size_t windowSize = 1000;
+
+    // Model / hardware.
+    std::string model = "llama2-7b";
+    std::string hardware = "a100-80g";
+    int tensorParallel = 1;
+
+    // SLA: 0 means "derive from model size" (paper defaults).
+    double ttftLimitSeconds = 0.0;
+    double mtpotLimitSeconds = 0.0;
+
+    // Engine.
+    TokenCount blockSize = 16;
+    bool splitFuse = false;
+    std::size_t maxBatchSize = 0;
+    std::string evictionPolicy = "lifo";
+    std::string evictionMode = "recompute";
+    std::size_t warmupRequests = 0;
+
+    // Run limits.
+    std::size_t maxFinishedRequests = 0;
+    double maxSimSeconds = 0.0;
+
+    // Output.
+    std::string format = "table";
+    std::string csvPath;
+
+    bool showHelp = false;
+};
+
+/**
+ * Parse argv into `options`.
+ *
+ * @return Empty string on success, otherwise a diagnostic naming the
+ *         offending flag (the options are then unspecified).
+ */
+std::string parseCliArgs(int argc, const char *const *argv,
+                         CliOptions &options);
+
+/** Flag reference printed by --help. */
+void printCliUsage(std::ostream &os);
+
+/** A fully assembled, runnable scenario. */
+struct Scenario
+{
+    workload::Dataset dataset;
+    core::SchedulerConfig schedulerConfig;
+    model::PerfModel perf;
+    metrics::SlaSpec sla;
+    engine::EngineConfig engineConfig;
+    engine::RunLimits limits;
+
+    std::size_t clients = 0;
+    double poissonRate = 0.0;
+    Tick thinkTime = 0;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Turn parsed options into a runnable scenario.
+ *
+ * @throws std::invalid_argument naming the option when a name
+ *         (workload, scheduler, model, hardware, ...) is unknown.
+ */
+Scenario assembleScenario(const CliOptions &options);
+
+/** Run the scenario's simulation to completion. */
+metrics::RunReport runScenario(const Scenario &scenario);
+
+/** Render the report per options.format / options.csvPath. */
+void emitReport(std::ostream &os, const CliOptions &options,
+                const Scenario &scenario,
+                const metrics::RunReport &report);
+
+} // namespace cli
+} // namespace lightllm
+
+#endif // LIGHTLLM_TOOLS_CLI_SCENARIO_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Unified scenario runner: compose workload, scheduler, platform,
+ * engine, and SLA from flags, simulate, and print the report.
+ */
+
+#include <exception>
+#include <iostream>
+
+#include "cli_scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lightllm;
+
+    cli::CliOptions options;
+    const std::string error =
+        cli::parseCliArgs(argc, argv, options);
+    if (!error.empty()) {
+        std::cerr << "pfs_cli: " << error << "\n\n";
+        cli::printCliUsage(std::cerr);
+        return 2;
+    }
+    if (options.showHelp) {
+        cli::printCliUsage(std::cout);
+        return 0;
+    }
+
+    try {
+        const cli::Scenario scenario =
+            cli::assembleScenario(options);
+        const metrics::RunReport report =
+            cli::runScenario(scenario);
+        cli::emitReport(std::cout, options, scenario, report);
+    } catch (const std::exception &ex) {
+        std::cerr << "pfs_cli: " << ex.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
