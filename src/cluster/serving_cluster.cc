@@ -28,7 +28,7 @@ ServingCluster::ServingCluster(
     : instances_(std::move(instances)), policy_(policy),
       routedCounts_(instances_.size(), 0),
       routedTokens_(instances_.size(), 0),
-      routingHistory_(1000),
+      routingPredictor_(1000),
       predictedLoad_(instances_.size(), 0)
 {
     LIGHTLLM_ASSERT(!instances_.empty(),
@@ -51,15 +51,14 @@ void
 ServingCluster::warmRoutingHistory(
     std::span<const TokenCount> lengths)
 {
-    for (TokenCount length : lengths)
-        routingHistory_.push(length);
+    routingPredictor_.warm(lengths);
 }
 
 void
 ServingCluster::handleFinish(const workload::RequestSpec &spec,
                              Tick tick)
 {
-    routingHistory_.push(spec.effectiveOutputLen());
+    routingPredictor_.observe(spec.effectiveOutputLen());
     const auto it = charges_.find(spec.id);
     if (it != charges_.end()) {
         const auto [instance, charge] = it->second;
@@ -73,19 +72,10 @@ ServingCluster::handleFinish(const workload::RequestSpec &spec,
 TokenCount
 ServingCluster::predictFootprint(const workload::RequestSpec &spec)
 {
-    if (cachedVersion_ != routingHistory_.version()) {
-        routingDistribution_ =
-            core::LengthDistribution(routingHistory_.snapshot());
-        cachedVersion_ = routingHistory_.version();
-    }
     // A point estimate is the right prediction for load balancing
     // (unlike admission, placement needs no completion stagger).
-    const TokenCount expected_output = routingDistribution_.empty()
-        ? spec.maxNewTokens
-        : std::min(routingDistribution_.tailMean(0,
-                                                 spec.maxNewTokens),
-                   spec.maxNewTokens);
-    return spec.inputLen + expected_output;
+    return routingPredictor_.predictFootprint(spec.inputLen,
+                                              spec.maxNewTokens);
 }
 
 std::size_t

@@ -37,8 +37,7 @@
 #include <vector>
 
 #include "base/types.hh"
-#include "core/history_window.hh"
-#include "core/length_distribution.hh"
+#include "core/length_predictor.hh"
 #include "engine/serving_engine.hh"
 #include "metrics/report.hh"
 #include "workload/client_pool.hh"
@@ -124,11 +123,11 @@ class ServingCluster : public workload::RequestSink
     FinishCallback onFinish_;
     bool ran_ = false;
 
-    // FutureMemory routing state: the router's own "past" and the
-    // predicted in-flight load charged to each instance.
-    core::HistoryWindow routingHistory_;
-    core::LengthDistribution routingDistribution_;
-    std::uint64_t cachedVersion_ = ~0ull;
+    // FutureMemory routing state: the router's own "past" (the same
+    // LengthPredictor component the Past-Future scheduler and the
+    // predicted-SJF queue policy use) and the predicted in-flight
+    // load charged to each instance.
+    core::LengthPredictor routingPredictor_;
     std::vector<TokenCount> predictedLoad_;
     std::unordered_map<RequestId,
                        std::pair<std::size_t, TokenCount>> charges_;

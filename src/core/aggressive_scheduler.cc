@@ -13,24 +13,24 @@ AggressiveScheduler::AggressiveScheduler(double watermark)
                     "watermark must be in (0, 1]");
 }
 
-std::size_t
-AggressiveScheduler::selectAdmissions(const SchedulerContext &ctx)
+void
+AggressiveScheduler::beginAdmissionRound(const SchedulerContext &ctx)
 {
-    const auto limit = static_cast<TokenCount>(
+    limit_ = static_cast<TokenCount>(
         static_cast<double>(ctx.capacityTokens) * watermark_);
+    used_ = ctx.usedTokens;
+}
 
-    TokenCount used = ctx.usedTokens;
-    std::size_t admitted = 0;
-    for (const auto &candidate : ctx.waiting) {
-        // Only the immediate prefill footprint is considered.
-        const TokenCount need =
-            candidate.promptLen + candidate.generatedLen;
-        if (used + need > limit)
-            break;
-        used += need;
-        ++admitted;
-    }
-    return admitted;
+bool
+AggressiveScheduler::tryAdmit(const WaitingView &candidate)
+{
+    // Only the immediate prefill footprint is considered.
+    const TokenCount need =
+        candidate.promptLen + candidate.generatedLen;
+    if (used_ + need > limit_)
+        return false;
+    used_ += need;
+    return true;
 }
 
 std::string

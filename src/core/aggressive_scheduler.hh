@@ -29,7 +29,9 @@ class AggressiveScheduler : public Scheduler
      */
     explicit AggressiveScheduler(double watermark = 0.95);
 
-    std::size_t selectAdmissions(const SchedulerContext &ctx) override;
+    void beginAdmissionRound(const SchedulerContext &ctx) override;
+
+    bool tryAdmit(const WaitingView &candidate) override;
 
     std::string name() const override;
 
@@ -37,6 +39,10 @@ class AggressiveScheduler : public Scheduler
 
   private:
     double watermark_;
+
+    // Admission-round state.
+    TokenCount limit_ = 0;
+    TokenCount used_ = 0;
 };
 
 } // namespace core

@@ -14,29 +14,29 @@ ConservativeScheduler::ConservativeScheduler(double overcommit)
     LIGHTLLM_ASSERT(overcommit > 0.0, "overcommit must be positive");
 }
 
-std::size_t
-ConservativeScheduler::selectAdmissions(const SchedulerContext &ctx)
+void
+ConservativeScheduler::beginAdmissionRound(const SchedulerContext &ctx)
 {
-    const auto limit = static_cast<TokenCount>(
+    limit_ = static_cast<TokenCount>(
         static_cast<double>(ctx.capacityTokens) * overcommit_);
 
     // Worst case for every running request: it reaches its cap.
-    TokenCount committed = 0;
+    committed_ = 0;
     for (const auto &request : ctx.running)
-        committed += request.promptLen + request.maxNewTokens;
+        committed_ += request.promptLen + request.maxNewTokens;
+}
 
-    std::size_t admitted = 0;
-    for (const auto &candidate : ctx.waiting) {
-        // generatedLen counts toward maxNewTokens, so the worst-case
-        // footprint of a re-queued request is unchanged.
-        const TokenCount need =
-            candidate.promptLen + candidate.maxNewTokens;
-        if (committed + need > limit)
-            break;
-        committed += need;
-        ++admitted;
-    }
-    return admitted;
+bool
+ConservativeScheduler::tryAdmit(const WaitingView &candidate)
+{
+    // generatedLen counts toward maxNewTokens, so the worst-case
+    // footprint of a re-queued request is unchanged.
+    const TokenCount need =
+        candidate.promptLen + candidate.maxNewTokens;
+    if (committed_ + need > limit_)
+        return false;
+    committed_ += need;
+    return true;
 }
 
 std::string

@@ -28,7 +28,9 @@ class ConservativeScheduler : public Scheduler
      */
     explicit ConservativeScheduler(double overcommit = 1.0);
 
-    std::size_t selectAdmissions(const SchedulerContext &ctx) override;
+    void beginAdmissionRound(const SchedulerContext &ctx) override;
+
+    bool tryAdmit(const WaitingView &candidate) override;
 
     std::string name() const override;
 
@@ -36,6 +38,10 @@ class ConservativeScheduler : public Scheduler
 
   private:
     double overcommit_;
+
+    // Admission-round state.
+    TokenCount limit_ = 0;
+    TokenCount committed_ = 0;
 };
 
 } // namespace core

@@ -1,0 +1,61 @@
+#include "core/length_predictor.hh"
+
+#include <algorithm>
+
+namespace lightllm {
+namespace core {
+
+LengthPredictor::LengthPredictor(std::size_t window_size)
+    : window_(window_size)
+{
+}
+
+void
+LengthPredictor::seed(TokenCount value, std::size_t count)
+{
+    window_.seed(value, count);
+}
+
+void
+LengthPredictor::observe(TokenCount output_len)
+{
+    window_.push(output_len);
+}
+
+void
+LengthPredictor::warm(std::span<const TokenCount> lengths)
+{
+    for (TokenCount length : lengths)
+        window_.push(length);
+}
+
+const LengthDistribution &
+LengthPredictor::distribution()
+{
+    if (cachedVersion_ != window_.version()) {
+        distribution_ = LengthDistribution(window_.snapshot());
+        cachedVersion_ = window_.version();
+    }
+    return distribution_;
+}
+
+TokenCount
+LengthPredictor::expectedOutput(TokenCount generated_len,
+                                TokenCount max_new_tokens)
+{
+    const LengthDistribution &dist = distribution();
+    if (dist.empty())
+        return max_new_tokens;
+    return std::min(dist.tailMean(generated_len, max_new_tokens),
+                    max_new_tokens);
+}
+
+TokenCount
+LengthPredictor::predictFootprint(TokenCount input_len,
+                                  TokenCount max_new_tokens)
+{
+    return input_len + expectedOutput(0, max_new_tokens);
+}
+
+} // namespace core
+} // namespace lightllm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared "past" component: history window + cached empirical
+ * distribution + point-estimate predictions.
+ *
+ * Three consumers run the same past-window machinery: the
+ * Past-Future scheduler (admission, Eq. 1), the cluster router's
+ * FutureMemory policy (placement, §7), and the predicted-SJF queue
+ * policy (ordering). This class owns the window, rebuilds the
+ * sorted distribution lazily (keyed on the window's version
+ * counter), and exposes the point estimates the router and queue
+ * policies need. Sampling consumers (the Past-Future scheduler's
+ * sticky/per-step draws) reach through distribution() for the full
+ * LengthDistribution API.
+ */
+
+#ifndef LIGHTLLM_CORE_LENGTH_PREDICTOR_HH
+#define LIGHTLLM_CORE_LENGTH_PREDICTOR_HH
+
+#include <span>
+
+#include "core/history_window.hh"
+#include "core/length_distribution.hh"
+
+namespace lightllm {
+namespace core {
+
+/** History window plus a lazily rebuilt length distribution. */
+class LengthPredictor
+{
+  public:
+    /** @param window_size Window size w of Eq. 1 (> 0). */
+    explicit LengthPredictor(std::size_t window_size);
+
+    /** Cold-start seeding (see HistoryWindow::seed). */
+    void seed(TokenCount value, std::size_t count);
+
+    /** Record the output length of a finished request. */
+    void observe(TokenCount output_len);
+
+    /** Warm-start with previously observed output lengths. */
+    void warm(std::span<const TokenCount> lengths);
+
+    /** The underlying window (tests / introspection). */
+    const HistoryWindow &window() const { return window_; }
+
+    /**
+     * The distribution over the current window contents, rebuilt
+     * only when the window changed since the last call.
+     */
+    const LengthDistribution &distribution();
+
+    /**
+     * Point estimate of a request's final output length: the
+     * conditional tail mean E[l | l > generated_len], capped at
+     * `max_new_tokens`. Falls back to the cap when the window is
+     * empty or the request has outlived all recorded history.
+     */
+    TokenCount expectedOutput(TokenCount generated_len,
+                              TokenCount max_new_tokens);
+
+    /**
+     * Predicted resident footprint of a fresh request:
+     * prompt + expected output (the router's placement charge).
+     */
+    TokenCount predictFootprint(TokenCount input_len,
+                                TokenCount max_new_tokens);
+
+  private:
+    HistoryWindow window_;
+    LengthDistribution distribution_;
+    std::uint64_t cachedVersion_ = ~0ull;
+};
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_LENGTH_PREDICTOR_HH

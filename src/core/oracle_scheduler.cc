@@ -16,11 +16,11 @@ effectiveOutput(TokenCount true_output, TokenCount max_new_tokens)
 
 } // namespace
 
-std::size_t
-OracleScheduler::selectAdmissions(const SchedulerContext &ctx)
+void
+OracleScheduler::beginAdmissionRound(const SchedulerContext &ctx)
 {
-    if (ctx.waiting.empty())
-        return 0;
+    capacity_ = ctx.capacityTokens;
+    perRequestOverhead_ = ctx.perRequestOverhead;
 
     entries_.clear();
     for (const auto &request : ctx.running) {
@@ -31,28 +31,26 @@ OracleScheduler::selectAdmissions(const SchedulerContext &ctx)
         entries_.push_back(BatchEntry{request.promptLen,
                                       request.generatedLen, total});
     }
+}
 
-    std::size_t admitted = 0;
-    for (const auto &candidate : ctx.waiting) {
-        const TokenCount total = std::max(
-            effectiveOutput(candidate.trueOutputLen,
-                            candidate.maxNewTokens),
-            candidate.generatedLen);
-        const BatchEntry entry{
-            candidate.promptLen + candidate.generatedLen, 0,
-            total - candidate.generatedLen};
-        scratch_ = entries_;
-        scratch_.push_back(entry);
-        const TokenCount overhead = ctx.perRequestOverhead *
-            static_cast<TokenCount>(scratch_.size());
-        if (futureRequiredMemory(scratch_) + overhead >
-            ctx.capacityTokens) {
-            break;
-        }
-        entries_.push_back(entry);
-        ++admitted;
-    }
-    return admitted;
+bool
+OracleScheduler::tryAdmit(const WaitingView &candidate)
+{
+    const TokenCount total = std::max(
+        effectiveOutput(candidate.trueOutputLen,
+                        candidate.maxNewTokens),
+        candidate.generatedLen);
+    const BatchEntry entry{
+        candidate.promptLen + candidate.generatedLen, 0,
+        total - candidate.generatedLen};
+    scratch_ = entries_;
+    scratch_.push_back(entry);
+    const TokenCount overhead = perRequestOverhead_ *
+        static_cast<TokenCount>(scratch_.size());
+    if (futureRequiredMemory(scratch_) + overhead > capacity_)
+        return false;
+    entries_.push_back(entry);
+    return true;
 }
 
 std::string

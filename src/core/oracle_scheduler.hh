@@ -27,13 +27,19 @@ class OracleScheduler : public Scheduler
   public:
     OracleScheduler() = default;
 
-    std::size_t selectAdmissions(const SchedulerContext &ctx) override;
+    void beginAdmissionRound(const SchedulerContext &ctx) override;
+
+    bool tryAdmit(const WaitingView &candidate) override;
 
     std::string name() const override;
 
   private:
     std::vector<BatchEntry> entries_;
     std::vector<BatchEntry> scratch_;
+
+    // Admission-round state.
+    TokenCount capacity_ = 0;
+    TokenCount perRequestOverhead_ = 0;
 };
 
 } // namespace core

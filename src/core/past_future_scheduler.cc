@@ -10,7 +10,8 @@ namespace lightllm {
 namespace core {
 
 PastFutureScheduler::PastFutureScheduler(PastFutureParams params)
-    : params_(params), window_(params.windowSize), rng_(params.seed)
+    : params_(params), predictor_(params.windowSize),
+      rng_(params.seed)
 {
     LIGHTLLM_ASSERT(params_.reservedRatio >= 0.0 &&
                         params_.reservedRatio < 1.0,
@@ -23,34 +24,27 @@ PastFutureScheduler::PastFutureScheduler(PastFutureParams params)
     LIGHTLLM_ASSERT(params_.riskFactor >= 0.0,
                     "risk factor must be non-negative");
     if (params_.seedOutputLen > 0)
-        window_.seed(params_.seedOutputLen, params_.seedCount);
+        predictor_.seed(params_.seedOutputLen, params_.seedCount);
     for (TokenCount length : params_.initialHistory)
-        window_.push(length);
+        predictor_.observe(length);
 }
 
 void
 PastFutureScheduler::onRequestFinished(RequestId id,
                                        TokenCount output_len)
 {
-    window_.push(output_len);
+    predictor_.observe(output_len);
     stickyU_.erase(id);
-}
-
-void
-PastFutureScheduler::refreshDistribution()
-{
-    if (cachedVersion_ == window_.version())
-        return;
-    distribution_ = LengthDistribution(window_.snapshot());
-    cachedVersion_ = window_.version();
 }
 
 TokenCount
 PastFutureScheduler::predict(RequestId id, TokenCount generated_len,
                              TokenCount max_new_tokens)
 {
+    const LengthDistribution &distribution =
+        predictor_.distribution();
     TokenCount predicted = 0;
-    if (distribution_.empty()) {
+    if (distribution.empty()) {
         predicted = max_new_tokens;
     } else {
         switch (params_.predictionMode) {
@@ -62,20 +56,20 @@ PastFutureScheduler::predict(RequestId id, TokenCount generated_len,
             auto [it, inserted] = stickyU_.try_emplace(id, 0.0);
             if (inserted)
                 it->second = rng_.uniformDouble();
-            predicted = distribution_.sampleTailAt(
+            predicted = distribution.sampleTailAt(
                 it->second, generated_len, max_new_tokens);
             break;
           }
           case PredictionMode::PerStepSample:
-            predicted = distribution_.sampleTail(rng_, generated_len,
-                                                 max_new_tokens);
+            predicted = distribution.sampleTail(rng_, generated_len,
+                                                max_new_tokens);
             break;
           case PredictionMode::TailMean:
-            predicted = distribution_.tailMean(generated_len,
-                                               max_new_tokens);
+            predicted = distribution.tailMean(generated_len,
+                                              max_new_tokens);
             break;
           case PredictionMode::TailQuantile:
-            predicted = distribution_.tailQuantile(
+            predicted = distribution.tailQuantile(
                 generated_len, params_.tailQuantile, max_new_tokens);
             break;
         }
@@ -90,10 +84,12 @@ TokenCount
 PastFutureScheduler::samplePerturbed(TokenCount generated_len,
                                      TokenCount max_new_tokens)
 {
-    TokenCount predicted = distribution_.empty()
+    const LengthDistribution &distribution =
+        predictor_.distribution();
+    TokenCount predicted = distribution.empty()
         ? max_new_tokens
-        : distribution_.sampleTail(rng_, generated_len,
-                                   max_new_tokens);
+        : distribution.sampleTail(rng_, generated_len,
+                                  max_new_tokens);
     predicted = std::min(predicted, max_new_tokens);
     return std::max(predicted, generated_len);
 }
@@ -115,28 +111,25 @@ PastFutureScheduler::trialsFor(std::size_t batch_size) const
     return 1;
 }
 
-std::size_t
-PastFutureScheduler::selectAdmissions(const SchedulerContext &ctx)
+void
+PastFutureScheduler::beginAdmissionRound(const SchedulerContext &ctx)
 {
-    if (ctx.waiting.empty())
-        return 0;  // nothing to decide; skip the prediction work
-    refreshDistribution();
-
-    const auto limit = static_cast<TokenCount>(
+    limit_ = static_cast<TokenCount>(
         static_cast<double>(ctx.capacityTokens) *
         (1.0 - params_.reservedRatio));
-
-    const int trials = trialsFor(ctx.running.size());
+    perRequestOverhead_ = ctx.perRequestOverhead;
+    runningSize_ = ctx.running.size();
+    admitted_ = 0;
+    trials_ = trialsFor(ctx.running.size());
 
     // One entry vector per trial; each trial independently draws
     // its own predictions for the running batch, then candidates
     // are appended incrementally as they are accepted. (With
     // deterministic or sticky predictions there is exactly one
     // trial and predictions are stable.)
-    std::vector<std::vector<BatchEntry>> trial_entries(
-        static_cast<std::size_t>(trials));
-    for (std::size_t t = 0; t < trial_entries.size(); ++t) {
-        auto &entries = trial_entries[t];
+    trialEntries_.assign(static_cast<std::size_t>(trials_), {});
+    for (std::size_t t = 0; t < trialEntries_.size(); ++t) {
+        auto &entries = trialEntries_[t];
         entries.reserve(ctx.running.size() + ctx.waiting.size());
         for (const auto &request : ctx.running) {
             // Trial 0 uses the official (sticky / per-step / point)
@@ -152,74 +145,68 @@ PastFutureScheduler::selectAdmissions(const SchedulerContext &ctx)
                                          predicted});
         }
     }
+    peaks_.resize(static_cast<std::size_t>(trials_));
+}
 
-    std::vector<BatchEntry> scratch;
-    std::vector<double> peaks(static_cast<std::size_t>(trials));
-    std::size_t admitted = 0;
-    for (const auto &candidate : ctx.waiting) {
-        std::vector<BatchEntry> candidate_entries(
-            static_cast<std::size_t>(trials));
-        for (std::size_t t = 0;
-             t < static_cast<std::size_t>(trials); ++t) {
-            const TokenCount predicted = t == 0
-                ? predict(candidate.id, candidate.generatedLen,
-                          candidate.maxNewTokens)
-                : samplePerturbed(candidate.generatedLen,
-                                  candidate.maxNewTokens);
-            // The recompute prefill re-materialises prompt +
-            // generated tokens, so that is the candidate's resident
-            // footprint at admission; the remainder is its future
-            // growth.
-            candidate_entries[t] = BatchEntry{
-                candidate.promptLen + candidate.generatedLen, 0,
-                predicted - candidate.generatedLen};
-            scratch = trial_entries[t];
-            scratch.push_back(candidate_entries[t]);
-            peaks[t] = static_cast<double>(
-                futureRequiredMemory(scratch));
-        }
-
-        // Aggregate the trial peaks. PerStepSample keeps the
-        // paper's worst-case rule; StickySample uses the estimated
-        // riskFactor-sigma exceedance level, which adapts the
-        // safety margin to the workload's variance.
-        double estimate = 0.0;
-        if (params_.predictionMode == PredictionMode::PerStepSample) {
-            for (double peak : peaks)
-                estimate = std::max(estimate, peak);
-        } else {
-            double mean = 0.0;
-            for (double peak : peaks)
-                mean += peak;
-            mean /= static_cast<double>(peaks.size());
-            double variance = 0.0;
-            for (double peak : peaks) {
-                variance += (peak - mean) * (peak - mean);
-            }
-            variance /= static_cast<double>(peaks.size());
-            estimate = mean +
-                params_.riskFactor * std::sqrt(variance);
-        }
-
-        // Paged-allocator block rounding plus the admission slot.
-        const TokenCount overhead = ctx.perRequestOverhead *
-            static_cast<TokenCount>(ctx.running.size() + admitted +
-                                    1);
-        if (static_cast<TokenCount>(estimate) + overhead > limit)
-            break;
-        for (std::size_t t = 0;
-             t < static_cast<std::size_t>(trials); ++t) {
-            trial_entries[t].push_back(candidate_entries[t]);
-        }
-        ++admitted;
+bool
+PastFutureScheduler::tryAdmit(const WaitingView &candidate)
+{
+    const auto trials = static_cast<std::size_t>(trials_);
+    candidateEntries_.resize(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+        const TokenCount predicted = t == 0
+            ? predict(candidate.id, candidate.generatedLen,
+                      candidate.maxNewTokens)
+            : samplePerturbed(candidate.generatedLen,
+                              candidate.maxNewTokens);
+        // The recompute prefill re-materialises prompt +
+        // generated tokens, so that is the candidate's resident
+        // footprint at admission; the remainder is its future
+        // growth.
+        candidateEntries_[t] = BatchEntry{
+            candidate.promptLen + candidate.generatedLen, 0,
+            predicted - candidate.generatedLen};
+        scratch_ = trialEntries_[t];
+        scratch_.push_back(candidateEntries_[t]);
+        peaks_[t] =
+            static_cast<double>(futureRequiredMemory(scratch_));
     }
-    return admitted;
+
+    // Aggregate the trial peaks. PerStepSample keeps the
+    // paper's worst-case rule; StickySample uses the estimated
+    // riskFactor-sigma exceedance level, which adapts the
+    // safety margin to the workload's variance.
+    double estimate = 0.0;
+    if (params_.predictionMode == PredictionMode::PerStepSample) {
+        for (double peak : peaks_)
+            estimate = std::max(estimate, peak);
+    } else {
+        double mean = 0.0;
+        for (double peak : peaks_)
+            mean += peak;
+        mean /= static_cast<double>(peaks_.size());
+        double variance = 0.0;
+        for (double peak : peaks_) {
+            variance += (peak - mean) * (peak - mean);
+        }
+        variance /= static_cast<double>(peaks_.size());
+        estimate = mean + params_.riskFactor * std::sqrt(variance);
+    }
+
+    // Paged-allocator block rounding plus the admission slot.
+    const TokenCount overhead = perRequestOverhead_ *
+        static_cast<TokenCount>(runningSize_ + admitted_ + 1);
+    if (static_cast<TokenCount>(estimate) + overhead > limit_)
+        return false;
+    for (std::size_t t = 0; t < trials; ++t)
+        trialEntries_[t].push_back(candidateEntries_[t]);
+    ++admitted_;
+    return true;
 }
 
 TokenCount
 PastFutureScheduler::estimateFutureMemory(const SchedulerContext &ctx)
 {
-    refreshDistribution();
     std::vector<BatchEntry> entries;
     entries.reserve(ctx.running.size());
     for (const auto &request : ctx.running) {

@@ -28,8 +28,7 @@
 
 #include "base/rng.hh"
 #include "core/future_memory.hh"
-#include "core/history_window.hh"
-#include "core/length_distribution.hh"
+#include "core/length_predictor.hh"
 #include "core/scheduler.hh"
 
 namespace lightllm {
@@ -130,7 +129,9 @@ class PastFutureScheduler : public Scheduler
   public:
     explicit PastFutureScheduler(PastFutureParams params = {});
 
-    std::size_t selectAdmissions(const SchedulerContext &ctx) override;
+    void beginAdmissionRound(const SchedulerContext &ctx) override;
+
+    bool tryAdmit(const WaitingView &candidate) override;
 
     void onRequestFinished(RequestId id,
                            TokenCount output_len) override;
@@ -151,12 +152,12 @@ class PastFutureScheduler : public Scheduler
     const PastFutureParams &params() const { return params_; }
 
     /** Observed historical window (for tests / introspection). */
-    const HistoryWindow &history() const { return window_; }
+    const HistoryWindow &history() const
+    {
+        return predictor_.window();
+    }
 
   private:
-    /** Rebuild the cached distribution if the window changed. */
-    void refreshDistribution();
-
     /** Draw/look up a prediction for (id, generated, cap). */
     TokenCount predict(RequestId id, TokenCount generated_len,
                        TokenCount max_new_tokens);
@@ -170,13 +171,26 @@ class PastFutureScheduler : public Scheduler
     int trialsFor(std::size_t batch_size) const;
 
     PastFutureParams params_;
-    HistoryWindow window_;
-    LengthDistribution distribution_;
-    std::uint64_t cachedVersion_ = ~0ull;
+
+    /** The "past" half: window + cached distribution. */
+    LengthPredictor predictor_;
+
     Rng rng_;
 
     /** Frozen per-request uniform variates (StickySample mode). */
     std::unordered_map<RequestId, double> stickyU_;
+
+    // Admission-round state: one entry vector per trial (running
+    // batch predictions + incrementally committed candidates).
+    std::vector<std::vector<BatchEntry>> trialEntries_;
+    std::vector<BatchEntry> candidateEntries_;
+    std::vector<BatchEntry> scratch_;
+    std::vector<double> peaks_;
+    TokenCount limit_ = 0;
+    TokenCount perRequestOverhead_ = 0;
+    std::size_t runningSize_ = 0;
+    std::size_t admitted_ = 0;
+    int trials_ = 1;
 };
 
 } // namespace core

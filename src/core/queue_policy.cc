@@ -1,0 +1,265 @@
+#include "core/queue_policy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace core {
+
+bool
+QueuePolicy::evictBefore(const RunningView &a, const RunningView &b,
+                         VictimOrder tie_break) const
+{
+    return tie_break == VictimOrder::NewestFirst
+        ? a.admitSeq > b.admitSeq
+        : a.admitSeq < b.admitSeq;
+}
+
+void
+QueuePolicy::onRequestFinished(RequestId, TokenCount)
+{
+}
+
+namespace {
+
+/** Reset `out` to the identity permutation over ctx.waiting. */
+void
+identityOrder(const SchedulerContext &ctx,
+              std::vector<std::size_t> &out)
+{
+    out.resize(ctx.waiting.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = i;
+}
+
+/** Queue order — Algorithm 1's baseline. */
+class FcfsQueuePolicy final : public QueuePolicy
+{
+  public:
+    QueuePolicyKind
+    kind() const override
+    {
+        return QueuePolicyKind::Fcfs;
+    }
+
+    void
+    order(const SchedulerContext &ctx,
+          std::vector<std::size_t> &out) override
+    {
+        identityOrder(ctx, out);
+    }
+
+    std::string
+    name() const override
+    {
+        return "FCFS";
+    }
+};
+
+/** Shortest predicted remaining output first. */
+class PredictedSjfQueuePolicy final : public QueuePolicy
+{
+  public:
+    explicit PredictedSjfQueuePolicy(const QueuePolicyConfig &config)
+        : predictor_(config.predictorWindow)
+    {
+        if (config.seedOutputLen > 0)
+            predictor_.seed(config.seedOutputLen, config.seedCount);
+    }
+
+    QueuePolicyKind
+    kind() const override
+    {
+        return QueuePolicyKind::PredictedSjf;
+    }
+
+    void
+    order(const SchedulerContext &ctx,
+          std::vector<std::size_t> &out) override
+    {
+        identityOrder(ctx, out);
+        // Predicted remaining service: the recompute prefill the
+        // request still owes (prompt + already-generated tokens)
+        // plus its predicted remaining decode E[l | l > l_t] - l_t.
+        // The prompt term is what differentiates fresh requests —
+        // their conditional tails are identical, so a pure output
+        // prediction would collapse into FCFS. Ties keep queue
+        // order (stable sort).
+        keys_.resize(ctx.waiting.size());
+        for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
+            const WaitingView &candidate = ctx.waiting[i];
+            keys_[i] = candidate.promptLen +
+                predictor_.expectedOutput(candidate.generatedLen,
+                                          candidate.maxNewTokens);
+        }
+        std::stable_sort(out.begin(), out.end(),
+                         [this](std::size_t a, std::size_t b) {
+                             return keys_[a] < keys_[b];
+                         });
+    }
+
+    void
+    onRequestFinished(RequestId, TokenCount output_len) override
+    {
+        predictor_.observe(output_len);
+    }
+
+    std::string
+    name() const override
+    {
+        return "Predicted-SJF";
+    }
+
+  private:
+    LengthPredictor predictor_;
+    std::vector<TokenCount> keys_;
+};
+
+/** Earliest TTFT deadline (arrival + class budget) first. */
+class EdfQueuePolicy final : public QueuePolicy
+{
+  public:
+    explicit EdfQueuePolicy(Tick ttft_deadline)
+        : ttftDeadline_(ttft_deadline)
+    {
+        LIGHTLLM_ASSERT(ttft_deadline >= 0,
+                        "TTFT deadline must be non-negative");
+    }
+
+    QueuePolicyKind
+    kind() const override
+    {
+        return QueuePolicyKind::Edf;
+    }
+
+    void
+    order(const SchedulerContext &ctx,
+          std::vector<std::size_t> &out) override
+    {
+        identityOrder(ctx, out);
+        std::stable_sort(
+            out.begin(), out.end(),
+            [&ctx, this](std::size_t a, std::size_t b) {
+                return deadline(ctx.waiting[a]) <
+                    deadline(ctx.waiting[b]);
+            });
+    }
+
+    std::string
+    name() const override
+    {
+        return "EDF";
+    }
+
+  private:
+    /**
+     * Deadline = arrival + TTFT budget, the budget halving per
+     * priority class (class p gets budget / 2^p) — with one class
+     * every request has the same budget and EDF reduces to arrival
+     * order, so differentiated SLOs are what give EDF its teeth.
+     */
+    Tick
+    deadline(const WaitingView &view) const
+    {
+        const int shift =
+            std::clamp(view.priority, 0, kMaxBudgetShift);
+        return view.arrival + (ttftDeadline_ >> shift);
+    }
+
+    static constexpr int kMaxBudgetShift = 20;
+
+    Tick ttftDeadline_;
+};
+
+/** Higher priority class first, FCFS within a class. */
+class PriorityQueuePolicy final : public QueuePolicy
+{
+  public:
+    QueuePolicyKind
+    kind() const override
+    {
+        return QueuePolicyKind::Priority;
+    }
+
+    void
+    order(const SchedulerContext &ctx,
+          std::vector<std::size_t> &out) override
+    {
+        identityOrder(ctx, out);
+        std::stable_sort(out.begin(), out.end(),
+                         [&ctx](std::size_t a, std::size_t b) {
+                             return ctx.waiting[a].priority >
+                                 ctx.waiting[b].priority;
+                         });
+    }
+
+    bool
+    evictBefore(const RunningView &a, const RunningView &b,
+                VictimOrder tie_break) const override
+    {
+        // Shield higher classes: evict the lowest priority first.
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return QueuePolicy::evictBefore(a, b, tie_break);
+    }
+
+    std::string
+    name() const override
+    {
+        return "Priority";
+    }
+};
+
+} // namespace
+
+std::unique_ptr<QueuePolicy>
+makeQueuePolicy(const QueuePolicyConfig &config)
+{
+    switch (config.kind) {
+      case QueuePolicyKind::Fcfs:
+        return std::make_unique<FcfsQueuePolicy>();
+      case QueuePolicyKind::PredictedSjf:
+        return std::make_unique<PredictedSjfQueuePolicy>(config);
+      case QueuePolicyKind::Edf:
+        return std::make_unique<EdfQueuePolicy>(config.ttftDeadline);
+      case QueuePolicyKind::Priority:
+        return std::make_unique<PriorityQueuePolicy>();
+    }
+    panic("unknown queue policy kind");
+}
+
+const char *
+queuePolicyKindName(QueuePolicyKind kind)
+{
+    switch (kind) {
+      case QueuePolicyKind::Fcfs:
+        return "fcfs";
+      case QueuePolicyKind::PredictedSjf:
+        return "sjf";
+      case QueuePolicyKind::Edf:
+        return "edf";
+      case QueuePolicyKind::Priority:
+        return "priority";
+    }
+    return "unknown";
+}
+
+bool
+parseQueuePolicyKind(const std::string &text, QueuePolicyKind &out)
+{
+    if (text == "fcfs")
+        out = QueuePolicyKind::Fcfs;
+    else if (text == "sjf")
+        out = QueuePolicyKind::PredictedSjf;
+    else if (text == "edf")
+        out = QueuePolicyKind::Edf;
+    else if (text == "priority")
+        out = QueuePolicyKind::Priority;
+    else
+        return false;
+    return true;
+}
+
+} // namespace core
+} // namespace lightllm

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pluggable waiting-queue ordering policies.
+ *
+ * The scheduling pipeline separates *which order the queue is
+ * considered in* (this file) from *whether each candidate fits in
+ * memory* (the Scheduler admission round). Orderings:
+ *
+ *  - FCFS: queue order, Algorithm 1's baseline (evicted requests
+ *    re-queue at the front and so retain their head position);
+ *  - Predicted-SJF: shortest predicted remaining output first,
+ *    using the same past-window length distribution that drives
+ *    Past-Future admission ("Efficient Interactive LLM Serving with
+ *    Proxy Model-based Sequence Length Prediction" argues the win);
+ *  - EDF: earliest TTFT deadline (arrival + ttftDeadline) first
+ *    ("SLO-Aware Scheduling for Large Language Model Inferences");
+ *  - Priority: higher RequestSpec priority class first, FCFS within
+ *    a class.
+ *
+ * A policy may also rank eviction victims (evictBefore); the
+ * default reproduces the engine's admission-order LIFO/FIFO scan,
+ * and the priority policy shields higher classes from eviction.
+ */
+
+#ifndef LIGHTLLM_CORE_QUEUE_POLICY_HH
+#define LIGHTLLM_CORE_QUEUE_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/length_predictor.hh"
+#include "core/scheduler.hh"
+
+namespace lightllm {
+namespace core {
+
+/** Which queue ordering to build. */
+enum class QueuePolicyKind
+{
+    Fcfs,
+    PredictedSjf,
+    Edf,
+    Priority,
+};
+
+/** Tie-break direction for eviction-victim ranking (maps the
+ *  engine's LIFO/FIFO eviction config into the core layer). */
+enum class VictimOrder
+{
+    /** Most recently admitted first (vLLM-style recompute). */
+    NewestFirst,
+
+    /** Oldest admission first. */
+    OldestFirst,
+};
+
+/** Declarative queue-policy configuration. */
+struct QueuePolicyConfig
+{
+    QueuePolicyKind kind = QueuePolicyKind::Fcfs;
+
+    /** Predicted-SJF: past-window size of the length predictor. */
+    std::size_t predictorWindow = 1000;
+
+    /** Predicted-SJF: cold-start seed length (0 disables), as for
+     *  the Past-Future scheduler's window. */
+    TokenCount seedOutputLen = 0;
+
+    /** Predicted-SJF: number of seeded entries at cold start. */
+    std::size_t seedCount = 32;
+
+    /** EDF: base TTFT budget; a request's deadline is arrival +
+     *  ttftDeadline / 2^priority (higher classes get tighter
+     *  deadlines). 0 degenerates to arrival order. */
+    Tick ttftDeadline = 0;
+};
+
+/** Abstract waiting-queue ordering (and victim-ranking) policy. */
+class QueuePolicy
+{
+  public:
+    virtual ~QueuePolicy() = default;
+
+    virtual QueuePolicyKind kind() const = 0;
+
+    /**
+     * Fill `out` with indices into ctx.waiting in the order
+     * admission should consider them. Must be a permutation of
+     * [0, ctx.waiting.size()) and deterministic.
+     */
+    virtual void order(const SchedulerContext &ctx,
+                       std::vector<std::size_t> &out) = 0;
+
+    /**
+     * True when `a` should be evicted before `b` under memory
+     * pressure. The default ranks by admission order per
+     * `tie_break`; the priority policy ranks lower classes first.
+     */
+    virtual bool evictBefore(const RunningView &a,
+                             const RunningView &b,
+                             VictimOrder tie_break) const;
+
+    /** Completion feed (the predicted-SJF past window). */
+    virtual void onRequestFinished(RequestId id,
+                                   TokenCount output_len);
+
+    /** Human-readable policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Instantiate the configured queue policy. */
+std::unique_ptr<QueuePolicy>
+makeQueuePolicy(const QueuePolicyConfig &config);
+
+/** Short lowercase label for the kind ("fcfs", "sjf", ...). */
+const char *queuePolicyKindName(QueuePolicyKind kind);
+
+/**
+ * Parse a lowercase label into a kind.
+ *
+ * @return false when `text` names no known policy.
+ */
+bool parseQueuePolicyKind(const std::string &text,
+                          QueuePolicyKind &out);
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_QUEUE_POLICY_HH

@@ -3,15 +3,21 @@
  * Request-scheduler interface for continuous batching.
  *
  * Once per engine iteration the scheduler is shown the running batch
- * and the waiting queue and decides how many queued requests to
- * admit *from the front of the queue* (admission is FCFS-prefix,
- * matching Algorithm 1, which walks S_q in order and stops at the
- * first request that does not fit).
+ * and the waiting queue and decides which queued requests fit in
+ * memory. The interface is an *incremental admission round*: the
+ * caller opens a round over the context, then feasibility-tests
+ * candidates one at a time in whatever order the queue policy
+ * dictates (see scheduling_policy.hh). Each accepted candidate is
+ * committed into the round's running state so later tests see it as
+ * admitted. Algorithm 1's FCFS-prefix semantics — walk S_q in order
+ * and stop at the first request that does not fit — is recovered by
+ * the selectAdmissions() helper.
  */
 
 #ifndef LIGHTLLM_CORE_SCHEDULER_HH
 #define LIGHTLLM_CORE_SCHEDULER_HH
 
+#include <cstdint>
 #include <span>
 #include <string>
 
@@ -39,6 +45,17 @@ struct RunningView
      * optimum") scheduler may read this; real schedulers must not.
      */
     TokenCount trueOutputLen = 0;
+
+    /** Admission-order stamp (monotone; for eviction-victim
+     *  policies: largest = most recently admitted). */
+    std::uint64_t admitSeq = 0;
+
+    /** Priority class (higher = more urgent). */
+    int priority = 0;
+
+    /** Admitted but still prefilling — holds KV and will generate,
+     *  but is not an eligible eviction victim. */
+    bool prefilling = false;
 };
 
 /** Scheduler's view of one queued request. */
@@ -64,6 +81,9 @@ struct WaitingView
 
     /** Ground-truth output length; oracle use only. */
     TokenCount trueOutputLen = 0;
+
+    /** Priority class (higher = more urgent). */
+    int priority = 0;
 };
 
 /** Everything a scheduler may inspect when deciding admissions. */
@@ -93,19 +113,40 @@ struct SchedulerContext
     std::span<const WaitingView> waiting;
 };
 
-/** Abstract admission policy. */
+/**
+ * Abstract memory-feasibility (admission) policy.
+ *
+ * Implementations are stateful within one admission round: an
+ * accepted candidate raises the committed footprint that subsequent
+ * candidates are tested against. Rounds must be deterministic given
+ * the construction-time seed and the order of tryAdmit calls.
+ */
 class Scheduler
 {
   public:
     virtual ~Scheduler() = default;
 
     /**
-     * Number of requests to admit from the front of ctx.waiting
-     * (0 admits nothing). Implementations must be deterministic
-     * given their construction-time seed.
+     * Open an admission round over `ctx`: reset incremental state
+     * and charge the running batch's (predicted) footprint.
      */
-    virtual std::size_t selectAdmissions(
-        const SchedulerContext &ctx) = 0;
+    virtual void beginAdmissionRound(const SchedulerContext &ctx) = 0;
+
+    /**
+     * Feasibility-test `candidate` against the round's committed
+     * state; on success the candidate is committed as admitted.
+     * `candidate` must refer to an entry of the round's
+     * ctx.waiting.
+     */
+    virtual bool tryAdmit(const WaitingView &candidate) = 0;
+
+    /**
+     * Number of requests to admit from the front of ctx.waiting
+     * (0 admits nothing) — Algorithm 1's FCFS-prefix semantics,
+     * expressed over the round API: walk the queue in order and
+     * stop at the first candidate that does not fit.
+     */
+    std::size_t selectAdmissions(const SchedulerContext &ctx);
 
     /**
      * Notification that request `id` finished with `output_len`

@@ -62,6 +62,13 @@ makeScheduler(const SchedulerConfig &config)
     panic("unknown scheduler kind");
 }
 
+std::unique_ptr<SchedulingPolicy>
+makeSchedulingPolicy(const SchedulerConfig &config)
+{
+    return std::make_unique<SchedulingPolicy>(
+        makeScheduler(config), makeQueuePolicy(config.queue));
+}
+
 const char *
 schedulerKindName(SchedulerKind kind)
 {

@@ -10,7 +10,9 @@
 #include <memory>
 
 #include "core/past_future_scheduler.hh"
+#include "core/queue_policy.hh"
 #include "core/scheduler.hh"
+#include "core/scheduling_policy.hh"
 
 namespace lightllm {
 namespace core {
@@ -38,6 +40,9 @@ struct SchedulerConfig
     /** Past-Future tunables. */
     PastFutureParams pastFuture;
 
+    /** Queue-ordering policy (FCFS reproduces the seed pipeline). */
+    QueuePolicyConfig queue;
+
     // Convenience named constructors for the paper's configurations.
     static SchedulerConfig conservative(double overcommit = 1.0);
     static SchedulerConfig aggressive(double watermark = 0.95);
@@ -46,8 +51,12 @@ struct SchedulerConfig
     static SchedulerConfig oracle();
 };
 
-/** Instantiate the configured scheduler. */
+/** Instantiate the configured admission scheduler alone. */
 std::unique_ptr<Scheduler> makeScheduler(const SchedulerConfig &config);
+
+/** Instantiate the full pipeline: admission + queue policy. */
+std::unique_ptr<SchedulingPolicy>
+makeSchedulingPolicy(const SchedulerConfig &config);
 
 /** Short lowercase label for the kind ("conservative", ...). */
 const char *schedulerKindName(SchedulerKind kind);

@@ -1,0 +1,60 @@
+#include "core/scheduling_decision.hh"
+
+#include <unordered_set>
+
+namespace lightllm {
+namespace core {
+
+std::string
+validateDecision(const SchedulingDecision &decision,
+                 const SchedulerContext &ctx)
+{
+    // Saturated engines produce empty decisions most iterations;
+    // skip the membership sets entirely then.
+    if (decision.empty())
+        return "";
+
+    std::unordered_set<RequestId> waiting_ids;
+    waiting_ids.reserve(ctx.waiting.size());
+    for (const auto &view : ctx.waiting)
+        waiting_ids.insert(view.id);
+
+    std::unordered_set<RequestId> seen;
+    seen.reserve(decision.admit.size() + decision.evict.size());
+    for (RequestId id : decision.admit) {
+        if (!waiting_ids.contains(id)) {
+            return "admit id " + std::to_string(id) +
+                " is not in the waiting queue";
+        }
+        if (!seen.insert(id).second) {
+            return "admit id " + std::to_string(id) +
+                " appears more than once";
+        }
+    }
+
+    for (RequestId id : decision.evict) {
+        const RunningView *found = nullptr;
+        for (const auto &view : ctx.running) {
+            if (view.id == id) {
+                found = &view;
+                break;
+            }
+        }
+        if (found == nullptr) {
+            return "evict id " + std::to_string(id) +
+                " is not in the running batch";
+        }
+        if (found->prefilling) {
+            return "evict id " + std::to_string(id) +
+                " is still prefilling";
+        }
+        if (!seen.insert(id).second) {
+            return "evict id " + std::to_string(id) +
+                " appears more than once";
+        }
+    }
+    return "";
+}
+
+} // namespace core
+} // namespace lightllm

@@ -1,0 +1,93 @@
+#include "core/scheduling_policy.hh"
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace core {
+
+SchedulingPolicy::SchedulingPolicy(
+    std::unique_ptr<Scheduler> admission,
+    std::unique_ptr<QueuePolicy> queue)
+    : admission_(std::move(admission)), queue_(std::move(queue))
+{
+    LIGHTLLM_ASSERT(admission_ != nullptr,
+                    "scheduling policy needs an admission policy");
+    if (queue_ == nullptr)
+        queue_ = makeQueuePolicy(QueuePolicyConfig{});
+}
+
+SchedulingDecision
+SchedulingPolicy::decide(const SchedulerContext &ctx)
+{
+    SchedulingDecision decision;
+    if (ctx.waiting.empty())
+        return decision;
+
+    queue_->order(ctx, orderScratch_);
+    LIGHTLLM_ASSERT(orderScratch_.size() == ctx.waiting.size(),
+                    "queue policy must permute the whole queue");
+
+    admission_->beginAdmissionRound(ctx);
+    for (std::size_t index : orderScratch_) {
+        const WaitingView &candidate = ctx.waiting[index];
+        if (!admission_->tryAdmit(candidate))
+            break;
+        decision.admit.push_back(candidate.id);
+    }
+
+    if (decision.admit.empty() && ctx.running.empty()) {
+        // The system is idle yet the policy refuses the head-of-
+        // order request (e.g. conservative with prompt +
+        // max_new_tokens beyond capacity). Real frameworks always
+        // run at least one request; force progress.
+        decision.admit.push_back(
+            ctx.waiting[orderScratch_.front()].id);
+    }
+    return decision;
+}
+
+RequestId
+SchedulingPolicy::selectVictim(const SchedulerContext &ctx,
+                               VictimOrder tie_break)
+{
+    LIGHTLLM_ASSERT(!ctx.running.empty(),
+                    "victim selection over an empty batch");
+    const RunningView *victim = &ctx.running.front();
+    for (std::size_t i = 1; i < ctx.running.size(); ++i) {
+        const RunningView &candidate = ctx.running[i];
+        if (queue_->evictBefore(candidate, *victim, tie_break))
+            victim = &candidate;
+    }
+    return victim->id;
+}
+
+void
+SchedulingPolicy::onRequestFinished(RequestId id,
+                                    TokenCount output_len)
+{
+    admission_->onRequestFinished(id, output_len);
+    queue_->onRequestFinished(id, output_len);
+}
+
+void
+SchedulingPolicy::onRequestEvicted(RequestId id)
+{
+    admission_->onRequestEvicted(id);
+}
+
+TokenCount
+SchedulingPolicy::estimateLoad(const SchedulerContext &ctx)
+{
+    return admission_->estimateLoad(ctx);
+}
+
+std::string
+SchedulingPolicy::name() const
+{
+    if (queue_->kind() == QueuePolicyKind::Fcfs)
+        return admission_->name();
+    return admission_->name() + "+" + queue_->name();
+}
+
+} // namespace core
+} // namespace lightllm

@@ -9,19 +9,31 @@
 namespace lightllm {
 namespace engine {
 
-ServingEngine::ServingEngine(model::PerfModel perf_model,
-                             std::unique_ptr<core::Scheduler> scheduler,
-                             EngineConfig config)
-    : perf_(std::move(perf_model)), scheduler_(std::move(scheduler)),
+ServingEngine::ServingEngine(
+    model::PerfModel perf_model,
+    std::unique_ptr<core::SchedulingPolicy> policy,
+    EngineConfig config)
+    : perf_(std::move(perf_model)), policy_(std::move(policy)),
       config_(config),
       kv_(perf_.tokenCapacity(), config.blockSize),
       collector_(kv_.capacityTokens(), config.timeseriesInterval)
 {
-    LIGHTLLM_ASSERT(scheduler_ != nullptr, "engine needs a scheduler");
+    LIGHTLLM_ASSERT(policy_ != nullptr,
+                    "engine needs a scheduling policy");
     LIGHTLLM_ASSERT(config_.timeFactor > 0.0,
                     "time factor must be positive");
     LIGHTLLM_ASSERT(!config_.splitFuse || config_.splitFuseChunk > 0,
                     "split-fuse chunk must be positive");
+}
+
+ServingEngine::ServingEngine(model::PerfModel perf_model,
+                             std::unique_ptr<core::Scheduler> scheduler,
+                             EngineConfig config)
+    : ServingEngine(std::move(perf_model),
+                    std::make_unique<core::SchedulingPolicy>(
+                        std::move(scheduler)),
+                    config)
+{
 }
 
 ServingEngine::~ServingEngine() = default;
@@ -70,30 +82,36 @@ ServingEngine::deliverArrivals()
     events_.runUntil(now_);
 }
 
+core::RunningView
+ServingEngine::runningViewOf(const EngineRequest &request,
+                             bool prefilling)
+{
+    return core::RunningView{
+        request.spec.id,      request.spec.inputLen,
+        request.generated,    request.spec.maxNewTokens,
+        request.spec.outputLen, request.admitSeq,
+        request.spec.priority, prefilling};
+}
+
 core::SchedulerContext
 ServingEngine::buildContext()
 {
     runningViews_.clear();
-    auto add_running = [this](const EngineRequest *request) {
-        runningViews_.push_back(core::RunningView{
-            request->spec.id, request->spec.inputLen,
-            request->generated, request->spec.maxNewTokens,
-            request->spec.outputLen});
-    };
     for (const EngineRequest *request : running_)
-        add_running(request);
+        runningViews_.push_back(runningViewOf(*request, false));
     // Admitted-but-prefilling requests already hold KV memory and
     // will generate; the scheduler must see them as part of the
-    // running batch.
+    // running batch (they are not eviction candidates, though).
     for (const EngineRequest *request : prefillPending_)
-        add_running(request);
+        runningViews_.push_back(runningViewOf(*request, true));
 
     waitingViews_.clear();
     for (const EngineRequest *request : waiting_) {
         waitingViews_.push_back(core::WaitingView{
             request->spec.id, request->spec.inputLen,
             request->generated, request->spec.maxNewTokens,
-            request->arrival, request->spec.outputLen});
+            request->arrival, request->spec.outputLen,
+            request->spec.priority});
     }
 
     core::SchedulerContext ctx;
@@ -142,7 +160,18 @@ ServingEngine::admitRequests()
         return;
 
     const core::SchedulerContext ctx = buildContext();
-    std::size_t admit = scheduler_->selectAdmissions(ctx);
+    core::SchedulingDecision decision = policy_->decide(ctx);
+
+    const std::string error = core::validateDecision(decision, ctx);
+    if (!error.empty())
+        fatal("invalid scheduling decision: ", error);
+
+    // Proactive evictions first: they free the memory the
+    // admissions below were planned against.
+    Tick eviction_stall = 0;
+    for (RequestId id : decision.evict)
+        eviction_stall += evictRequest(id);
+    now_ += eviction_stall;
 
     if (config_.maxBatchSize > 0) {
         const std::size_t active =
@@ -150,19 +179,27 @@ ServingEngine::admitRequests()
         const std::size_t room = config_.maxBatchSize > active
             ? config_.maxBatchSize - active
             : 0;
-        admit = std::min(admit, room);
+        if (decision.admit.size() > room)
+            decision.admit.resize(room);
     }
 
-    if (admit == 0 && running_.empty() && prefillPending_.empty()) {
-        // The system is idle yet the policy refuses the head request
-        // (e.g. conservative with prompt + max_new_tokens beyond
-        // capacity). Real frameworks always run at least one
-        // request; force progress.
-        admit = 1;
+    if (decision.admit.empty() && running_.empty() &&
+        prefillPending_.empty()) {
+        // Backstop for custom policies: the built-in pipeline
+        // already force-admits its head-of-order request when the
+        // system is idle (see SchedulingPolicy::decide).
+        decision.admit.push_back(waiting_.front()->spec.id);
     }
 
-    for (std::size_t i = 0; i < admit && !waiting_.empty(); ++i) {
-        EngineRequest *request = waiting_.front();
+    for (RequestId id : decision.admit) {
+        const auto it = std::find_if(
+            waiting_.begin(), waiting_.end(),
+            [id](const EngineRequest *request) {
+                return request->spec.id == id;
+            });
+        LIGHTLLM_ASSERT(it != waiting_.end(),
+                        "admitted id ", id, " left the queue");
+        EngineRequest *request = *it;
         if (!admitOne(request)) {
             if (running_.empty() && prefillPending_.empty()) {
                 fatal("request ", request->spec.id, " (prompt ",
@@ -172,7 +209,7 @@ ServingEngine::admitRequests()
             }
             break;
         }
-        waiting_.pop_front();
+        waiting_.erase(it);
     }
 }
 
@@ -202,8 +239,8 @@ ServingEngine::finishRequest(EngineRequest *request)
     collector_.onRequestFinished(record);
 
     kv_.release(request->spec.id);
-    scheduler_->onRequestFinished(request->spec.id,
-                                  request->generated);
+    policy_->onRequestFinished(request->spec.id,
+                               request->generated);
     ++finished_;
     if (config_.warmupRequests > 0 &&
         finished_ == config_.warmupRequests) {
@@ -221,15 +258,37 @@ ServingEngine::evictOne()
 {
     LIGHTLLM_ASSERT(!running_.empty(),
                     "eviction with empty running batch");
-    // Pick the victim per policy over admission order.
-    auto victim_it = running_.begin();
-    for (auto it = running_.begin() + 1; it != running_.end(); ++it) {
-        const bool newer = (*it)->admitSeq > (*victim_it)->admitSeq;
-        if (config_.evictionPolicy == EvictionPolicy::Lifo ? newer
-                                                           : !newer) {
-            victim_it = it;
-        }
-    }
+    // Victim choice is the policy's: build a context over the
+    // decoding batch only (prefilling requests are not evictable)
+    // and let the queue policy rank candidates, tie-broken by the
+    // engine-configured admission order.
+    runningViews_.clear();
+    for (const EngineRequest *request : running_)
+        runningViews_.push_back(runningViewOf(*request, false));
+    core::SchedulerContext ctx;
+    ctx.now = now_;
+    ctx.capacityTokens = kv_.capacityTokens();
+    ctx.usedTokens = kv_.usedTokens();
+    ctx.perRequestOverhead = kv_.blockSize();
+    ctx.running = runningViews_;
+
+    const core::VictimOrder order =
+        config_.evictionPolicy == EvictionPolicy::Lifo
+        ? core::VictimOrder::NewestFirst
+        : core::VictimOrder::OldestFirst;
+    return evictRequest(policy_->selectVictim(ctx, order));
+}
+
+Tick
+ServingEngine::evictRequest(RequestId id)
+{
+    const auto victim_it = std::find_if(
+        running_.begin(), running_.end(),
+        [id](const EngineRequest *request) {
+            return request->spec.id == id;
+        });
+    LIGHTLLM_ASSERT(victim_it != running_.end(),
+                    "eviction victim ", id, " is not decoding");
     EngineRequest *victim = *victim_it;
     running_.erase(victim_it);
     std::erase(runningIds_, victim->spec.id);
@@ -240,7 +299,7 @@ ServingEngine::evictOne()
     victim->evictions += 1;
     victim->remainingPrompt = 0;
     collector_.onEviction(victim->evictions == 1);
-    scheduler_->onRequestEvicted(victim->spec.id);
+    policy_->onRequestEvicted(victim->spec.id);
     // Back to the front of the queue; the KV is either rebuilt by a
     // future recompute prefill or restored by a swap-in.
     waiting_.push_front(victim);
@@ -519,7 +578,7 @@ ServingEngine::run(const RunLimits &limits)
 metrics::RunReport
 ServingEngine::report() const
 {
-    return collector_.finish(scheduler_->name(), now_);
+    return collector_.finish(policy_->name(), now_);
 }
 
 bool
@@ -542,7 +601,7 @@ TokenCount
 ServingEngine::predictedLoadTokens()
 {
     const core::SchedulerContext ctx = buildContext();
-    return scheduler_->estimateLoad(ctx) + undeliveredTokens_;
+    return policy_->estimateLoad(ctx) + undeliveredTokens_;
 }
 
 } // namespace engine

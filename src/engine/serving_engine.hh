@@ -3,12 +3,15 @@
  * Continuous-batching LLM serving engine (discrete-event simulated).
  *
  * Reproduces the iteration-level serving loop of LightLLM/ORCA-style
- * frameworks: each iteration the scheduler may admit queued requests
- * (prefill), then the running batch advances one decode step; every
- * request's tokens are timestamped so TTFT/TPOT/MTPOT and goodput
- * can be evaluated exactly. Memory is managed by the paged KV block
- * manager; when a decode step cannot allocate the next token slots,
- * requests are evicted (recompute semantics: the victim re-queues at
+ * frameworks: each iteration the scheduling policy is shown the
+ * running batch and the waiting queue and emits a SchedulingDecision
+ * (which requests to admit, in which order, and any proactive
+ * eviction victims); the engine validates and executes it (prefill,
+ * then one decode step over the batch). Every request's tokens are
+ * timestamped so TTFT/TPOT/MTPOT and goodput can be evaluated
+ * exactly. Memory is managed by the paged KV block manager; when a
+ * decode step cannot allocate the next token slots, the policy picks
+ * a victim to evict (recompute semantics: the victim re-queues at
  * the front and its KV is rebuilt by a later prefill over
  * prompt + already-generated tokens).
  *
@@ -28,6 +31,7 @@
 #include "base/types.hh"
 #include "core/future_memory.hh"
 #include "core/scheduler.hh"
+#include "core/scheduling_policy.hh"
 #include "engine/engine_config.hh"
 #include "memory/kv_block_manager.hh"
 #include "metrics/collector.hh"
@@ -48,6 +52,16 @@ class ServingEngine : public workload::RequestSink
     using FinishCallback =
         std::function<void(const workload::RequestSpec &, Tick)>;
 
+    /** Full pipeline: admission policy + queue-ordering policy. */
+    ServingEngine(model::PerfModel perf_model,
+                  std::unique_ptr<core::SchedulingPolicy> policy,
+                  EngineConfig config = {});
+
+    /**
+     * Compatibility adapter: wraps `scheduler` in a SchedulingPolicy
+     * with the FCFS queue policy, which reproduces the seed's
+     * count-based FCFS-prefix admissions bit-identically.
+     */
     ServingEngine(model::PerfModel perf_model,
                   std::unique_ptr<core::Scheduler> scheduler,
                   EngineConfig config = {});
@@ -116,7 +130,8 @@ class ServingEngine : public workload::RequestSink
     std::size_t numFinished() const { return finished_; }
     const memory::KvBlockManager &kvManager() const { return kv_; }
     const model::PerfModel &perfModel() const { return perf_; }
-    core::Scheduler &scheduler() { return *scheduler_; }
+    core::SchedulingPolicy &policy() { return *policy_; }
+    core::Scheduler &scheduler() { return policy_->admission(); }
     TokenCount capacityTokens() const { return kv_.capacityTokens(); }
 
   private:
@@ -151,7 +166,7 @@ class ServingEngine : public workload::RequestSink
     /** Move due arrivals from the event queue into the wait queue. */
     void deliverArrivals();
 
-    /** Ask the scheduler for admissions and allocate them. */
+    /** Ask the policy for a decision and execute it. */
     void admitRequests();
 
     /** Admit one request: allocate KV and queue its prefill. */
@@ -167,13 +182,18 @@ class ServingEngine : public workload::RequestSink
     void runFusedStep();
 
     /**
-     * Evict one running request per the configured policy.
+     * Evict one running request; the victim is chosen by the
+     * scheduling policy (queue-policy victim ranking over the
+     * configured LIFO/FIFO tie-break).
      *
      * @return Stall ticks charged to the current iteration (the
      *         swap-out transfer; recompute eviction is free now and
      *         pays at re-prefill).
      */
     Tick evictOne();
+
+    /** Evict the given running request (decision executor). */
+    Tick evictRequest(RequestId id);
 
     /** Mark a token emission for `request` at `tick`. */
     void recordEmission(EngineRequest &request, Tick tick);
@@ -187,6 +207,10 @@ class ServingEngine : public workload::RequestSink
     /** Scheduler context over the current queues. */
     core::SchedulerContext buildContext();
 
+    /** Policy-facing view of one engine request. */
+    static core::RunningView runningViewOf(
+        const EngineRequest &request, bool prefilling);
+
     /** Scale a modelled latency by the engine time factor. */
     Tick scaled(Tick duration) const;
 
@@ -194,7 +218,7 @@ class ServingEngine : public workload::RequestSink
     bool limitsReached(const RunLimits &limits) const;
 
     model::PerfModel perf_;
-    std::unique_ptr<core::Scheduler> scheduler_;
+    std::unique_ptr<core::SchedulingPolicy> policy_;
     EngineConfig config_;
     memory::KvBlockManager kv_;
     metrics::MetricsCollector collector_;

@@ -167,5 +167,34 @@ concatDatasets(const std::string &name,
     return dataset;
 }
 
+void
+assignPriorityMix(Dataset &dataset, std::span<const double> shares,
+                  std::uint64_t seed)
+{
+    LIGHTLLM_ASSERT(!shares.empty(), "priority mix needs >= 1 share");
+    double total = 0.0;
+    for (double share : shares) {
+        LIGHTLLM_ASSERT(share >= 0.0,
+                        "priority shares must be non-negative");
+        total += share;
+    }
+    LIGHTLLM_ASSERT(total > 0.0, "priority shares must not all be 0");
+
+    Rng rng(seed);
+    for (RequestSpec &spec : dataset.requests) {
+        const double draw = rng.uniformDouble() * total;
+        double cumulative = 0.0;
+        int priority = static_cast<int>(shares.size()) - 1;
+        for (std::size_t p = 0; p < shares.size(); ++p) {
+            cumulative += shares[p];
+            if (draw < cumulative) {
+                priority = static_cast<int>(p);
+                break;
+            }
+        }
+        spec.priority = priority;
+    }
+}
+
 } // namespace workload
 } // namespace lightllm

@@ -17,6 +17,7 @@
 #define LIGHTLLM_WORKLOAD_DATASETS_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,17 @@ Dataset makeTextVqaLike(std::size_t n, TokenCount image_tokens,
 /** Concatenate datasets back to back (Fig 8's varying load). */
 Dataset concatDatasets(const std::string &name,
                        const std::vector<Dataset> &parts);
+
+/**
+ * Assign priority classes to a dataset's requests: `shares[p]` is
+ * the fraction of requests in class p (higher p = more urgent);
+ * shares are normalised over their sum. Assignment is an i.i.d.
+ * draw per request, deterministic in `seed` — the workload knob
+ * behind the priority/EDF queue policies' `--priority-mix`.
+ */
+void assignPriorityMix(Dataset &dataset,
+                       std::span<const double> shares,
+                       std::uint64_t seed);
 
 } // namespace workload
 } // namespace lightllm

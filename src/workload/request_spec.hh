@@ -32,6 +32,13 @@ struct RequestSpec
     /** User-configured generation cap (max_new_tokens). */
     TokenCount maxNewTokens = 0;
 
+    /**
+     * Priority class (higher = more urgent; 0 = normal). Consumed
+     * by the priority queue policy (admission order and eviction
+     * shielding) and by EDF's per-class deadline budgets.
+     */
+    int priority = 0;
+
     /** Number of output tokens generation will actually produce. */
     TokenCount
     effectiveOutputLen() const

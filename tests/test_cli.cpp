@@ -181,6 +181,54 @@ TEST(CliAssemble, RejectsUnknownNames)
     options.evictionPolicy = "nope";
     EXPECT_THROW(cli::assembleScenario(options),
                  std::invalid_argument);
+
+    options = {};
+    options.queuePolicy = "nope";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+
+    options = {};
+    options.priorityMix = "0.5,x";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+
+    options = {};
+    options.priorityMix = "0,0";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+}
+
+TEST(CliAssemble, QueuePolicyAndPriorityMixWireThrough)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--queue-policy", "edf", "--priority-mix",
+                     "0.5,0.5", "--requests", "64", "--window-size",
+                     "250"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+    EXPECT_EQ(scenario.schedulerConfig.queue.kind,
+              core::QueuePolicyKind::Edf);
+    // EDF deadlines follow the scenario's TTFT SLA; the SJF
+    // predictor follows the past-future window size and seed.
+    EXPECT_EQ(scenario.schedulerConfig.queue.ttftDeadline,
+              scenario.sla.ttftLimit);
+    EXPECT_EQ(scenario.schedulerConfig.queue.predictorWindow, 250u);
+    EXPECT_EQ(scenario.schedulerConfig.queue.seedOutputLen,
+              scenario.dataset.maxNewTokens);
+
+    // Both classes must actually occur, deterministically in seed.
+    std::size_t high = 0;
+    for (const auto &spec : scenario.dataset.requests)
+        high += spec.priority == 1 ? 1 : 0;
+    EXPECT_GT(high, 0u);
+    EXPECT_LT(high, scenario.dataset.requests.size());
+    const cli::Scenario again = cli::assembleScenario(options);
+    for (std::size_t i = 0; i < scenario.dataset.requests.size();
+         ++i) {
+        EXPECT_EQ(scenario.dataset.requests[i].priority,
+                  again.dataset.requests[i].priority);
+    }
 }
 
 TEST(CliRun, TinyScenarioEndToEnd)

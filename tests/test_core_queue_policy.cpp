@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Unit tests for the decision-based scheduling pipeline: queue
+ * orderings, decision validation, victim ranking, the shared length
+ * predictor, and the SchedulingPolicy composition — all over
+ * crafted contexts (no engine involved).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/conservative_scheduler.hh"
+#include "core/length_predictor.hh"
+#include "core/queue_policy.hh"
+#include "core/scheduler_factory.hh"
+#include "core/scheduling_decision.hh"
+#include "core/scheduling_policy.hh"
+
+namespace lightllm {
+namespace core {
+namespace {
+
+/** Convenience builder for contexts over value vectors. */
+struct ContextBuilder
+{
+    TokenCount capacity = 1000;
+    TokenCount used = 0;
+    TokenCount overhead = 0;
+    std::vector<RunningView> running;
+    std::vector<WaitingView> waiting;
+
+    ContextBuilder &
+    addRunning(RequestId id, TokenCount prompt, TokenCount generated,
+               TokenCount max_new, std::uint64_t admit_seq,
+               int priority = 0, bool prefilling = false)
+    {
+        RunningView view;
+        view.id = id;
+        view.promptLen = prompt;
+        view.generatedLen = generated;
+        view.maxNewTokens = max_new;
+        view.trueOutputLen = max_new;
+        view.admitSeq = admit_seq;
+        view.priority = priority;
+        view.prefilling = prefilling;
+        running.push_back(view);
+        used += prompt + generated;
+        return *this;
+    }
+
+    ContextBuilder &
+    addWaiting(RequestId id, TokenCount prompt, TokenCount max_new,
+               Tick arrival = 0, int priority = 0,
+               TokenCount generated = 0)
+    {
+        WaitingView view;
+        view.id = id;
+        view.promptLen = prompt;
+        view.generatedLen = generated;
+        view.maxNewTokens = max_new;
+        view.arrival = arrival;
+        view.trueOutputLen = max_new;
+        view.priority = priority;
+        waiting.push_back(view);
+        return *this;
+    }
+
+    SchedulerContext
+    context() const
+    {
+        SchedulerContext ctx;
+        ctx.capacityTokens = capacity;
+        ctx.usedTokens = used;
+        ctx.perRequestOverhead = overhead;
+        ctx.running = running;
+        ctx.waiting = waiting;
+        return ctx;
+    }
+};
+
+std::vector<std::size_t>
+orderOf(QueuePolicy &policy, const SchedulerContext &ctx)
+{
+    std::vector<std::size_t> out;
+    policy.order(ctx, out);
+    return out;
+}
+
+// --- LengthPredictor --------------------------------------------------
+
+TEST(LengthPredictorTest, EmptyWindowFallsBackToCap)
+{
+    LengthPredictor predictor(100);
+    EXPECT_EQ(predictor.expectedOutput(0, 4096), 4096);
+    EXPECT_EQ(predictor.predictFootprint(500, 4096), 4596);
+}
+
+TEST(LengthPredictorTest, ExpectedOutputIsCappedTailMean)
+{
+    LengthPredictor predictor(100);
+    for (int i = 0; i < 50; ++i)
+        predictor.observe(100);
+    EXPECT_EQ(predictor.expectedOutput(0, 4096), 100);
+    // The cap binds when the tail mean exceeds it.
+    EXPECT_EQ(predictor.expectedOutput(0, 60), 60);
+    // A request that outlived all history gets the cap.
+    EXPECT_EQ(predictor.expectedOutput(200, 4096), 4096);
+}
+
+TEST(LengthPredictorTest, DistributionRebuildsOnlyOnChange)
+{
+    LengthPredictor predictor(100);
+    predictor.observe(10);
+    const LengthDistribution *first = &predictor.distribution();
+    EXPECT_EQ(first, &predictor.distribution());
+    EXPECT_EQ(predictor.distribution().size(), 1u);
+    predictor.observe(20);
+    EXPECT_EQ(predictor.distribution().size(), 2u);
+}
+
+TEST(LengthPredictorTest, WarmAndSeedFeedTheWindow)
+{
+    LengthPredictor predictor(100);
+    predictor.seed(4096, 4);
+    // Warm history replaces seed placeholders before the ring
+    // grows, so the cold-start seed washes out first.
+    const std::vector<TokenCount> history{10, 20, 30};
+    predictor.warm(history);
+    EXPECT_EQ(predictor.window().size(), 4u);
+    predictor.observe(40);
+    EXPECT_EQ(predictor.window().size(), 4u);
+    predictor.observe(50);
+    EXPECT_EQ(predictor.window().size(), 5u);
+}
+
+// --- Queue orderings --------------------------------------------------
+
+TEST(QueuePolicyTest, FcfsIsIdentity)
+{
+    auto policy = makeQueuePolicy(QueuePolicyConfig{});
+    ContextBuilder builder;
+    builder.addWaiting(5, 100, 200, 30);
+    builder.addWaiting(6, 10, 200, 10);
+    builder.addWaiting(7, 50, 200, 20);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(policy->kind(), QueuePolicyKind::Fcfs);
+    EXPECT_EQ(policy->name(), "FCFS");
+}
+
+TEST(QueuePolicyTest, SjfOrdersByPredictedService)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::PredictedSjf;
+    config.predictorWindow = 100;
+    auto policy = makeQueuePolicy(config);
+    // All history at 100 tokens: expected output is 100 for every
+    // fresh request, so the prompt differentiates.
+    for (int i = 0; i < 50; ++i)
+        policy->onRequestFinished(1000 + i, 100);
+
+    ContextBuilder builder;
+    builder.addWaiting(0, 500, 4096);
+    builder.addWaiting(1, 50, 4096);
+    builder.addWaiting(2, 200, 4096);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(QueuePolicyTest, SjfColdStartOrdersByPromptPlusCap)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::PredictedSjf;
+    auto policy = makeQueuePolicy(config);
+    ContextBuilder builder;
+    builder.addWaiting(0, 100, 4096);
+    builder.addWaiting(1, 100, 64);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(QueuePolicyTest, SjfPrefersRequeuedNearlyDoneRequest)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::PredictedSjf;
+    config.predictorWindow = 100;
+    auto policy = makeQueuePolicy(config);
+    for (int i = 0; i < 50; ++i)
+        policy->onRequestFinished(1000 + i, 100);
+
+    ContextBuilder builder;
+    // Evicted request: prompt 100, generated 90; history says
+    // outputs end at 100, so expected remaining is small and the
+    // recompute prefill (190) still beats the fresh 300-prompt job.
+    builder.addWaiting(0, 300, 4096);
+    builder.addWaiting(1, 100, 4096, 0, 0, 90);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(QueuePolicyTest, SjfTiesKeepQueueOrder)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::PredictedSjf;
+    auto policy = makeQueuePolicy(config);
+    ContextBuilder builder;
+    builder.addWaiting(3, 100, 200);
+    builder.addWaiting(4, 100, 200);
+    builder.addWaiting(5, 100, 200);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(QueuePolicyTest, EdfOrdersByArrivalDeadline)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::Edf;
+    config.ttftDeadline = 1000;
+    auto policy = makeQueuePolicy(config);
+    ContextBuilder builder;
+    builder.addWaiting(0, 100, 200, 500);
+    builder.addWaiting(1, 100, 200, 0);
+    builder.addWaiting(2, 100, 200, 300);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(QueuePolicyTest, EdfHalvesBudgetPerPriorityClass)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::Edf;
+    config.ttftDeadline = 1000;
+    auto policy = makeQueuePolicy(config);
+    ContextBuilder builder;
+    // Class-1 budget is 500: deadline 400 + 500 = 900 beats the
+    // earlier class-0 arrival's 0 + 1000.
+    builder.addWaiting(0, 100, 200, 0, 0);
+    builder.addWaiting(1, 100, 200, 400, 1);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(QueuePolicyTest, PriorityOrdersClassesFcfsWithin)
+{
+    QueuePolicyConfig config;
+    config.kind = QueuePolicyKind::Priority;
+    auto policy = makeQueuePolicy(config);
+    ContextBuilder builder;
+    builder.addWaiting(0, 100, 200, 0, 0);
+    builder.addWaiting(1, 100, 200, 1, 2);
+    builder.addWaiting(2, 100, 200, 2, 1);
+    builder.addWaiting(3, 100, 200, 3, 2);
+    EXPECT_EQ(orderOf(*policy, builder.context()),
+              (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(QueuePolicyTest, FactoryNamesAndParsing)
+{
+    EXPECT_STREQ(queuePolicyKindName(QueuePolicyKind::Fcfs), "fcfs");
+    EXPECT_STREQ(queuePolicyKindName(QueuePolicyKind::PredictedSjf),
+                 "sjf");
+    EXPECT_STREQ(queuePolicyKindName(QueuePolicyKind::Edf), "edf");
+    EXPECT_STREQ(queuePolicyKindName(QueuePolicyKind::Priority),
+                 "priority");
+    for (QueuePolicyKind kind :
+         {QueuePolicyKind::Fcfs, QueuePolicyKind::PredictedSjf,
+          QueuePolicyKind::Edf, QueuePolicyKind::Priority}) {
+        QueuePolicyKind parsed = QueuePolicyKind::Fcfs;
+        EXPECT_TRUE(
+            parseQueuePolicyKind(queuePolicyKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    QueuePolicyKind parsed = QueuePolicyKind::Fcfs;
+    EXPECT_FALSE(parseQueuePolicyKind("bogus", parsed));
+}
+
+// --- Decision validation ----------------------------------------------
+
+SchedulerContext
+validationContext(ContextBuilder &builder)
+{
+    builder.addRunning(10, 100, 5, 200, 1);
+    builder.addRunning(11, 100, 0, 200, 2, 0, /*prefilling=*/true);
+    builder.addWaiting(1, 100, 200);
+    builder.addWaiting(2, 100, 200);
+    return builder.context();
+}
+
+TEST(DecisionValidationTest, AcceptsWellFormedDecision)
+{
+    ContextBuilder builder;
+    const SchedulerContext ctx = validationContext(builder);
+    SchedulingDecision decision;
+    decision.admit = {2, 1};
+    decision.evict = {10};
+    EXPECT_EQ(validateDecision(decision, ctx), "");
+    EXPECT_FALSE(decision.empty());
+    EXPECT_TRUE(SchedulingDecision{}.empty());
+}
+
+TEST(DecisionValidationTest, RejectsUnknownAdmitId)
+{
+    ContextBuilder builder;
+    const SchedulerContext ctx = validationContext(builder);
+    SchedulingDecision decision;
+    decision.admit = {99};
+    EXPECT_NE(validateDecision(decision, ctx), "");
+}
+
+TEST(DecisionValidationTest, RejectsDuplicateAdmitId)
+{
+    ContextBuilder builder;
+    const SchedulerContext ctx = validationContext(builder);
+    SchedulingDecision decision;
+    decision.admit = {1, 2, 1};
+    EXPECT_NE(validateDecision(decision, ctx), "");
+}
+
+TEST(DecisionValidationTest, RejectsEvictOutsideRunningBatch)
+{
+    ContextBuilder builder;
+    const SchedulerContext ctx = validationContext(builder);
+    SchedulingDecision decision;
+    decision.evict = {1};  // waiting, not running
+    EXPECT_NE(validateDecision(decision, ctx), "");
+}
+
+TEST(DecisionValidationTest, RejectsEvictingPrefillingRequest)
+{
+    ContextBuilder builder;
+    const SchedulerContext ctx = validationContext(builder);
+    SchedulingDecision decision;
+    decision.evict = {11};
+    EXPECT_NE(validateDecision(decision, ctx), "");
+}
+
+TEST(DecisionValidationTest, RejectsDuplicateEvictId)
+{
+    ContextBuilder builder;
+    const SchedulerContext ctx = validationContext(builder);
+    SchedulingDecision decision;
+    decision.evict = {10, 10};
+    EXPECT_NE(validateDecision(decision, ctx), "");
+}
+
+// --- SchedulingPolicy composition -------------------------------------
+
+std::unique_ptr<SchedulingPolicy>
+makePipeline(QueuePolicyKind kind)
+{
+    QueuePolicyConfig queue;
+    queue.kind = kind;
+    return std::make_unique<SchedulingPolicy>(
+        std::make_unique<ConservativeScheduler>(1.0),
+        makeQueuePolicy(queue));
+}
+
+TEST(SchedulingPolicyTest, FcfsDecisionMatchesPrefixCount)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::Fcfs);
+    ConservativeScheduler reference(1.0);
+
+    ContextBuilder builder;
+    for (RequestId id = 0; id < 5; ++id)
+        builder.addWaiting(id, 100, 200);
+    const SchedulerContext ctx = builder.context();
+
+    const SchedulingDecision decision = pipeline->decide(ctx);
+    const std::size_t count = reference.selectAdmissions(ctx);
+    ASSERT_EQ(decision.admit.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(decision.admit[i], ctx.waiting[i].id);
+    EXPECT_TRUE(decision.evict.empty());
+    EXPECT_EQ(validateDecision(decision, ctx), "");
+}
+
+TEST(SchedulingPolicyTest, SjfAdmitsShortJobFromBehind)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::PredictedSjf);
+    ContextBuilder builder;
+    // Conservative limit 1000 with 300 already committed: the head
+    // request (500 + 300) does not fit, the short one (100 + 100)
+    // does — FCFS would admit nothing, SJF admits the short job.
+    builder.addRunning(10, 100, 50, 200, 1);
+    builder.addWaiting(0, 500, 300);
+    builder.addWaiting(1, 100, 100);
+    const SchedulerContext ctx = builder.context();
+
+    const SchedulingDecision decision = pipeline->decide(ctx);
+    ASSERT_EQ(decision.admit.size(), 1u);
+    EXPECT_EQ(decision.admit[0], 1);
+
+    auto fcfs = makePipeline(QueuePolicyKind::Fcfs);
+    EXPECT_TRUE(fcfs->decide(ctx).admit.empty());
+}
+
+TEST(SchedulingPolicyTest, ForcesProgressWhenIdle)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::Fcfs);
+    ContextBuilder builder;
+    // Nothing fits (prompt + cap beyond capacity) but the system is
+    // idle: the head request is force-admitted.
+    builder.addWaiting(7, 900, 400);
+    builder.addWaiting(8, 900, 400);
+    const SchedulingDecision decision =
+        pipeline->decide(builder.context());
+    ASSERT_EQ(decision.admit.size(), 1u);
+    EXPECT_EQ(decision.admit[0], 7);
+}
+
+TEST(SchedulingPolicyTest, ForcedProgressFollowsQueueOrder)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::Priority);
+    ContextBuilder builder;
+    builder.addWaiting(7, 900, 400, 0, 0);
+    builder.addWaiting(8, 900, 400, 1, 3);
+    const SchedulingDecision decision =
+        pipeline->decide(builder.context());
+    ASSERT_EQ(decision.admit.size(), 1u);
+    EXPECT_EQ(decision.admit[0], 8);
+}
+
+TEST(SchedulingPolicyTest, EmptyQueueYieldsEmptyDecision)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::Fcfs);
+    ContextBuilder builder;
+    builder.addRunning(10, 100, 5, 200, 1);
+    EXPECT_TRUE(pipeline->decide(builder.context()).empty());
+}
+
+TEST(SchedulingPolicyTest, VictimSelectionHonoursTieBreakOrder)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::Fcfs);
+    ContextBuilder builder;
+    builder.addRunning(10, 100, 5, 200, /*admit_seq=*/3);
+    builder.addRunning(11, 100, 5, 200, /*admit_seq=*/7);
+    builder.addRunning(12, 100, 5, 200, /*admit_seq=*/5);
+    const SchedulerContext ctx = builder.context();
+    EXPECT_EQ(pipeline->selectVictim(ctx, VictimOrder::NewestFirst),
+              11);
+    EXPECT_EQ(pipeline->selectVictim(ctx, VictimOrder::OldestFirst),
+              10);
+}
+
+TEST(SchedulingPolicyTest, PriorityPolicyShieldsHighClasses)
+{
+    auto pipeline = makePipeline(QueuePolicyKind::Priority);
+    ContextBuilder builder;
+    // Newest admission has the highest class; the low-priority
+    // request is evicted first regardless of admission order.
+    builder.addRunning(10, 100, 5, 200, 1, /*priority=*/2);
+    builder.addRunning(11, 100, 5, 200, 2, /*priority=*/0);
+    builder.addRunning(12, 100, 5, 200, 3, /*priority=*/2);
+    const SchedulerContext ctx = builder.context();
+    EXPECT_EQ(pipeline->selectVictim(ctx, VictimOrder::NewestFirst),
+              11);
+    // Within a class the tie-break order still applies.
+    ContextBuilder same_class;
+    same_class.addRunning(20, 100, 5, 200, 1, 1);
+    same_class.addRunning(21, 100, 5, 200, 2, 1);
+    EXPECT_EQ(pipeline->selectVictim(same_class.context(),
+                                     VictimOrder::NewestFirst),
+              21);
+}
+
+TEST(SchedulingPolicyTest, NameSuffixesNonFcfsQueue)
+{
+    EXPECT_EQ(makePipeline(QueuePolicyKind::Fcfs)->name(),
+              "Conservative");
+    EXPECT_EQ(makePipeline(QueuePolicyKind::Edf)->name(),
+              "Conservative+EDF");
+    EXPECT_EQ(makePipeline(QueuePolicyKind::PredictedSjf)->name(),
+              "Conservative+Predicted-SJF");
+}
+
+TEST(SchedulingPolicyTest, FactoryBuildsConfiguredPipeline)
+{
+    SchedulerConfig config = SchedulerConfig::pastFutureDefault(0.05);
+    config.queue.kind = QueuePolicyKind::Edf;
+    auto pipeline = makeSchedulingPolicy(config);
+    EXPECT_EQ(pipeline->name(), "Past-Future(reserved=5%)+EDF");
+    EXPECT_EQ(pipeline->queue().kind(), QueuePolicyKind::Edf);
+}
+
+} // namespace
+} // namespace core
+} // namespace lightllm

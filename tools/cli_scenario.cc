@@ -173,6 +173,26 @@ makeSla(const CliOptions &options)
     return sla;
 }
 
+/** Parse "--priority-mix 0.8,0.2"-style class shares. */
+std::vector<double>
+parsePriorityMix(const std::string &text)
+{
+    std::vector<double> shares;
+    double total = 0.0;
+    for (const std::string &field : splitString(text, ',')) {
+        double share = 0.0;
+        if (!parseDouble(std::string(trimString(field)), share) ||
+            share < 0.0) {
+            throw std::invalid_argument("bad priority mix: " + text);
+        }
+        shares.push_back(share);
+        total += share;
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("bad priority mix: " + text);
+    return shares;
+}
+
 engine::EngineConfig
 makeEngineConfig(const CliOptions &options)
 {
@@ -243,6 +263,8 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
     valued["--watermark"] = bind_double(options.watermark);
     valued["--reserved-ratio"] = bind_double(options.reservedRatio);
     valued["--window-size"] = bind_size(options.windowSize);
+    valued["--queue-policy"] = bind_string(options.queuePolicy);
+    valued["--priority-mix"] = bind_string(options.priorityMix);
     valued["--model"] = bind_string(options.model);
     valued["--hardware"] = bind_string(options.hardware);
     valued["--tp"] = [&options](const std::string &value) {
@@ -341,6 +363,10 @@ printCliUsage(std::ostream &os)
         "  --window-size N     past_future history window (1000)\n"
         "  --watermark F       aggressive watermark (default 0.95)\n"
         "  --overcommit F      conservative multiplier (default 1.0)\n"
+        "  --queue-policy P    fcfs | sjf | edf | priority\n"
+        "                      (queue ordering; default fcfs)\n"
+        "  --priority-mix L    class shares, lowest first, e.g.\n"
+        "                      0.8,0.2 = 20% priority-1 requests\n"
         "\n"
         "Platform:\n"
         "  --model NAME        llama2-7b | llama2-13b | llama2-70b |\n"
@@ -381,10 +407,27 @@ assembleScenario(const CliOptions &options)
         makeWorkload(options.workload, options.requests,
                      options.seed, image_tokens);
 
+    if (!options.priorityMix.empty()) {
+        workload::assignPriorityMix(
+            dataset, parsePriorityMix(options.priorityMix),
+            options.seed ^ 0x9e3779b97f4a7c15ull);
+    }
+
+    const metrics::SlaSpec sla = makeSla(options);
+
     core::SchedulerConfig scheduler_config =
         makeSchedulerConfig(options);
     // Cold-start seeding with the service cap, as the benches do.
     scheduler_config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+    if (!core::parseQueuePolicyKind(options.queuePolicy,
+                                    scheduler_config.queue.kind)) {
+        throw std::invalid_argument("unknown queue policy: " +
+                                    options.queuePolicy);
+    }
+    scheduler_config.queue.predictorWindow = options.windowSize;
+    scheduler_config.queue.seedOutputLen = dataset.maxNewTokens;
+    // EDF deadlines follow the scenario's TTFT SLA.
+    scheduler_config.queue.ttftDeadline = sla.ttftLimit;
 
     engine::RunLimits limits;
     limits.maxFinishedRequests = options.maxFinishedRequests;
@@ -397,7 +440,7 @@ assembleScenario(const CliOptions &options)
         model::PerfModel(model_spec,
                          makeHardwareSpec(options.hardware,
                                           options.tensorParallel)),
-        makeSla(options),
+        sla,
         makeEngineConfig(options),
         limits,
         options.clients,
@@ -411,7 +454,8 @@ metrics::RunReport
 runScenario(const Scenario &scenario)
 {
     engine::ServingEngine engine(
-        scenario.perf, core::makeScheduler(scenario.schedulerConfig),
+        scenario.perf,
+        core::makeSchedulingPolicy(scenario.schedulerConfig),
         scenario.engineConfig);
 
     if (scenario.poissonRate > 0.0) {

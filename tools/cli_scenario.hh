@@ -48,6 +48,14 @@ struct CliOptions
     double reservedRatio = 0.03;
     std::size_t windowSize = 1000;
 
+    // Queue ordering and priority classes.
+    std::string queuePolicy = "fcfs";
+
+    /** Comma-separated class shares, lowest class first (e.g.
+     *  "0.8,0.2" = 80% priority 0, 20% priority 1); empty keeps
+     *  every request at priority 0. */
+    std::string priorityMix;
+
     // Model / hardware.
     std::string model = "llama2-7b";
     std::string hardware = "a100-80g";
