@@ -1,8 +1,12 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
 
+#include "base/logging.hh"
 #include "engine/serving_engine.hh"
 #include "workload/client_pool.hh"
 
@@ -20,6 +24,35 @@ std::size_t
 smokeSize(std::size_t full, std::size_t smoke)
 {
     return smokeMode() ? smoke : full;
+}
+
+void
+writeJson(const std::string &path, const std::string &name,
+          const std::vector<JsonRow> &rows)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open bench result file for writing: ", path);
+    file.precision(std::numeric_limits<double>::max_digits10);
+    file << "{\n  \"bench\": \"" << name << "\",\n"
+         << "  \"smoke\": " << (smokeMode() ? "true" : "false")
+         << ",\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        file << "    {";
+        for (std::size_t k = 0; k < rows[r].size(); ++k) {
+            // inf/nan are not JSON; fail at write time instead of
+            // archiving an unparseable artifact.
+            LIGHTLLM_ASSERT(std::isfinite(rows[r][k].second),
+                            "non-finite value for key ",
+                            rows[r][k].first, " in bench ", name);
+            file << (k == 0 ? "" : ", ") << '"' << rows[r][k].first
+                 << "\": " << rows[r][k].second;
+        }
+        file << (r + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    file << "  ]\n}\n";
+    if (!file)
+        fatal("error while writing bench result file: ", path);
 }
 
 metrics::RunReport

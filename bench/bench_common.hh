@@ -9,6 +9,7 @@
 #define LIGHTLLM_BENCH_BENCH_COMMON_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scheduler_factory.hh"
@@ -42,6 +43,18 @@ smokeTruncate(std::vector<T> sweep, std::size_t smoke)
         sweep.resize(smoke);
     return sweep;
 }
+
+/** One flat JSON object, as ordered key → number pairs. */
+using JsonRow = std::vector<std::pair<std::string, double>>;
+
+/**
+ * Write a bench result file CI can archive:
+ * `{"bench": <name>, "smoke": <bool>, "rows": [{...}, ...]}`.
+ * Numbers are emitted with enough precision to round-trip. Fatal
+ * on I/O failure.
+ */
+void writeJson(const std::string &path, const std::string &name,
+               const std::vector<JsonRow> &rows);
 
 /** One closed-loop serving run. */
 struct ServeOptions

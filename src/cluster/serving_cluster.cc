@@ -22,10 +22,26 @@ routingPolicyName(RoutingPolicy policy)
     return "unknown";
 }
 
+bool
+parseRoutingPolicy(std::string_view name, RoutingPolicy &out)
+{
+    for (const RoutingPolicy policy :
+         {RoutingPolicy::RoundRobin,
+          RoutingPolicy::LeastOutstandingTokens,
+          RoutingPolicy::FutureMemory}) {
+        if (name == routingPolicyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
 ServingCluster::ServingCluster(
     std::vector<std::unique_ptr<engine::ServingEngine>> instances,
     RoutingPolicy policy)
     : instances_(std::move(instances)), policy_(policy),
+      draining_(instances_.size(), false),
       routedCounts_(instances_.size(), 0),
       routedTokens_(instances_.size(), 0),
       routingPredictor_(1000),
@@ -34,6 +50,7 @@ ServingCluster::ServingCluster(
     LIGHTLLM_ASSERT(!instances_.empty(),
                     "cluster needs at least one instance");
     for (auto &instance : instances_) {
+        instance->attachContext(context_);
         instance->setOnFinish(
             [this](const workload::RequestSpec &spec, Tick tick) {
                 handleFinish(spec, tick);
@@ -78,54 +95,70 @@ ServingCluster::predictFootprint(const workload::RequestSpec &spec)
                                               spec.maxNewTokens);
 }
 
+void
+ServingCluster::recordSubmissions(bool enabled)
+{
+    std::size_t routed = 0;
+    for (std::size_t count : routedCounts_)
+        routed += count;
+    LIGHTLLM_ASSERT(routed == 0,
+                    "recordSubmissions must precede submissions");
+    recordSubmissions_ = enabled;
+}
+
 std::size_t
-ServingCluster::pickInstance(const workload::RequestSpec &spec)
+ServingCluster::leastLoaded(
+    const std::function<double(std::size_t)> &load_of) const
+{
+    // Normalise by instance capacity so heterogeneous fleets
+    // compare fairly; ties keep the lowest index.
+    std::size_t best = instances_.size();
+    double best_load = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        if (draining_[i])
+            continue;
+        const double load = load_of(i) /
+            static_cast<double>(instances_[i]->capacityTokens());
+        if (load < best_load) {
+            best_load = load;
+            best = i;
+        }
+    }
+    LIGHTLLM_ASSERT(best < instances_.size(),
+                    "no routable instance (all draining?)");
+    return best;
+}
+
+std::size_t
+ServingCluster::pickInstance(TokenCount footprint)
 {
     switch (policy_) {
       case RoutingPolicy::RoundRobin:
       {
-        const std::size_t index = nextRoundRobin_;
-        nextRoundRobin_ = (nextRoundRobin_ + 1) % instances_.size();
-        return index;
+        for (std::size_t probe = 0; probe < instances_.size();
+             ++probe) {
+            const std::size_t index = nextRoundRobin_;
+            nextRoundRobin_ =
+                (nextRoundRobin_ + 1) % instances_.size();
+            if (!draining_[index])
+                return index;
+        }
+        panic("no routable instance (all draining?)");
       }
       case RoutingPolicy::LeastOutstandingTokens:
-      {
-        // Normalise current + queued footprint by instance capacity
-        // so heterogeneous fleets compare fairly.
-        std::size_t best = 0;
-        double best_load = std::numeric_limits<double>::max();
-        for (std::size_t i = 0; i < instances_.size(); ++i) {
-            const double load =
-                static_cast<double>(
-                    instances_[i]->outstandingTokens()) /
-                static_cast<double>(
-                    instances_[i]->capacityTokens());
-            if (load < best_load) {
-                best_load = load;
-                best = i;
-            }
-        }
-        return best;
-      }
+        // Current resident + queued footprint: what a router can
+        // observe without the scheduler's help.
+        return leastLoaded([this](std::size_t i) {
+            return static_cast<double>(
+                instances_[i]->outstandingTokens());
+        });
       case RoutingPolicy::FutureMemory:
-      {
         // Router-side Past-Future estimate: predicted in-flight
         // load (including this request) over capacity.
-        const TokenCount footprint = predictFootprint(spec);
-        std::size_t best = 0;
-        double best_load = std::numeric_limits<double>::max();
-        for (std::size_t i = 0; i < instances_.size(); ++i) {
-            const double load =
-                static_cast<double>(predictedLoad_[i] + footprint) /
-                static_cast<double>(
-                    instances_[i]->capacityTokens());
-            if (load < best_load) {
-                best_load = load;
-                best = i;
-            }
-        }
-        return best;
-      }
+        return leastLoaded([this, footprint](std::size_t i) {
+            return static_cast<double>(predictedLoad_[i] +
+                                       footprint);
+        });
     }
     panic("unknown routing policy");
 }
@@ -134,15 +167,75 @@ void
 ServingCluster::submitAt(const workload::RequestSpec &spec,
                          Tick arrival)
 {
-    const std::size_t index = pickInstance(spec);
+    const Tick when = std::max(arrival, context_.now());
+    routeSubmission(spec, when, when);
+}
+
+void
+ServingCluster::routeSubmission(const workload::RequestSpec &spec,
+                                Tick deliver, Tick stamp)
+{
+    // One footprint estimate per submission: the placement decision
+    // and the charge must agree by construction.
+    const TokenCount footprint =
+        policy_ == RoutingPolicy::FutureMemory
+        ? predictFootprint(spec)
+        : 0;
+    const std::size_t index = pickInstance(footprint);
     routedCounts_[index] += 1;
     routedTokens_[index] += spec.effectiveOutputLen();
     if (policy_ == RoutingPolicy::FutureMemory) {
-        const TokenCount charge = predictFootprint(spec);
-        predictedLoad_[index] += charge;
-        charges_.emplace(spec.id, std::make_pair(index, charge));
+        predictedLoad_[index] += footprint;
+        charges_[spec.id] = std::make_pair(index, footprint);
     }
-    instances_[index]->submitAt(spec, arrival);
+    if (recordSubmissions_) {
+        // Mirror the engine's arrival clamp so the log records the
+        // tick the arrival event actually fires.
+        submissionLog_.push_back(RoutedSubmission{
+            index, spec, std::max(deliver, context_.now()), stamp});
+    }
+    instances_[index]->submitStamped(spec, deliver, stamp);
+}
+
+void
+ServingCluster::scheduleDrain(std::size_t index, Tick when)
+{
+    LIGHTLLM_ASSERT(index < instances_.size(), "bad instance index");
+    LIGHTLLM_ASSERT(!ran_, "scheduleDrain must precede run()");
+    context_.schedule(when,
+                      [this, index](Tick) { drainNow(index); });
+}
+
+void
+ServingCluster::drainNow(std::size_t index)
+{
+    LIGHTLLM_ASSERT(!draining_[index], "instance ", index,
+                    " drained twice");
+    draining_[index] = true;
+    std::size_t undrained = 0;
+    for (std::size_t i = 0; i < instances_.size(); ++i)
+        undrained += draining_[i] ? 0 : 1;
+    LIGHTLLM_ASSERT(undrained > 0,
+                    "cannot drain the last routable instance");
+
+    // Requests the instance never admitted go back through the
+    // router with their original arrival stamps (latency metrics
+    // keep counting from the first submission). Their FutureMemory
+    // charges move with them: drop the drained instance's charge
+    // first so re-routing re-charges the new target.
+    for (const auto &drained : instances_[index]->drainQueued()) {
+        const auto it = charges_.find(drained.spec.id);
+        if (it != charges_.end()) {
+            predictedLoad_[it->second.first] -= it->second.second;
+            charges_.erase(it);
+        }
+        // The drained instance never serves this work: take its
+        // tokens back so tokenImbalance() reflects served load
+        // (routedCounts_ intentionally keeps counting decisions).
+        routedTokens_[index] -= drained.spec.effectiveOutputLen();
+        routeSubmission(drained.spec, drained.redispatchAt,
+                        drained.arrivalStamp);
+    }
 }
 
 metrics::RunReport
@@ -151,27 +244,11 @@ ServingCluster::run()
     LIGHTLLM_ASSERT(!ran_, "cluster instances are single-run");
     ran_ = true;
 
-    // Co-simulation: always advance the instance with the smallest
-    // local clock among those that can make progress. Instances
-    // interact only through request routing (closed-loop clients
-    // resubmit on finish), so this bounds causality skew to one
-    // engine iteration.
-    while (true) {
-        engine::ServingEngine *next = nullptr;
-        for (auto &instance : instances_) {
-            if (!instance->hasWork() &&
-                !instance->hasPendingArrivals()) {
-                continue;
-            }
-            if (next == nullptr || instance->now() < next->now())
-                next = instance.get();
-        }
-        if (next == nullptr)
-            break;
-        const bool progressed = next->stepOnce();
-        LIGHTLLM_ASSERT(progressed,
-                        "selected instance failed to progress");
-    }
+    // Exact co-simulation: every arrival, iteration boundary,
+    // completion, and drain fires in global (tick, class, FIFO)
+    // order on the shared context. Engines schedule their own next
+    // iterations, so running the queue dry runs the fleet dry.
+    context_.runToCompletion();
 
     // Merge per-instance reports.
     std::vector<metrics::RunReport> reports;

@@ -21,10 +21,19 @@
  *    proposal end to end: the same distribution that drives
  *    admission drives placement.
  *
- * Instances are co-simulated on interleaved clocks: at each
- * iteration the instance with the smallest local time advances one
- * engine step, which bounds cross-instance causality skew to one
- * iteration.
+ * The fleet is an exact co-simulation: the cluster owns one
+ * sim::SimContext, every engine runs as an event-driven actor on
+ * it, and all interactions (arrivals, completions, drains,
+ * iteration boundaries) fire in global time order. There is no
+ * causality skew — the router never observes an instance's
+ * future — and heterogeneous fleets (HardwareSpec / timeFactor)
+ * compose naturally because nothing assumes instances iterate at
+ * the same cadence. See DESIGN.md §3.
+ *
+ * Instances can be drained mid-run: a draining instance stops
+ * receiving traffic, hands its not-yet-admitted queue back to the
+ * router for re-dispatch, and finishes the requests that already
+ * hold engine state.
  */
 
 #ifndef LIGHTLLM_CLUSTER_SERVING_CLUSTER_HH
@@ -33,6 +42,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +50,7 @@
 #include "core/length_predictor.hh"
 #include "engine/serving_engine.hh"
 #include "metrics/report.hh"
+#include "sim/sim_context.hh"
 #include "workload/client_pool.hh"
 
 namespace lightllm {
@@ -56,15 +67,38 @@ enum class RoutingPolicy
 /** Human-readable policy label. */
 const char *routingPolicyName(RoutingPolicy policy);
 
+/**
+ * Inverse of routingPolicyName.
+ *
+ * @return false when `name` is not a policy label (out untouched).
+ */
+bool parseRoutingPolicy(std::string_view name, RoutingPolicy &out);
+
 /** A fleet of serving engines behind one request router. */
 class ServingCluster : public workload::RequestSink
 {
   public:
     using FinishCallback = engine::ServingEngine::FinishCallback;
 
+    /** One routing decision, as recorded for replay/auditing. */
+    struct RoutedSubmission
+    {
+        std::size_t instance;
+        workload::RequestSpec spec;
+
+        /** Tick at which the arrival fires on the instance. */
+        Tick when;
+
+        /** Recorded arrival for latency metrics (== when, except
+         *  for drain re-dispatches, which keep their original
+         *  arrival stamp). */
+        Tick stamp;
+    };
+
     /**
      * @param instances Engines to route across (>= 1); the cluster
-     *        takes ownership and installs its own finish fan-in.
+     *        takes ownership, attaches every engine to its shared
+     *        SimContext, and installs its own finish fan-in.
      * @param policy Routing policy.
      */
     ServingCluster(
@@ -83,6 +117,14 @@ class ServingCluster : public workload::RequestSink
     void warmRoutingHistory(std::span<const TokenCount> lengths);
 
     /**
+     * Drain instance `index` at tick `when`: it stops receiving
+     * traffic and its not-yet-admitted requests are re-dispatched
+     * through the router. Must be called before run(); at least one
+     * instance must remain undrained.
+     */
+    void scheduleDrain(std::size_t index, Tick when);
+
+    /**
      * Co-simulate all instances to completion and return the merged
      * report (per-instance reports remain available).
      */
@@ -93,11 +135,43 @@ class ServingCluster : public workload::RequestSink
     /** Per-instance report (after run()). */
     metrics::RunReport instanceReport(std::size_t index) const;
 
-    /** Requests routed to each instance. */
+    /** Routing decisions per instance (re-dispatched requests count
+     *  on every instance they were routed to). */
     const std::vector<std::size_t> &routedCounts() const
     {
         return routedCounts_;
     }
+
+    /**
+     * Opt into recording the submission log. Off by default — the
+     * log grows by one entry (including a RequestSpec copy) per
+     * routing decision, which long traces cannot afford. Must be
+     * enabled before the first submission.
+     */
+    void recordSubmissions(bool enabled);
+
+    /**
+     * Every routing decision in order (empty unless
+     * recordSubmissions(true) was set): which instance got which
+     * request, and the tick its arrival fires. Replaying a single
+     * instance's log against a standalone engine reproduces that
+     * instance's co-simulated metrics exactly (the zero-skew
+     * property; see tests/test_cluster_exact.cpp).
+     */
+    const std::vector<RoutedSubmission> &submissionLog() const
+    {
+        return submissionLog_;
+    }
+
+    /** Router-predicted in-flight load per instance (FutureMemory
+     *  accounting; zero after every routed request finished). */
+    const std::vector<TokenCount> &predictedLoads() const
+    {
+        return predictedLoad_;
+    }
+
+    /** The shared simulation context (tests / instrumentation). */
+    sim::SimContext &context() { return context_; }
 
     /**
      * Imbalance of routed output tokens across instances:
@@ -106,8 +180,18 @@ class ServingCluster : public workload::RequestSink
     double tokenImbalance() const;
 
   private:
-    /** Pick the target instance for `spec`. */
-    std::size_t pickInstance(const workload::RequestSpec &spec);
+    /** Route one (possibly re-dispatched) submission. */
+    void routeSubmission(const workload::RequestSpec &spec,
+                         Tick deliver, Tick stamp);
+
+    /** Pick the target instance (`footprint` is the FutureMemory
+     *  charge; unused by the other policies). */
+    std::size_t pickInstance(TokenCount footprint);
+
+    /** Routable instance with the smallest capacity-normalised
+     *  load, where `load_of(i)` is the policy's numerator. */
+    std::size_t leastLoaded(
+        const std::function<double(std::size_t)> &load_of) const;
 
     /** Router-side predicted footprint of a request. */
     TokenCount predictFootprint(const workload::RequestSpec &spec);
@@ -115,11 +199,20 @@ class ServingCluster : public workload::RequestSink
     /** Completion fan-in: bookkeeping + user callback. */
     void handleFinish(const workload::RequestSpec &spec, Tick tick);
 
+    /** Drain-event body for instance `index`. */
+    void drainNow(std::size_t index);
+
+    /** Shared clock + queue all instances are attached to. */
+    sim::SimContext context_;
+
     std::vector<std::unique_ptr<engine::ServingEngine>> instances_;
     RoutingPolicy policy_;
     std::size_t nextRoundRobin_ = 0;
+    std::vector<bool> draining_;
     std::vector<std::size_t> routedCounts_;
     std::vector<TokenCount> routedTokens_;
+    bool recordSubmissions_ = false;
+    std::vector<RoutedSubmission> submissionLog_;
     FinishCallback onFinish_;
     bool ran_ = false;
 

@@ -16,7 +16,9 @@ ServingEngine::ServingEngine(
     : perf_(std::move(perf_model)), policy_(std::move(policy)),
       config_(config),
       kv_(perf_.tokenCapacity(), config.blockSize),
-      collector_(kv_.capacityTokens(), config.timeseriesInterval)
+      collector_(kv_.capacityTokens(), config.timeseriesInterval),
+      ownedContext_(std::make_unique<sim::SimContext>()),
+      context_(ownedContext_.get())
 {
     LIGHTLLM_ASSERT(policy_ != nullptr,
                     "engine needs a scheduling policy");
@@ -39,7 +41,30 @@ ServingEngine::ServingEngine(model::PerfModel perf_model,
 ServingEngine::~ServingEngine() = default;
 
 void
+ServingEngine::attachContext(sim::SimContext &context)
+{
+    LIGHTLLM_ASSERT(!ran_, "cannot attach a context after run()");
+    LIGHTLLM_ASSERT(requests_.empty() && pendingArrivals_.empty(),
+                    "cannot attach a context after submissions");
+    context_ = &context;
+    shared_ = true;
+    ownedContext_.reset();
+}
+
+void
 ServingEngine::submitAt(const workload::RequestSpec &spec, Tick arrival)
+{
+    // Standalone mode clamps to the engine clock (the only clock);
+    // actor mode clamps to the shared clock — the engine's own
+    // clock may legitimately be ahead of it mid-co-simulation.
+    const Tick when =
+        std::max(arrival, shared_ ? context_->now() : now_);
+    submitStamped(spec, when, when);
+}
+
+void
+ServingEngine::submitStamped(const workload::RequestSpec &spec,
+                             Tick deliver, Tick stamp)
 {
     LIGHTLLM_ASSERT(spec.id != kInvalidRequestId, "invalid request id");
     LIGHTLLM_ASSERT(spec.inputLen >= 1, "request ", spec.id,
@@ -48,18 +73,46 @@ ServingEngine::submitAt(const workload::RequestSpec &spec, Tick arrival)
                     " has zero max_new_tokens");
     LIGHTLLM_ASSERT(spec.effectiveOutputLen() >= 1, "request ",
                     spec.id, " would generate no tokens");
+    LIGHTLLM_ASSERT(!draining_, "request ", spec.id,
+                    " submitted to a draining engine");
+    const Tick when =
+        std::max(deliver, shared_ ? context_->now() : now_);
+    LIGHTLLM_ASSERT(stamp >= 0 && stamp <= when, "request ",
+                    spec.id, " arrival stamp ", stamp,
+                    " after its delivery tick ", when);
     undeliveredTokens_ += spec.inputLen;
-    events_.schedule(std::max(arrival, now_), [this, spec](Tick when) {
-        auto request = std::make_unique<EngineRequest>();
-        request->spec = spec;
-        request->arrival = when;
-        EngineRequest *raw = request.get();
-        const bool inserted =
-            requests_.emplace(spec.id, std::move(request)).second;
-        LIGHTLLM_ASSERT(inserted, "duplicate request id ", spec.id);
-        waiting_.push_back(raw);
-        undeliveredTokens_ -= spec.inputLen;
-    });
+    // The event captures only a token; the spec's single copy
+    // lives in pendingArrivals_ until delivery (or drain
+    // claw-back).
+    const std::uint64_t token = nextArrivalToken_++;
+    const sim::EventId event = context_->queue().schedule(
+        when, [this, token](Tick fire) {
+            deliverArrival(token, fire);
+        });
+    pendingArrivals_.emplace(token,
+                             PendingArrival{event, spec, stamp});
+}
+
+void
+ServingEngine::deliverArrival(std::uint64_t token, Tick when)
+{
+    const auto pending_it = pendingArrivals_.find(token);
+    LIGHTLLM_ASSERT(pending_it != pendingArrivals_.end(),
+                    "arrival event for unknown token ", token);
+    const workload::RequestSpec spec = pending_it->second.spec;
+    const Tick stamp = pending_it->second.stamp;
+    pendingArrivals_.erase(pending_it);
+    auto request = std::make_unique<EngineRequest>();
+    request->spec = spec;
+    request->arrival = stamp;
+    EngineRequest *raw = request.get();
+    const bool inserted =
+        requests_.emplace(spec.id, std::move(request)).second;
+    LIGHTLLM_ASSERT(inserted, "duplicate request id ", spec.id);
+    waiting_.push_back(raw);
+    undeliveredTokens_ -= spec.inputLen;
+    if (shared_)
+        wakeActor(when);
 }
 
 void
@@ -79,7 +132,45 @@ ServingEngine::scaled(Tick duration) const
 void
 ServingEngine::deliverArrivals()
 {
-    events_.runUntil(now_);
+    context_->queue().runUntil(now_);
+}
+
+void
+ServingEngine::wakeActor(Tick when)
+{
+    // An iteration can never start before the engine finished its
+    // previous one, nor before the triggering event.
+    const Tick start = std::max(now_, when);
+    if (!stepScheduled_) {
+        stepEvent_ = context_->schedule(
+            start, [this](Tick tick) { onStepEvent(tick); },
+            sim::EventClass::Step);
+        stepScheduled_ = true;
+        stepTick_ = start;
+        return;
+    }
+    if (start < stepTick_) {
+        // An arrival landed before the idle-scheduled iteration:
+        // pull the iteration forward so the engine reacts at the
+        // arrival tick, exactly as the self-clocked loop would.
+        context_->reschedule(stepEvent_, start);
+        stepTick_ = start;
+    }
+}
+
+void
+ServingEngine::onStepEvent(Tick when)
+{
+    stepScheduled_ = false;
+    stepEvent_ = sim::kInvalidEventId;
+    LIGHTLLM_ASSERT(when >= now_, "step event at ", when,
+                    " behind engine clock ", now_);
+    now_ = when;
+    if (!hasWork())
+        return;  // drained or spuriously woken; nothing to do
+    iterateOnce();
+    if (hasWork())
+        wakeActor(now_);
 }
 
 core::RunningView
@@ -249,8 +340,21 @@ ServingEngine::finishRequest(EngineRequest *request)
 
     const workload::RequestSpec spec = request->spec;
     requests_.erase(spec.id);
-    if (onFinish_)
+    if (!onFinish_)
+        return;
+    if (shared_) {
+        // Defer the notification to the shared queue at the exact
+        // finish tick: listeners (router, clients) then observe the
+        // completion in global event order rather than mid-way
+        // through this engine's iteration.
+        const Tick finish_tick = now_;
+        context_->schedule(finish_tick,
+                           [this, spec, finish_tick](Tick) {
+                               onFinish_(spec, finish_tick);
+                           });
+    } else {
         onFinish_(spec, now_);
+    }
 }
 
 Tick
@@ -538,20 +642,9 @@ ServingEngine::limitsReached(const RunLimits &limits) const
     return false;
 }
 
-bool
-ServingEngine::stepOnce(const RunLimits &limits)
+void
+ServingEngine::iterateOnce()
 {
-    if (limitsReached(limits))
-        return false;
-    deliverArrivals();
-    if (running_.empty() && prefillPending_.empty() &&
-        waiting_.empty()) {
-        if (events_.empty())
-            return false;  // drained
-        now_ = events_.nextTick();
-        deliverArrivals();
-        return true;
-    }
     admitRequests();
     if (config_.splitFuse) {
         runFusedStep();
@@ -561,6 +654,26 @@ ServingEngine::stepOnce(const RunLimits &limits)
         if (!running_.empty())
             runDecodeStep();
     }
+}
+
+bool
+ServingEngine::stepOnce(const RunLimits &limits)
+{
+    LIGHTLLM_ASSERT(!shared_,
+                    "stepOnce is standalone-mode only; a shared "
+                    "SimContext drives attached engines");
+    if (limitsReached(limits))
+        return false;
+    deliverArrivals();
+    if (running_.empty() && prefillPending_.empty() &&
+        waiting_.empty()) {
+        if (context_->queue().empty())
+            return false;  // drained
+        now_ = context_->queue().nextTick();
+        deliverArrivals();
+        return true;
+    }
+    iterateOnce();
     return true;
 }
 
@@ -573,6 +686,57 @@ ServingEngine::run(const RunLimits &limits)
     while (stepOnce(limits)) {
     }
     return report();
+}
+
+std::vector<ServingEngine::DrainedRequest>
+ServingEngine::drainQueued()
+{
+    LIGHTLLM_ASSERT(shared_,
+                    "drainQueued requires a shared SimContext");
+    LIGHTLLM_ASSERT(!draining_, "engine drained twice");
+    draining_ = true;
+
+    std::vector<DrainedRequest> redispatch;
+
+    // Queued-but-never-admitted requests leave in queue order and
+    // re-enter a router immediately, carrying their original
+    // arrival stamps so TTFT keeps counting their pre-drain wait.
+    // Requests holding engine history (evicted or swapped out
+    // mid-flight) stay: their KV rebuild and emission records live
+    // here.
+    const Tick drain_tick = context_->now();
+    std::deque<EngineRequest *> keep;
+    for (EngineRequest *request : waiting_) {
+        if (request->generated > 0 || request->evictions > 0 ||
+            request->swappedOut) {
+            keep.push_back(request);
+            continue;
+        }
+        redispatch.push_back(DrainedRequest{
+            request->spec, drain_tick, request->arrival});
+        requests_.erase(request->spec.id);
+    }
+    waiting_ = std::move(keep);
+
+    // Claw back in-flight arrival events; they re-enter the router
+    // at their original arrival ticks. Sorted by (tick, token) so
+    // the re-dispatch order never depends on hash-map iteration
+    // (tokens increase in submission order).
+    std::vector<std::pair<Tick, std::uint64_t>> pending;
+    pending.reserve(pendingArrivals_.size());
+    for (const auto &[token, entry] : pendingArrivals_)
+        pending.emplace_back(context_->queue().eventTick(entry.event),
+                             token);
+    std::sort(pending.begin(), pending.end());
+    for (const auto &[tick, token] : pending) {
+        const auto &entry = pendingArrivals_.at(token);
+        context_->cancel(entry.event);
+        undeliveredTokens_ -= entry.spec.inputLen;
+        redispatch.push_back(
+            DrainedRequest{entry.spec, tick, entry.stamp});
+    }
+    pendingArrivals_.clear();
+    return redispatch;
 }
 
 metrics::RunReport

@@ -17,6 +17,18 @@
  *
  * Iteration durations come from the roofline PerfModel, which is the
  * simulation substitute for GPU execution (see DESIGN.md §1).
+ *
+ * The engine runs in one of two modes:
+ *
+ *  - Standalone (default): the engine owns a private SimContext
+ *    holding only its arrival events and self-clocks through run()
+ *    or stepOnce().
+ *  - Event-driven actor: attachContext() places the engine on a
+ *    shared SimContext. The engine then schedules its own
+ *    iteration (Step) events on the shared queue and defers
+ *    completion callbacks to Delivery events at their exact finish
+ *    ticks, so a multi-instance cluster co-simulates exactly (see
+ *    DESIGN.md §3).
  */
 
 #ifndef LIGHTLLM_ENGINE_SERVING_ENGINE_HH
@@ -26,6 +38,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -37,7 +50,7 @@
 #include "metrics/collector.hh"
 #include "metrics/report.hh"
 #include "model/perf_model.hh"
-#include "sim/event_queue.hh"
+#include "sim/sim_context.hh"
 #include "workload/client_pool.hh"
 #include "workload/request_spec.hh"
 
@@ -71,16 +84,42 @@ class ServingEngine : public workload::RequestSink
     ServingEngine(const ServingEngine &) = delete;
     ServingEngine &operator=(const ServingEngine &) = delete;
 
+    /**
+     * Switch to event-driven actor mode on a shared context. Must
+     * be called before any request is submitted; the caller keeps
+     * ownership of `context`, which must outlive the engine's
+     * simulation. run()/stepOnce() become unavailable — the context
+     * owner drives the simulation (SimContext::runToCompletion).
+     */
+    void attachContext(sim::SimContext &context);
+
+    /** True when attached to a shared SimContext. */
+    bool eventDriven() const { return shared_; }
+
     /** Enqueue a request to arrive at `arrival` (>= current time). */
     void submitAt(const workload::RequestSpec &spec,
                   Tick arrival) override;
 
-    /** Register a completion listener (e.g. the client pool). */
+    /**
+     * Submit with an explicit arrival stamp: the request joins the
+     * wait queue at max(`deliver`, clock) but its *recorded*
+     * arrival — the tick TTFT/SLA metrics count from — is `stamp`
+     * (<= the delivery tick). The router uses this to preserve a
+     * request's original arrival across drain re-dispatch; the
+     * exactness replay harness uses it to reproduce co-simulated
+     * timelines verbatim. submitAt is the stamp == delivery case.
+     */
+    void submitStamped(const workload::RequestSpec &spec,
+                       Tick deliver, Tick stamp);
+
+    /** Register a completion listener (e.g. the client pool).
+     *  In actor mode the callback fires as a Delivery event at the
+     *  exact finish tick, in global event order. */
     void setOnFinish(FinishCallback callback);
 
     /**
      * Run the serving loop until the limits are hit or no work and
-     * no future arrivals remain.
+     * no future arrivals remain. Standalone mode only.
      *
      * @return The final metrics report.
      */
@@ -88,14 +127,40 @@ class ServingEngine : public workload::RequestSink
 
     /**
      * Advance the engine by one iteration (arrival delivery +
-     * admissions + prefill/decode). Used by the multi-instance
-     * cluster to co-simulate several engines on interleaved clocks;
-     * single-instance users should call run().
+     * admissions + prefill/decode). Standalone mode only; kept as a
+     * thin adapter over the shared iteration body so single-engine
+     * runs stay bit-identical to the pre-SimContext engine.
      *
      * @return false when nothing could be done (no work, no pending
      *         arrivals, or the limits are reached).
      */
     bool stepOnce(const RunLimits &limits = {});
+
+    /** A request handed back by drainQueued() for re-dispatch. */
+    struct DrainedRequest
+    {
+        workload::RequestSpec spec;
+
+        /** Tick at which it should re-enter a router. */
+        Tick redispatchAt;
+
+        /** Original arrival stamp to carry (latency metrics keep
+         *  counting from the first submission). */
+        Tick arrivalStamp;
+    };
+
+    /**
+     * Stop accepting new work and hand back every request that has
+     * not yet been admitted (queued requests plus cancelled
+     * in-flight arrival events). Requests that already hold engine
+     * state (admitted, prefilling, evicted-with-history) stay and
+     * finish here. Actor mode only; after draining, submitAt is a
+     * usage error.
+     */
+    std::vector<DrainedRequest> drainQueued();
+
+    /** True once drainQueued() was called. */
+    bool draining() const { return draining_; }
 
     /** Snapshot the metrics collected so far (cluster use). */
     metrics::RunReport report() const;
@@ -106,7 +171,10 @@ class ServingEngine : public workload::RequestSink
     bool hasWork() const;
 
     /** Pending (future) arrival events. */
-    bool hasPendingArrivals() const { return !events_.empty(); }
+    bool hasPendingArrivals() const
+    {
+        return !pendingArrivals_.empty();
+    }
 
     /**
      * Current + queued resident footprint in tokens (used KV plus
@@ -163,8 +231,24 @@ class ServingEngine : public workload::RequestSink
         }
     };
 
-    /** Move due arrivals from the event queue into the wait queue. */
+    /** Arrival-event handler: move the pending request into the
+     *  wait queue, stamped with its recorded arrival. */
+    void deliverArrival(std::uint64_t token, Tick when);
+
+    /** Move due arrivals from the event queue into the wait queue
+     *  (standalone mode). */
     void deliverArrivals();
+
+    /** One engine iteration: admissions + prefill/decode phases.
+     *  Shared by stepOnce() and the actor-mode Step handler. */
+    void iterateOnce();
+
+    /** Actor mode: ensure a Step event is scheduled no later than
+     *  max(now_, when). */
+    void wakeActor(Tick when);
+
+    /** Actor-mode Step handler: run one iteration at `when`. */
+    void onStepEvent(Tick when);
 
     /** Ask the policy for a decision and execute it. */
     void admitRequests();
@@ -222,7 +306,35 @@ class ServingEngine : public workload::RequestSink
     EngineConfig config_;
     memory::KvBlockManager kv_;
     metrics::MetricsCollector collector_;
-    sim::EventQueue events_;
+
+    /** Private context in standalone mode; null when shared. */
+    std::unique_ptr<sim::SimContext> ownedContext_;
+
+    /** Context carrying this engine's events (owned or shared). */
+    sim::SimContext *context_ = nullptr;
+
+    bool shared_ = false;
+    bool draining_ = false;
+
+    /** Actor mode: the pending Step event, if any. */
+    sim::EventId stepEvent_ = sim::kInvalidEventId;
+    bool stepScheduled_ = false;
+    Tick stepTick_ = 0;
+
+    /** One in-flight (cancellable) arrival event. */
+    struct PendingArrival
+    {
+        sim::EventId event;
+        workload::RequestSpec spec;
+        Tick stamp;
+    };
+
+    /** In-flight arrival events, keyed by submission token (not
+     *  request id: duplicate-id submissions must each deliver so
+     *  the duplicate check in deliverArrival can fire). */
+    std::unordered_map<std::uint64_t, PendingArrival>
+        pendingArrivals_;
+    std::uint64_t nextArrivalToken_ = 0;
 
     std::unordered_map<RequestId,
                        std::unique_ptr<EngineRequest>> requests_;

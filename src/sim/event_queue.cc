@@ -7,28 +7,152 @@
 namespace lightllm {
 namespace sim {
 
-void
-EventQueue::schedule(Tick when, EventHandler handler)
+bool
+EventQueue::earlier(const Entry &a, const Entry &b)
 {
-    LIGHTLLM_ASSERT(when >= 0, "cannot schedule at negative tick ", when);
-    heap_.push(Entry{when, nextSeq_++, std::move(handler)});
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.cls != b.cls)
+        return a.cls < b.cls;
+    return a.seq < b.seq;
+}
+
+void
+EventQueue::swapSlots(std::size_t a, std::size_t b)
+{
+    std::swap(heap_[a], heap_[b]);
+    index_[heap_[a].id] = a;
+    index_[heap_[b].id] = b;
+}
+
+void
+EventQueue::siftUp(std::size_t slot)
+{
+    while (slot > 0) {
+        const std::size_t parent = (slot - 1) / 2;
+        if (!earlier(heap_[slot], heap_[parent]))
+            break;
+        swapSlots(slot, parent);
+        slot = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t slot)
+{
+    const std::size_t size = heap_.size();
+    while (true) {
+        const std::size_t left = 2 * slot + 1;
+        const std::size_t right = left + 1;
+        std::size_t smallest = slot;
+        if (left < size && earlier(heap_[left], heap_[smallest]))
+            smallest = left;
+        if (right < size && earlier(heap_[right], heap_[smallest]))
+            smallest = right;
+        if (smallest == slot)
+            break;
+        swapSlots(slot, smallest);
+        slot = smallest;
+    }
+}
+
+EventId
+EventQueue::schedule(Tick when, EventHandler handler, EventClass cls)
+{
+    LIGHTLLM_ASSERT(when >= 0, "cannot schedule at negative tick ",
+                    when);
+    const EventId id = nextId_++;
+    heap_.push_back(
+        Entry{when, cls, nextSeq_++, id, std::move(handler)});
+    index_[id] = heap_.size() - 1;
+    siftUp(heap_.size() - 1);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    const auto it = index_.find(id);
+    if (it == index_.end())
+        return false;
+    const std::size_t slot = it->second;
+    index_.erase(it);
+    const std::size_t last = heap_.size() - 1;
+    if (slot != last) {
+        heap_[slot] = std::move(heap_[last]);
+        index_[heap_[slot].id] = slot;
+        heap_.pop_back();
+        // The moved entry may belong above or below its new slot.
+        siftUp(slot);
+        siftDown(slot);
+    } else {
+        heap_.pop_back();
+    }
+    return true;
+}
+
+bool
+EventQueue::reschedule(EventId id, Tick when)
+{
+    LIGHTLLM_ASSERT(when >= 0, "cannot reschedule to negative tick ",
+                    when);
+    const auto it = index_.find(id);
+    if (it == index_.end())
+        return false;
+    const std::size_t slot = it->second;
+    heap_[slot].when = when;
+    heap_[slot].seq = nextSeq_++;
+    siftUp(slot);
+    siftDown(slot);
+    return true;
+}
+
+bool
+EventQueue::pending(EventId id) const
+{
+    return index_.find(id) != index_.end();
+}
+
+Tick
+EventQueue::eventTick(EventId id) const
+{
+    const auto it = index_.find(id);
+    LIGHTLLM_ASSERT(it != index_.end(), "eventTick on unknown event ",
+                    id);
+    return heap_[it->second].when;
 }
 
 Tick
 EventQueue::nextTick() const
 {
     LIGHTLLM_ASSERT(!heap_.empty(), "nextTick on empty queue");
-    return heap_.top().when;
+    return heap_.front().when;
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = std::move(heap_.front());
+    index_.erase(top.id);
+    const std::size_t last = heap_.size() - 1;
+    if (last > 0) {
+        heap_.front() = std::move(heap_[last]);
+        index_[heap_.front().id] = 0;
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    return top;
 }
 
 std::size_t
 EventQueue::runUntil(Tick now)
 {
     std::size_t fired = 0;
-    while (!heap_.empty() && heap_.top().when <= now) {
-        // Copy out before pop so the handler may schedule new events.
-        Entry entry = heap_.top();
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().when <= now) {
+        // Pop before running so the handler may schedule new events.
+        Entry entry = popTop();
         entry.handler(entry.when);
         ++fired;
     }
@@ -39,8 +163,7 @@ Tick
 EventQueue::runNext()
 {
     LIGHTLLM_ASSERT(!heap_.empty(), "runNext on empty queue");
-    Entry entry = heap_.top();
-    heap_.pop();
+    Entry entry = popTop();
     entry.handler(entry.when);
     return entry.when;
 }
@@ -48,8 +171,8 @@ EventQueue::runNext()
 void
 EventQueue::clear()
 {
-    while (!heap_.empty())
-        heap_.pop();
+    heap_.clear();
+    index_.clear();
 }
 
 } // namespace sim

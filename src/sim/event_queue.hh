@@ -2,11 +2,20 @@
  * @file
  * Discrete-event queue driving the serving simulation.
  *
- * The serving engine advances its own clock while executing model
- * iterations; the event queue carries everything that happens
- * *around* the engine — client request arrivals, load-phase changes,
- * instrumentation callbacks. Events at equal ticks fire in insertion
- * order so simulations are fully deterministic.
+ * The queue is the single ordering authority of a simulation: every
+ * timed occurrence — request arrivals, completion notifications,
+ * engine iteration boundaries, drain triggers — is an event, and
+ * events fire in (tick, class, insertion) order. Handles returned
+ * by schedule() make events cancellable and reschedulable, which
+ * the event-driven engine uses to pull its next-iteration event
+ * earlier when an arrival lands on an idle instance, and the
+ * cluster uses to claw back in-flight arrivals when an instance
+ * drains.
+ *
+ * Implementation: an indexed binary min-heap. A handle → heap-slot
+ * map is maintained through every sift, so cancel() and
+ * reschedule() are O(log n) instead of the O(n) rebuild a
+ * std::priority_queue would force.
  */
 
 #ifndef LIGHTLLM_SIM_EVENT_QUEUE_HH
@@ -14,7 +23,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "base/types.hh"
@@ -25,14 +34,63 @@ namespace sim {
 /** Callback invoked when an event fires; receives the fire tick. */
 using EventHandler = std::function<void(Tick)>;
 
-/** Min-heap of timestamped events with FIFO tie-breaking. */
+/** Handle naming a scheduled event (0 is never issued). */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Coarse ordering band among events at the same tick. Deliveries
+ * (arrivals, completion notifications, drains) always fire before
+ * engine iteration (Step) events at the same tick, so an iteration
+ * starting at tick t observes every delivery stamped <= t — the
+ * same visibility rule a self-clocked engine applies when it drains
+ * its arrival queue before deciding an iteration.
+ */
+enum class EventClass : std::uint8_t
+{
+    Delivery = 0,
+    Step = 1,
+};
+
+/** Indexed min-heap of timestamped events with FIFO tie-breaking. */
 class EventQueue
 {
   public:
     EventQueue() = default;
 
-    /** Schedule a handler to fire at the given absolute tick. */
-    void schedule(Tick when, EventHandler handler);
+    /**
+     * Schedule a handler to fire at the given absolute tick.
+     *
+     * @return Handle usable with cancel() / reschedule() until the
+     *         event fires.
+     */
+    EventId schedule(Tick when, EventHandler handler,
+                     EventClass cls = EventClass::Delivery);
+
+    /**
+     * Drop a pending event.
+     *
+     * @return false when the handle is unknown (already fired,
+     *         cancelled, or never issued).
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Move a pending event to a new tick. The event keeps its
+     * handler and class but is re-sequenced as if newly scheduled
+     * (it fires after existing same-tick, same-class events).
+     *
+     * @return false when the handle is unknown.
+     */
+    bool reschedule(EventId id, Tick when);
+
+    /** True while the event has not fired and was not cancelled. */
+    bool pending(EventId id) const;
+
+    /** Scheduled tick of a pending event; requires pending(id). */
+    Tick eventTick(EventId id) const;
 
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
@@ -65,23 +123,28 @@ class EventQueue
     struct Entry
     {
         Tick when;
+        EventClass cls;
         std::uint64_t seq;
+        EventId id;
         EventHandler handler;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    /** Strict ordering: earlier tick, then class, then seq. */
+    static bool earlier(const Entry &a, const Entry &b);
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Pop the root entry, keeping the index map consistent. */
+    Entry popTop();
+
+    // Sift the entry at `slot` toward its heap position; both
+    // update index_ for every move.
+    void siftUp(std::size_t slot);
+    void siftDown(std::size_t slot);
+    void swapSlots(std::size_t a, std::size_t b);
+
+    std::vector<Entry> heap_;
+    std::unordered_map<EventId, std::size_t> index_;
     std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
 };
 
 } // namespace sim

@@ -1,0 +1,52 @@
+#include "sim/sim_context.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace sim {
+
+EventId
+SimContext::schedule(Tick when, EventHandler handler, EventClass cls)
+{
+    LIGHTLLM_ASSERT(when >= now_, "cannot schedule at tick ", when,
+                    " in the past of the shared clock ", now_);
+    return queue_.schedule(when, std::move(handler), cls);
+}
+
+bool
+SimContext::reschedule(EventId id, Tick when)
+{
+    LIGHTLLM_ASSERT(when >= now_, "cannot reschedule to tick ", when,
+                    " in the past of the shared clock ", now_);
+    return queue_.reschedule(id, when);
+}
+
+bool
+SimContext::runNext()
+{
+    if (queue_.empty())
+        return false;
+    // Advance the clock before the handler runs so handlers observe
+    // now() == their fire tick and may schedule same-tick events.
+    const Tick next = queue_.nextTick();
+    LIGHTLLM_ASSERT(next >= now_,
+                    "event queue fired out of order: ", next,
+                    " after ", now_);
+    now_ = next;
+    queue_.runNext();
+    return true;
+}
+
+std::uint64_t
+SimContext::runToCompletion()
+{
+    std::uint64_t fired = 0;
+    while (runNext())
+        ++fired;
+    return fired;
+}
+
+} // namespace sim
+} // namespace lightllm

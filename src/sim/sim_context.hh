@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared discrete-event simulation context.
+ *
+ * A SimContext owns the one clock and the one EventQueue of a
+ * simulation. Actors (serving engines, routers, load generators,
+ * drain triggers) schedule their occurrences here; the context
+ * fires them in global (tick, class, FIFO) order and advances the
+ * clock to each event's tick as it fires. Because *all* actors
+ * share the ordering authority, a multi-instance co-simulation is
+ * exact: no actor ever observes another actor's state from the
+ * future (see DESIGN.md §3).
+ *
+ * The clock is monotonic: events can only be scheduled at or after
+ * now(). Handlers may schedule, cancel, or reschedule further
+ * events freely, including at the current tick (they fire later in
+ * the same tick's FIFO order).
+ */
+
+#ifndef LIGHTLLM_SIM_SIM_CONTEXT_HH
+#define LIGHTLLM_SIM_SIM_CONTEXT_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace lightllm {
+namespace sim {
+
+/** Shared clock + event queue driving one simulation. */
+class SimContext
+{
+  public:
+    SimContext() = default;
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    /** Current simulation time (the tick of the last fired event). */
+    Tick now() const { return now_; }
+
+    /** Schedule `handler` at absolute tick `when` (>= now()). */
+    EventId schedule(Tick when, EventHandler handler,
+                     EventClass cls = EventClass::Delivery);
+
+    /** Cancel a pending event (see EventQueue::cancel). */
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /** Move a pending event to `when` (>= now()). */
+    bool reschedule(EventId id, Tick when);
+
+    /** True while the event has not fired and was not cancelled. */
+    bool pending(EventId id) const { return queue_.pending(id); }
+
+    /** True when no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return queue_.size(); }
+
+    /**
+     * Fire the earliest pending event, advancing the clock to its
+     * tick.
+     *
+     * @return false when no events remain (clock unchanged).
+     */
+    bool runNext();
+
+    /**
+     * Fire events until none remain.
+     *
+     * @return Number of events fired.
+     */
+    std::uint64_t runToCompletion();
+
+    /** The underlying queue (tests / advanced scheduling). */
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+};
+
+} // namespace sim
+} // namespace lightllm
+
+#endif // LIGHTLLM_SIM_SIM_CONTEXT_HH

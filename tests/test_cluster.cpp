@@ -16,6 +16,7 @@
 #include "metrics/report_io.hh"
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
+#include "test_fixtures.hh"
 #include "workload/client_pool.hh"
 #include "workload/datasets.hh"
 
@@ -23,40 +24,9 @@ namespace lightllm {
 namespace {
 
 using core::SchedulerConfig;
+using testfx::makeRequest;
+using testfx::tinyPerf;
 using workload::RequestSpec;
-
-model::PerfModel
-tinyPerf(double mem_megabytes)
-{
-    model::ModelSpec spec;
-    spec.name = "tiny";
-    spec.numParams = 100'000;
-    spec.numLayers = 2;
-    spec.hiddenSize = 128;
-    spec.numHeads = 2;
-    spec.numKvHeads = 2;
-    spec.headDim = 64;
-    model::HardwareSpec hw;
-    hw.name = "tiny-gpu";
-    hw.memBytesPerDevice =
-        static_cast<ByteCount>(mem_megabytes * 1e6);
-    hw.memBandwidthPerDevice = 1e12;
-    hw.flopsPerDevice = 1e14;
-    hw.hostLinkBandwidth = 25e9;
-    return model::PerfModel(spec, hw);
-}
-
-RequestSpec
-makeRequest(RequestId id, TokenCount input, TokenCount output,
-            TokenCount max_new = 4096)
-{
-    RequestSpec spec;
-    spec.id = id;
-    spec.inputLen = input;
-    spec.outputLen = output;
-    spec.maxNewTokens = max_new;
-    return spec;
-}
 
 // --- Swap eviction ------------------------------------------------------
 
@@ -298,6 +268,255 @@ TEST(ClusterTest, PolicyNames)
     EXPECT_STREQ(cluster::routingPolicyName(
                      cluster::RoutingPolicy::FutureMemory),
                  "future-memory");
+}
+
+TEST(ClusterTest, ParseRoutingPolicyRoundTrips)
+{
+    for (const auto policy :
+         {cluster::RoutingPolicy::RoundRobin,
+          cluster::RoutingPolicy::LeastOutstandingTokens,
+          cluster::RoutingPolicy::FutureMemory}) {
+        cluster::RoutingPolicy parsed =
+            cluster::RoutingPolicy::RoundRobin;
+        ASSERT_TRUE(cluster::parseRoutingPolicy(
+            cluster::routingPolicyName(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    cluster::RoutingPolicy untouched =
+        cluster::RoutingPolicy::FutureMemory;
+    EXPECT_FALSE(cluster::parseRoutingPolicy("nope", untouched));
+    EXPECT_FALSE(cluster::parseRoutingPolicy("", untouched));
+    EXPECT_EQ(untouched, cluster::RoutingPolicy::FutureMemory);
+}
+
+TEST(ClusterTest, LeastOutstandingBreaksTiesByLowestIndex)
+{
+    auto fleet = makeCluster(
+        3, cluster::RoutingPolicy::LeastOutstandingTokens,
+        SchedulerConfig::oracle());
+    fleet->recordSubmissions(true);
+    // Idle fleet: every submission loads the lowest-index instance
+    // among the still-empty ones, giving the order 0, 1, 2.
+    for (RequestId id = 0; id < 3; ++id)
+        fleet->submitAt(makeRequest(id, 100, 10), 0);
+    const auto &log = fleet->submissionLog();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0].instance, 0u);
+    EXPECT_EQ(log[1].instance, 1u);
+    EXPECT_EQ(log[2].instance, 2u);
+    fleet->run();
+}
+
+TEST(ClusterTest, FutureMemoryAccountingDrainsToZero)
+{
+    auto fleet = makeCluster(2, cluster::RoutingPolicy::FutureMemory,
+                             SchedulerConfig::oracle());
+    // With a warmed router history the predicted charge equals the
+    // predictor's footprint: prompt + conditional expected output.
+    const std::vector<TokenCount> history(200, 40);
+    fleet->warmRoutingHistory(history);
+    core::LengthPredictor reference(1000);
+    reference.warm(history);
+
+    fleet->submitAt(makeRequest(1, 100, 30, 500), 0);
+    const TokenCount charge1 = reference.predictFootprint(100, 500);
+    EXPECT_EQ(fleet->predictedLoads()[0] +
+                  fleet->predictedLoads()[1],
+              charge1);
+    fleet->submitAt(makeRequest(2, 100, 30, 500), 0);
+    // The second request lands on the other (uncharged) instance.
+    EXPECT_GT(fleet->predictedLoads()[0], 0);
+    EXPECT_GT(fleet->predictedLoads()[1], 0);
+
+    const auto report = fleet->run();
+    EXPECT_EQ(report.numFinished, 2u);
+    // Completion events released every charge.
+    EXPECT_EQ(fleet->predictedLoads()[0], 0);
+    EXPECT_EQ(fleet->predictedLoads()[1], 0);
+}
+
+TEST(ClusterTest, FutureMemoryChargesTrackEveryCompletion)
+{
+    // Closed-loop traffic: charges accumulate and release across
+    // many completion events; after the run the router must carry
+    // zero residual predicted load on every instance.
+    const auto dataset = workload::makeShareGpt(60, 5);
+    auto fleet = makeCluster(3, cluster::RoutingPolicy::FutureMemory,
+                             SchedulerConfig::oracle(), 8.0);
+    workload::ClosedLoopClientPool clients(12, dataset, *fleet);
+    fleet->setOnFinish(
+        [&](const RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    const auto report = fleet->run();
+    EXPECT_EQ(report.numFinished, 60u);
+    for (TokenCount load : fleet->predictedLoads())
+        EXPECT_EQ(load, 0);
+}
+
+TEST(ClusterTest, MergedReportEqualsPerInstanceSums)
+{
+    const auto dataset = workload::makeShareGptO1(80, 9);
+    auto fleet = makeCluster(4, cluster::RoutingPolicy::FutureMemory,
+                             SchedulerConfig::oracle(), 16.0);
+    workload::ClosedLoopClientPool clients(24, dataset, *fleet);
+    fleet->setOnFinish(
+        [&](const RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    const auto merged = fleet->run();
+
+    std::size_t finished = 0;
+    std::int64_t decode_steps = 0;
+    std::int64_t prefills = 0;
+    TokenCount output_tokens = 0;
+    std::size_t records = 0;
+    Tick makespan = 0;
+    for (std::size_t i = 0; i < fleet->numInstances(); ++i) {
+        const auto report = fleet->instanceReport(i);
+        finished += report.numFinished;
+        decode_steps += report.decodeSteps;
+        prefills += report.prefillIterations;
+        output_tokens += report.totalOutputTokens;
+        records += report.requests.size();
+        makespan = std::max(makespan, report.makespan);
+    }
+    EXPECT_EQ(merged.numFinished, finished);
+    EXPECT_EQ(merged.decodeSteps, decode_steps);
+    EXPECT_EQ(merged.prefillIterations, prefills);
+    EXPECT_EQ(merged.totalOutputTokens, output_tokens);
+    EXPECT_EQ(merged.requests.size(), records);
+    EXPECT_EQ(merged.makespan, makespan);
+}
+
+// --- Heterogeneous fleets ------------------------------------------------
+
+TEST(ClusterTest, HeterogeneousCapacityBiasesLeastOutstanding)
+{
+    // Instance 0 has 4x the KV capacity: capacity-normalised
+    // least-outstanding routing should hand it more of the traffic,
+    // and the whole fleet must still finish everything.
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    engines.push_back(std::make_unique<engine::ServingEngine>(
+        tinyPerf(16.0),
+        core::makeScheduler(SchedulerConfig::oracle())));
+    engines.push_back(std::make_unique<engine::ServingEngine>(
+        tinyPerf(4.0),
+        core::makeScheduler(SchedulerConfig::oracle())));
+    cluster::ServingCluster fleet(
+        std::move(engines),
+        cluster::RoutingPolicy::LeastOutstandingTokens);
+
+    const auto dataset = workload::makeShareGpt(60, 3);
+    workload::ClosedLoopClientPool clients(16, dataset, fleet);
+    fleet.setOnFinish(
+        [&](const RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    const auto report = fleet.run();
+    EXPECT_EQ(report.numFinished, 60u);
+    EXPECT_GT(fleet.routedCounts()[0], fleet.routedCounts()[1]);
+}
+
+TEST(ClusterTest, HeterogeneousSpeedShiftsClosedLoopTraffic)
+{
+    // Same capacity, 3x different iteration speed: the fast
+    // instance turns requests around sooner, so the closed loop
+    // routes more work to it over time.
+    engine::EngineConfig slow;
+    slow.timeFactor = 3.0;
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    engines.push_back(std::make_unique<engine::ServingEngine>(
+        tinyPerf(8.0),
+        core::makeScheduler(SchedulerConfig::oracle())));
+    engines.push_back(std::make_unique<engine::ServingEngine>(
+        tinyPerf(8.0),
+        core::makeScheduler(SchedulerConfig::oracle()), slow));
+    cluster::ServingCluster fleet(
+        std::move(engines),
+        cluster::RoutingPolicy::LeastOutstandingTokens);
+
+    const auto dataset = workload::makeShareGpt(60, 13);
+    workload::ClosedLoopClientPool clients(8, dataset, fleet);
+    fleet.setOnFinish(
+        [&](const RequestSpec &spec, Tick tick) {
+            clients.onRequestFinished(spec.id, tick);
+        });
+    clients.start();
+    const auto report = fleet.run();
+    EXPECT_EQ(report.numFinished, 60u);
+    EXPECT_GT(fleet.routedCounts()[0], fleet.routedCounts()[1]);
+    // The fast instance also retires its share sooner per request.
+    EXPECT_GT(fleet.instanceReport(1).makespan, 0);
+}
+
+// --- Drain ---------------------------------------------------------------
+
+TEST(ClusterDrainTest, DrainRedispatchesQueuedWorkAndFleetFinishes)
+{
+    auto fleet = makeCluster(3, cluster::RoutingPolicy::RoundRobin,
+                             SchedulerConfig::oracle());
+    fleet->recordSubmissions(true);
+    // Prompts sized so an instance's round-robin share cannot be
+    // admitted in one go — a queue must exist at the drain tick.
+    for (RequestId id = 0; id < 30; ++id)
+        fleet->submitAt(makeRequest(id, 500, 100), 0);
+    // Drain instance 0 early: most of its round-robin share is
+    // still queued and must re-enter the router.
+    fleet->scheduleDrain(0, 1);
+    const auto report = fleet->run();
+    EXPECT_EQ(report.numFinished, 30u);
+    EXPECT_EQ(report.requests.size(), 30u);
+
+    // Re-dispatches append to the log; none may target instance 0
+    // at or after the drain tick (initial submissions land at 0,
+    // re-dispatches at the drain tick 1).
+    const auto &log = fleet->submissionLog();
+    EXPECT_GT(log.size(), 30u);
+    std::size_t redispatched = 0;
+    for (const auto &sub : log) {
+        if (sub.when >= 1) {
+            ++redispatched;
+            EXPECT_NE(sub.instance, 0u) << "request "
+                                        << sub.spec.id;
+        }
+    }
+    EXPECT_EQ(redispatched, log.size() - 30);
+    EXPECT_GT(redispatched, 0u);
+
+    // Every request finished exactly once across the fleet, and
+    // re-dispatch preserved the original arrival stamps: TTFT keeps
+    // counting from the first submission, not the drain tick.
+    std::vector<RequestId> ids;
+    for (const auto &record : report.requests) {
+        ids.push_back(record.id);
+        EXPECT_EQ(record.arrival, 0) << "request " << record.id;
+    }
+    std::sort(ids.begin(), ids.end());
+    for (RequestId id = 0; id < 30; ++id)
+        EXPECT_EQ(ids[static_cast<std::size_t>(id)], id);
+}
+
+TEST(ClusterDrainTest, DrainClawsBackInFlightArrivals)
+{
+    auto fleet = makeCluster(2, cluster::RoutingPolicy::RoundRobin,
+                             SchedulerConfig::oracle());
+    // Two future arrivals routed before the drain fires: round-robin
+    // sends one to each instance; instance 0's must be cancelled and
+    // re-dispatched to instance 1 without ever touching instance 0.
+    fleet->submitAt(makeRequest(1, 50, 10), 5000);
+    fleet->submitAt(makeRequest(2, 50, 10), 5000);
+    fleet->scheduleDrain(0, 100);
+    const auto report = fleet->run();
+    EXPECT_EQ(report.numFinished, 2u);
+    EXPECT_EQ(fleet->instanceReport(0).numFinished, 0u);
+    EXPECT_EQ(fleet->instanceReport(1).numFinished, 2u);
+    // The clawed-back arrival kept its original arrival tick.
+    for (const auto &record : report.requests)
+        EXPECT_EQ(record.arrival, 5000);
 }
 
 // --- Report export ------------------------------------------------------

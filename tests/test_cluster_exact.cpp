@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Exactness and determinism of the event-driven cluster
+ * co-simulation.
+ *
+ * The zero-skew property: a fleet co-simulated on one shared
+ * SimContext must produce, for every instance, metrics identical to
+ * a *serialized reference replay* — a standalone self-clocked
+ * engine fed the exact (spec, arrival-tick) sequence the router
+ * sent that instance. If the co-simulation leaked any cross-
+ * instance state out of global event order (the old min-clock scan
+ * allowed one iteration of causality skew and clamped arrival
+ * ticks to the target's engine clock), the replay would diverge in
+ * arrival stamps, admission order, and ultimately every latency
+ * metric. Byte-level determinism of the whole fleet run is pinned
+ * separately, via the CLI scenario path users actually invoke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "cli_scenario.hh"
+#include "cluster/serving_cluster.hh"
+#include "core/scheduler_factory.hh"
+#include "engine/serving_engine.hh"
+#include "metrics/report_io.hh"
+#include "test_fixtures.hh"
+#include "workload/client_pool.hh"
+#include "workload/datasets.hh"
+
+namespace lightllm {
+namespace {
+
+using core::SchedulerConfig;
+using testfx::tinyPerf;
+using workload::RequestSpec;
+
+/** Compare a replayed standalone report against the co-simulated
+ *  per-instance report, field by field and record by record. */
+void
+expectIdenticalReports(const metrics::RunReport &replay,
+                       const metrics::RunReport &cosim,
+                       std::size_t instance)
+{
+    SCOPED_TRACE("instance " + std::to_string(instance));
+    EXPECT_EQ(replay.numFinished, cosim.numFinished);
+    EXPECT_EQ(replay.decodeSteps, cosim.decodeSteps);
+    EXPECT_EQ(replay.prefillIterations, cosim.prefillIterations);
+    EXPECT_EQ(replay.evictionEvents, cosim.evictionEvents);
+    EXPECT_EQ(replay.requestsEvicted, cosim.requestsEvicted);
+    EXPECT_EQ(replay.totalOutputTokens, cosim.totalOutputTokens);
+    EXPECT_EQ(replay.makespan, cosim.makespan);
+    ASSERT_EQ(replay.requests.size(), cosim.requests.size());
+    for (std::size_t i = 0; i < replay.requests.size(); ++i) {
+        const auto &a = replay.requests[i];
+        const auto &b = cosim.requests[i];
+        ASSERT_EQ(a.id, b.id) << "record " << i;
+        EXPECT_EQ(a.arrival, b.arrival) << "record " << i;
+        EXPECT_EQ(a.firstToken, b.firstToken) << "record " << i;
+        EXPECT_EQ(a.finish, b.finish) << "record " << i;
+        EXPECT_EQ(a.maxGap, b.maxGap) << "record " << i;
+        EXPECT_EQ(a.outputTokens, b.outputTokens) << "record " << i;
+        EXPECT_EQ(a.evictions, b.evictions) << "record " << i;
+    }
+}
+
+struct InstanceSetup
+{
+    model::PerfModel perf;
+    engine::EngineConfig config;
+};
+
+/** Co-simulate a closed-loop fleet, then replay each instance's
+ *  routed submissions on a standalone engine and demand equality. */
+void
+runExactnessScenario(const std::vector<InstanceSetup> &setups,
+                     cluster::RoutingPolicy routing,
+                     const workload::Dataset &dataset,
+                     std::size_t clients,
+                     const SchedulerConfig &scheduler_config,
+                     bool expect_evictions = false)
+{
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    for (const InstanceSetup &setup : setups) {
+        engines.push_back(std::make_unique<engine::ServingEngine>(
+            setup.perf, core::makeScheduler(scheduler_config),
+            setup.config));
+    }
+    cluster::ServingCluster fleet(std::move(engines), routing);
+    fleet.recordSubmissions(true);
+    workload::ClosedLoopClientPool pool(clients, dataset, fleet);
+    fleet.setOnFinish(
+        [&](const RequestSpec &spec, Tick tick) {
+            pool.onRequestFinished(spec.id, tick);
+        });
+    pool.start();
+    const auto merged = fleet.run();
+    ASSERT_EQ(merged.numFinished, dataset.requests.size());
+    if (expect_evictions) {
+        // The scenario must stay hard: replays have to reproduce
+        // eviction + recompute timing, not just smooth decoding.
+        ASSERT_GT(merged.evictionEvents, 0);
+    }
+
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+        engine::ServingEngine solo(
+            setups[i].perf, core::makeScheduler(scheduler_config),
+            setups[i].config);
+        std::size_t routed = 0;
+        for (const auto &sub : fleet.submissionLog()) {
+            if (sub.instance != i)
+                continue;
+            solo.submitStamped(sub.spec, sub.when, sub.stamp);
+            ++routed;
+        }
+        ASSERT_GT(routed, 0u) << "instance " << i
+                              << " received no traffic";
+        expectIdenticalReports(solo.run(), fleet.instanceReport(i),
+                               i);
+    }
+}
+
+TEST(ClusterExactness, FutureMemoryFleetMatchesSerializedReplay)
+{
+    // Heavy-tailed closed-loop load over four identical instances
+    // with an aggressive admission policy under memory pressure, so
+    // the replay must reproduce evictions, recompute prefills, and
+    // re-admissions exactly.
+    const auto dataset = workload::makeShareGptO1(120, 31);
+    const auto config = SchedulerConfig::aggressive(0.99);
+    std::vector<InstanceSetup> setups(
+        4, InstanceSetup{tinyPerf(16.0), engine::EngineConfig{}});
+    runExactnessScenario(setups,
+                         cluster::RoutingPolicy::FutureMemory,
+                         dataset, 48, config,
+                         /*expect_evictions=*/true);
+}
+
+TEST(ClusterExactness, HeterogeneousFleetMatchesSerializedReplay)
+{
+    // Mixed capacities and time factors: instances iterate at
+    // different cadences, which is exactly where a lockstep
+    // co-simulation accumulates skew.
+    const auto dataset = workload::makeShareGpt(100, 17);
+    auto config = SchedulerConfig::pastFutureDefault(0.05);
+    config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+    engine::EngineConfig slow;
+    slow.timeFactor = 1.7;
+    engine::EngineConfig fast;
+    fast.timeFactor = 0.6;
+    const std::vector<InstanceSetup> setups{
+        {tinyPerf(16.0), fast},
+        {tinyPerf(6.0), engine::EngineConfig{}},
+        {tinyPerf(10.0), slow},
+    };
+    runExactnessScenario(
+        setups, cluster::RoutingPolicy::LeastOutstandingTokens,
+        dataset, 24, config);
+}
+
+TEST(ClusterExactness, DrainSparesNonDrainedInstanceTimelines)
+{
+    // Drain instance 0 mid-run: the surviving instances' timelines
+    // must still replay exactly from their routed logs (re-dispatch
+    // entries carry the delivery tick and the preserved original
+    // arrival stamp).
+    const auto dataset = workload::makeShareGpt(80, 23);
+    auto config = SchedulerConfig::pastFutureDefault(0.05);
+    config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+    auto make_engine = [&]() {
+        return std::make_unique<engine::ServingEngine>(
+            tinyPerf(6.0), core::makeScheduler(config));
+    };
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    for (int i = 0; i < 3; ++i)
+        engines.push_back(make_engine());
+    cluster::ServingCluster fleet(
+        std::move(engines), cluster::RoutingPolicy::RoundRobin);
+    fleet.recordSubmissions(true);
+    workload::ClosedLoopClientPool pool(24, dataset, fleet);
+    fleet.setOnFinish(
+        [&](const RequestSpec &spec, Tick tick) {
+            pool.onRequestFinished(spec.id, tick);
+        });
+    fleet.scheduleDrain(0, secondsToTicks(1.0));
+    pool.start();
+    const auto merged = fleet.run();
+    ASSERT_EQ(merged.numFinished, dataset.requests.size());
+
+    for (std::size_t i = 1; i < 3; ++i) {
+        engine::ServingEngine solo(tinyPerf(6.0),
+                                   core::makeScheduler(config));
+        for (const auto &sub : fleet.submissionLog()) {
+            if (sub.instance == i)
+                solo.submitStamped(sub.spec, sub.when, sub.stamp);
+        }
+        expectIdenticalReports(solo.run(), fleet.instanceReport(i),
+                               i);
+    }
+}
+
+TEST(ClusterDeterminism, RepeatedFleetRunsAreByteIdentical)
+{
+    // Two from-scratch runs of the same CLI fleet scenario must
+    // serialize to byte-identical JSON: pins the event queue's
+    // (tick, class, FIFO) tie-break and that no hash-map iteration
+    // order leaks into scheduling or routing.
+    auto run_once = []() {
+        cli::CliOptions options;
+        options.workload = "sharegpt-o1";
+        options.requests = 96;
+        options.clients = 32;
+        options.seed = 42;
+        options.instances = 4;
+        options.routing = "future-memory";
+        const cli::Scenario scenario =
+            cli::assembleScenario(options);
+        const metrics::RunReport report =
+            cli::runScenario(scenario);
+        std::ostringstream oss;
+        metrics::writeSummaryJson(oss, report, scenario.sla);
+        metrics::writeRequestsCsv(oss, report, scenario.sla);
+        return oss.str();
+    };
+    const std::string first = run_once();
+    const std::string second = run_once();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("Cluster(future-memory x4)"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace lightllm

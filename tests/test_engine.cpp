@@ -16,6 +16,7 @@
 #include "engine/static_engine.hh"
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
+#include "test_fixtures.hh"
 #include "workload/datasets.hh"
 
 namespace lightllm {
@@ -23,41 +24,9 @@ namespace engine {
 namespace {
 
 using core::SchedulerConfig;
+using testfx::makeRequest;
+using testfx::tinyPerf;
 using workload::RequestSpec;
-
-/** A small synthetic model so tests control token capacity. */
-model::PerfModel
-tinyPerf(double mem_megabytes)
-{
-    model::ModelSpec spec;
-    spec.name = "tiny";
-    spec.numParams = 100'000;
-    spec.numLayers = 2;
-    spec.hiddenSize = 128;
-    spec.numHeads = 2;
-    spec.numKvHeads = 2;
-    spec.headDim = 64;
-    // kvBytesPerToken = 2*2*2*64*2 = 1024 bytes.
-    model::HardwareSpec hw;
-    hw.name = "tiny-gpu";
-    hw.memBytesPerDevice =
-        static_cast<ByteCount>(mem_megabytes * 1e6);
-    hw.memBandwidthPerDevice = 1e12;
-    hw.flopsPerDevice = 1e14;
-    return model::PerfModel(spec, hw);
-}
-
-RequestSpec
-makeRequest(RequestId id, TokenCount input, TokenCount output,
-            TokenCount max_new = 4096)
-{
-    RequestSpec spec;
-    spec.id = id;
-    spec.inputLen = input;
-    spec.outputLen = output;
-    spec.maxNewTokens = max_new;
-    return spec;
-}
 
 TEST(ServingEngineTest, SingleRequestLifecycle)
 {

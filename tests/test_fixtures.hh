@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared test fixtures: the tiny synthetic platform and request
+ * factory used by the engine, cluster, and exactness suites. One
+ * definition keeps every suite on the same platform — a drifted
+ * copy would silently test different token capacities.
+ */
+
+#ifndef LIGHTLLM_TESTS_TEST_FIXTURES_HH
+#define LIGHTLLM_TESTS_TEST_FIXTURES_HH
+
+#include "model/perf_model.hh"
+#include "workload/request_spec.hh"
+
+namespace lightllm {
+namespace testfx {
+
+/** A small synthetic model so tests control token capacity. */
+inline model::PerfModel
+tinyPerf(double mem_megabytes)
+{
+    model::ModelSpec spec;
+    spec.name = "tiny";
+    spec.numParams = 100'000;
+    spec.numLayers = 2;
+    spec.hiddenSize = 128;
+    spec.numHeads = 2;
+    spec.numKvHeads = 2;
+    spec.headDim = 64;
+    // kvBytesPerToken = 2*2*2*64*2 = 1024 bytes.
+    model::HardwareSpec hw;
+    hw.name = "tiny-gpu";
+    hw.memBytesPerDevice =
+        static_cast<ByteCount>(mem_megabytes * 1e6);
+    hw.memBandwidthPerDevice = 1e12;
+    hw.flopsPerDevice = 1e14;
+    hw.hostLinkBandwidth = 25e9;
+    return model::PerfModel(spec, hw);
+}
+
+/** A request spec with explicit lengths (EOS at `output`). */
+inline workload::RequestSpec
+makeRequest(RequestId id, TokenCount input, TokenCount output,
+            TokenCount max_new = 4096)
+{
+    workload::RequestSpec spec;
+    spec.id = id;
+    spec.inputLen = input;
+    spec.outputLen = output;
+    spec.maxNewTokens = max_new;
+    return spec;
+}
+
+} // namespace testfx
+} // namespace lightllm
+
+#endif // LIGHTLLM_TESTS_TEST_FIXTURES_HH

@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests for the discrete-event queue.
+ * Unit tests for the discrete-event queue and the shared
+ * simulation context.
  */
 
 #include <gtest/gtest.h>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/sim_context.hh"
 
 namespace lightllm {
 namespace sim {
@@ -109,6 +111,149 @@ TEST(EventQueueTest, ClearDropsEverything)
     EXPECT_TRUE(queue.empty());
     queue.runUntil(100);
     EXPECT_EQ(fired, 0);
+}
+
+// --- Cancellable / reschedulable handles --------------------------------
+
+TEST(EventQueueHandleTest, CancelPreventsFiring)
+{
+    EventQueue queue;
+    int fired = 0;
+    const EventId keep = queue.schedule(5, [&](Tick) { ++fired; });
+    const EventId drop =
+        queue.schedule(3, [&](Tick) { fired += 100; });
+    EXPECT_TRUE(queue.pending(drop));
+    EXPECT_TRUE(queue.cancel(drop));
+    EXPECT_FALSE(queue.pending(drop));
+    EXPECT_TRUE(queue.pending(keep));
+    queue.runUntil(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueHandleTest, CancelUnknownOrFiredReturnsFalse)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.cancel(kInvalidEventId));
+    EXPECT_FALSE(queue.cancel(12345));
+    const EventId id = queue.schedule(1, [](Tick) {});
+    queue.runUntil(1);
+    EXPECT_FALSE(queue.cancel(id));
+    EXPECT_FALSE(queue.pending(id));
+}
+
+TEST(EventQueueHandleTest, RescheduleMovesEventBothDirections)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    const EventId a =
+        queue.schedule(10, [&](Tick) { order.push_back(1); });
+    const EventId b =
+        queue.schedule(20, [&](Tick) { order.push_back(2); });
+    // Pull b before a, push a past b.
+    EXPECT_TRUE(queue.reschedule(b, 5));
+    EXPECT_TRUE(queue.reschedule(a, 30));
+    EXPECT_EQ(queue.eventTick(a), 30);
+    EXPECT_EQ(queue.eventTick(b), 5);
+    queue.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueueHandleTest, RescheduleResequencesBehindSameTick)
+{
+    // A rescheduled event behaves as newly scheduled: it fires
+    // after events already waiting at the target tick.
+    EventQueue queue;
+    std::vector<int> order;
+    const EventId moved =
+        queue.schedule(1, [&](Tick) { order.push_back(1); });
+    queue.schedule(7, [&](Tick) { order.push_back(2); });
+    EXPECT_TRUE(queue.reschedule(moved, 7));
+    queue.runUntil(7);
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueueHandleTest, HandlesSurviveHeavyChurn)
+{
+    // Interleave schedule/cancel/reschedule and verify the firing
+    // order is exactly the sorted surviving set (exercises the
+    // index maintenance through sifts in both directions).
+    EventQueue queue;
+    std::vector<Tick> fired;
+    std::vector<EventId> ids;
+    for (Tick t = 0; t < 50; ++t) {
+        ids.push_back(queue.schedule(
+            100 - 2 * t, [&](Tick when) { fired.push_back(when); }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 3)
+        EXPECT_TRUE(queue.cancel(ids[i]));
+    for (std::size_t i = 1; i < ids.size(); i += 3) {
+        EXPECT_TRUE(
+            queue.reschedule(ids[i], 1000 + static_cast<Tick>(i)));
+    }
+    queue.runUntil(5000);
+    std::vector<Tick> sorted = fired;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(fired, sorted);
+    EXPECT_EQ(fired.size(), ids.size() - (ids.size() + 2) / 3);
+}
+
+TEST(EventQueueClassTest, DeliveriesFireBeforeStepsAtEqualTicks)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&](Tick) { order.push_back(1); },
+                   EventClass::Step);
+    queue.schedule(5, [&](Tick) { order.push_back(2); },
+                   EventClass::Delivery);
+    queue.schedule(4, [&](Tick) { order.push_back(3); },
+                   EventClass::Step);
+    queue.schedule(5, [&](Tick) { order.push_back(4); },
+                   EventClass::Delivery);
+    queue.runUntil(5);
+    // Tick 4 step first, then tick-5 deliveries in FIFO order,
+    // then the tick-5 step.
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 4, 1}));
+}
+
+// --- Shared simulation context ------------------------------------------
+
+TEST(SimContextTest, ClockFollowsFiredEvents)
+{
+    SimContext context;
+    std::vector<Tick> seen;
+    auto note = [&](Tick) { seen.push_back(context.now()); };
+    context.schedule(10, note);
+    context.schedule(3, note);
+    EXPECT_EQ(context.now(), 0);
+    EXPECT_TRUE(context.runNext());
+    EXPECT_EQ(context.now(), 3);
+    EXPECT_EQ(context.runToCompletion(), 1u);
+    EXPECT_EQ(context.now(), 10);
+    // Handlers observed the advanced clock, not the stale one.
+    EXPECT_EQ(seen, (std::vector<Tick>{3, 10}));
+    EXPECT_FALSE(context.runNext());
+}
+
+TEST(SimContextTest, HandlersMayChainSameTickEvents)
+{
+    SimContext context;
+    int fired = 0;
+    context.schedule(5, [&](Tick when) {
+        ++fired;
+        context.schedule(when, [&](Tick) { ++fired; });
+    });
+    EXPECT_EQ(context.runToCompletion(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(context.now(), 5);
+}
+
+TEST(SimContextDeathTest, SchedulingInThePastPanics)
+{
+    SimContext context;
+    context.schedule(10, [](Tick) {});
+    context.runToCompletion();
+    EXPECT_DEATH(context.schedule(5, [](Tick) {}),
+                 "past of the shared clock");
 }
 
 TEST(EventQueueDeathTest, NegativeTickPanics)

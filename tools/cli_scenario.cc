@@ -3,10 +3,12 @@
 #include <cctype>
 #include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/str_util.hh"
@@ -193,6 +195,47 @@ parsePriorityMix(const std::string &text)
     return shares;
 }
 
+/**
+ * Expand "--platform-mix a100-80g:2,a30:2" into one hardware name
+ * per instance (a bare name counts once).
+ */
+std::vector<std::string>
+expandPlatformMix(const std::string &text, std::size_t instances)
+{
+    std::vector<std::string> names;
+    for (const std::string &field : splitString(text, ',')) {
+        std::string entry(trimString(field));
+        std::uint64_t count = 1;
+        const auto colon = entry.find(':');
+        if (colon != std::string::npos) {
+            if (!parseUnsigned(entry.substr(colon + 1), count) ||
+                count == 0) {
+                throw std::invalid_argument("bad platform mix: " +
+                                            text);
+            }
+            entry = entry.substr(0, colon);
+        }
+        if (entry.empty())
+            throw std::invalid_argument("bad platform mix: " + text);
+        // Bound before expanding: a bogus huge count must fail with
+        // a diagnostic, not materialize billions of strings.
+        if (count > instances - names.size()) {
+            throw std::invalid_argument(
+                "platform mix names more than the " +
+                std::to_string(instances) + " --instances");
+        }
+        for (std::uint64_t i = 0; i < count; ++i)
+            names.push_back(entry);
+    }
+    if (names.size() != instances) {
+        throw std::invalid_argument(
+            "platform mix names " + std::to_string(names.size()) +
+            " instances but --instances is " +
+            std::to_string(instances));
+    }
+    return names;
+}
+
 engine::EngineConfig
 makeEngineConfig(const CliOptions &options)
 {
@@ -274,6 +317,10 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
         options.tensorParallel = static_cast<int>(parsed);
         return true;
     };
+    valued["--instances"] = bind_size(options.instances);
+    valued["--routing"] = bind_string(options.routing);
+    valued["--platform-mix"] = bind_string(options.platformMix);
+    valued["--drain-at"] = bind_double(options.drainAtSeconds);
     valued["--ttft-limit"] = bind_double(options.ttftLimitSeconds);
     valued["--mtpot-limit"] = bind_double(options.mtpotLimitSeconds);
     valued["--block-size"] = [&options](const std::string &value) {
@@ -336,6 +383,24 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
         return "--rate must be non-negative";
     if (options.maxSimSeconds < 0.0)
         return "--max-seconds must be non-negative";
+    if (options.instances == 0)
+        return "--instances must be positive";
+    if (options.drainAtSeconds < 0.0)
+        return "--drain-at must be non-negative";
+    if (options.instances > 1 &&
+        (options.maxFinishedRequests > 0 ||
+         options.maxSimSeconds > 0.0)) {
+        return "run limits (--max-requests/--max-seconds) are "
+               "single-instance only";
+    }
+    if (options.drainAtSeconds > 0.0 && options.instances < 2)
+        return "--drain-at needs --instances >= 2 to re-dispatch";
+    if (!options.platformMix.empty() && options.instances < 2)
+        return "--platform-mix needs --instances >= 2 (use "
+               "--hardware for a single instance)";
+    if (!options.routing.empty() && options.instances < 2)
+        return "--routing needs --instances >= 2 (a single "
+               "instance has nothing to route across)";
     return "";
 }
 
@@ -373,6 +438,18 @@ printCliUsage(std::ostream &os)
         "                      qwen-vl-chat | llava15-7b | llava15-13b\n"
         "  --hardware NAME     a100-80g | h800 | rtx4090 | a30\n"
         "  --tp N              tensor-parallel degree (default 1)\n"
+        "\n"
+        "Fleet (exact event-driven co-simulation when N > 1):\n"
+        "  --instances N       fleet size (default 1)\n"
+        "  --routing P         round-robin | least-outstanding |\n"
+        "                      future-memory (the default)\n"
+        "  --platform-mix L    per-instance hardware, name[:count]\n"
+        "                      entries summing to N, e.g.\n"
+        "                      a100-80g:2,a30:2 (default:\n"
+        "                      --hardware everywhere)\n"
+        "  --drain-at S        drain instance 0 after S simulated\n"
+        "                      seconds; its queued requests\n"
+        "                      re-dispatch through the router\n"
         "\n"
         "SLA (defaults follow the paper, by model size):\n"
         "  --ttft-limit S      TTFT limit, seconds\n"
@@ -434,7 +511,7 @@ assembleScenario(const CliOptions &options)
     if (options.maxSimSeconds > 0.0)
         limits.maxTicks = secondsToTicks(options.maxSimSeconds);
 
-    return Scenario{
+    Scenario scenario{
         std::move(dataset),
         scheduler_config,
         model::PerfModel(model_spec,
@@ -447,33 +524,111 @@ assembleScenario(const CliOptions &options)
         options.poissonRate,
         secondsToTicks(options.thinkSeconds),
         options.seed,
+        {},
+        cluster::RoutingPolicy::FutureMemory,
+        0,
     };
+
+    if (!options.routing.empty() &&
+        !cluster::parseRoutingPolicy(options.routing,
+                                     scenario.routing)) {
+        throw std::invalid_argument("unknown routing policy: " +
+                                    options.routing);
+    }
+    if (options.instances > 1) {
+        // Guarded in parseCliArgs for the CLI; repeated here so
+        // programmatic callers cannot assemble a fleet whose run
+        // limits would be silently ignored.
+        if (options.maxFinishedRequests > 0 ||
+            options.maxSimSeconds > 0.0) {
+            throw std::invalid_argument(
+                "run limits are single-instance only");
+        }
+        const std::vector<std::string> mix =
+            options.platformMix.empty()
+            ? std::vector<std::string>(options.instances,
+                                       options.hardware)
+            : expandPlatformMix(options.platformMix,
+                                options.instances);
+        scenario.fleetPerfs.reserve(mix.size());
+        for (const std::string &hardware : mix) {
+            scenario.fleetPerfs.emplace_back(
+                model_spec,
+                makeHardwareSpec(hardware,
+                                 options.tensorParallel));
+        }
+        if (options.drainAtSeconds > 0.0) {
+            // Sub-tick values would round to 0 and silently skip
+            // the drain; "as early as possible" is tick 1.
+            scenario.drainAt = std::max<Tick>(
+                1, secondsToTicks(options.drainAtSeconds));
+        }
+    }
+    return scenario;
 }
 
 metrics::RunReport
 runScenario(const Scenario &scenario)
 {
-    engine::ServingEngine engine(
-        scenario.perf,
-        core::makeSchedulingPolicy(scenario.schedulerConfig),
-        scenario.engineConfig);
+    if (scenario.fleetPerfs.empty()) {
+        // Single instance: the self-clocked engine path, kept
+        // bit-identical through the SimContext refactor (golden
+        // suite pins it).
+        engine::ServingEngine engine(
+            scenario.perf,
+            core::makeSchedulingPolicy(scenario.schedulerConfig),
+            scenario.engineConfig);
 
-    if (scenario.poissonRate > 0.0) {
-        workload::submitPoissonArrivals(scenario.dataset, engine,
-                                        scenario.poissonRate,
-                                        scenario.seed);
+        if (scenario.poissonRate > 0.0) {
+            workload::submitPoissonArrivals(scenario.dataset,
+                                            engine,
+                                            scenario.poissonRate,
+                                            scenario.seed);
+            return engine.run(scenario.limits);
+        }
+
+        workload::ClosedLoopClientPool clients(
+            scenario.clients, scenario.dataset, engine,
+            scenario.thinkTime);
+        engine.setOnFinish(
+            [&](const workload::RequestSpec &spec, Tick tick) {
+                clients.onRequestFinished(spec.id, tick);
+            });
+        clients.start();
         return engine.run(scenario.limits);
     }
 
+    // Fleet: engines co-simulate exactly on the cluster's shared
+    // SimContext; the router places every request.
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    engines.reserve(scenario.fleetPerfs.size());
+    for (const model::PerfModel &perf : scenario.fleetPerfs) {
+        engines.push_back(std::make_unique<engine::ServingEngine>(
+            perf,
+            core::makeSchedulingPolicy(scenario.schedulerConfig),
+            scenario.engineConfig));
+    }
+    cluster::ServingCluster fleet(std::move(engines),
+                                  scenario.routing);
+    if (scenario.drainAt > 0)
+        fleet.scheduleDrain(0, scenario.drainAt);
+
+    if (scenario.poissonRate > 0.0) {
+        workload::submitPoissonArrivals(scenario.dataset, fleet,
+                                        scenario.poissonRate,
+                                        scenario.seed);
+        return fleet.run();
+    }
+
     workload::ClosedLoopClientPool clients(
-        scenario.clients, scenario.dataset, engine,
+        scenario.clients, scenario.dataset, fleet,
         scenario.thinkTime);
-    engine.setOnFinish(
+    fleet.setOnFinish(
         [&](const workload::RequestSpec &spec, Tick tick) {
             clients.onRequestFinished(spec.id, tick);
         });
     clients.start();
-    return engine.run(scenario.limits);
+    return fleet.run();
 }
 
 void

@@ -16,7 +16,10 @@
 #include <iosfwd>
 #include <string>
 
+#include <vector>
+
 #include "base/types.hh"
+#include "cluster/serving_cluster.hh"
 #include "core/scheduler_factory.hh"
 #include "engine/engine_config.hh"
 #include "metrics/report.hh"
@@ -60,6 +63,22 @@ struct CliOptions
     std::string model = "llama2-7b";
     std::string hardware = "a100-80g";
     int tensorParallel = 1;
+
+    // Fleet (cluster co-simulation when instances > 1).
+    std::size_t instances = 1;
+
+    /** Routing policy name (see cluster::parseRoutingPolicy);
+     *  empty = future-memory. Only meaningful with instances > 1. */
+    std::string routing;
+
+    /** Comma-separated per-instance hardware, each `name[:count]`
+     *  (e.g. "a100-80g:2,a30:2"); counts must sum to --instances.
+     *  Empty = every instance uses --hardware. */
+    std::string platformMix;
+
+    /** Drain instance 0 at this many simulated seconds (0 = never);
+     *  its queued requests re-dispatch through the router. */
+    double drainAtSeconds = 0.0;
 
     // SLA: 0 means "derive from model size" (paper defaults).
     double ttftLimitSeconds = 0.0;
@@ -110,6 +129,16 @@ struct Scenario
     double poissonRate = 0.0;
     Tick thinkTime = 0;
     std::uint64_t seed = 0;
+
+    /** Per-instance performance models; populated (and sized to
+     *  --instances) only for fleet scenarios. Empty = one engine
+     *  driven by `perf` (the bit-exact single-instance path). */
+    std::vector<model::PerfModel> fleetPerfs;
+    cluster::RoutingPolicy routing =
+        cluster::RoutingPolicy::FutureMemory;
+
+    /** Drain instance 0 at this tick (0 = never). */
+    Tick drainAt = 0;
 };
 
 /**
