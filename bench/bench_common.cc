@@ -40,13 +40,27 @@ writeJson(const std::string &path, const std::string &name,
     for (std::size_t r = 0; r < rows.size(); ++r) {
         file << "    {";
         for (std::size_t k = 0; k < rows[r].size(); ++k) {
-            // inf/nan are not JSON; fail at write time instead of
-            // archiving an unparseable artifact.
-            LIGHTLLM_ASSERT(std::isfinite(rows[r][k].second),
-                            "non-finite value for key ",
-                            rows[r][k].first, " in bench ", name);
+            const JsonValue &value = rows[r][k].second;
             file << (k == 0 ? "" : ", ") << '"' << rows[r][k].first
-                 << "\": " << rows[r][k].second;
+                 << "\": ";
+            if (value.isString) {
+                // Labels come from bench code, not user input;
+                // reject rather than escape the problematic ones.
+                LIGHTLLM_ASSERT(
+                    value.str.find('"') == std::string::npos &&
+                        value.str.find('\\') == std::string::npos,
+                    "label needs JSON escaping in bench ", name,
+                    ": ", value.str);
+                file << '"' << value.str << '"';
+            } else {
+                // inf/nan are not JSON; fail at write time instead
+                // of archiving an unparseable artifact.
+                LIGHTLLM_ASSERT(std::isfinite(value.num),
+                                "non-finite value for key ",
+                                rows[r][k].first, " in bench ",
+                                name);
+                file << value.num;
+            }
         }
         file << (r + 1 < rows.size() ? "},\n" : "}\n");
     }

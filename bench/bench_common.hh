@@ -44,14 +44,30 @@ smokeTruncate(std::vector<T> sweep, std::size_t smoke)
     return sweep;
 }
 
-/** One flat JSON object, as ordered key → number pairs. */
-using JsonRow = std::vector<std::pair<std::string, double>>;
+/** One JSON scalar cell: a number or a label string. */
+struct JsonValue
+{
+    JsonValue(double value) : num(value) {}
+    JsonValue(const char *value) : str(value), isString(true) {}
+    JsonValue(std::string value)
+        : str(std::move(value)), isString(true)
+    {
+    }
+
+    double num = 0.0;
+    std::string str;
+    bool isString = false;
+};
+
+/** One flat JSON object, as ordered key → scalar pairs. */
+using JsonRow = std::vector<std::pair<std::string, JsonValue>>;
 
 /**
  * Write a bench result file CI can archive:
  * `{"bench": <name>, "smoke": <bool>, "rows": [{...}, ...]}`.
- * Numbers are emitted with enough precision to round-trip. Fatal
- * on I/O failure.
+ * Numbers are emitted with enough precision to round-trip; label
+ * strings are quoted (and must not need escaping). Fatal on I/O
+ * failure.
  */
 void writeJson(const std::string &path, const std::string &name,
                const std::vector<JsonRow> &rows);

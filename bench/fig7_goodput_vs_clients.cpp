@@ -44,7 +44,8 @@ using DatasetMaker =
 
 void
 sweepDataset(const ModelSetup &setup, const std::string &name,
-             const DatasetMaker &make)
+             const DatasetMaker &make,
+             std::vector<bench::JsonRow> &rows)
 {
     const model::PerfModel perf(setup.model, setup.hardware);
     const std::size_t n_requests = smokeSize(400, 48);
@@ -71,6 +72,11 @@ sweepDataset(const ModelSetup &setup, const std::string &name,
         std::vector<std::string> row{entry.label};
         for (double fraction : load_fractions) {
             double goodput_sum = 0.0;
+            // Label the sweep point like the table header does —
+            // from the fixed reference dataset, not whichever
+            // replica happened to run last.
+            const std::size_t clients =
+                sizeClients(perf, reference, fraction);
             for (int replica = 0; replica < replicas; ++replica) {
                 const auto dataset =
                     make(n_requests,
@@ -84,8 +90,16 @@ sweepDataset(const ModelSetup &setup, const std::string &name,
                 goodput_sum +=
                     report.goodputTokensPerSec(setup.sla);
             }
-            row.push_back(
-                formatDouble(goodput_sum / replicas, 0));
+            const double goodput = goodput_sum / replicas;
+            row.push_back(formatDouble(goodput, 0));
+            rows.push_back(bench::JsonRow{
+                {"model", setup.label},
+                {"dataset", name},
+                {"scheduler", entry.label},
+                {"load_fraction", fraction},
+                {"clients", static_cast<double>(clients)},
+                {"goodput_tok_s", goodput},
+            });
         }
         table.addRow(row);
     }
@@ -140,11 +154,16 @@ main()
             },
             1);
 
+    std::vector<bench::JsonRow> rows;
     for (const auto &setup : setups)
         for (const auto &[name, make] : datasets)
-            sweepDataset(setup, name, make);
+            sweepDataset(setup, name, make, rows);
 
-    std::cout << "Reading: goodput counts only tokens of requests "
+    bench::writeJson("BENCH_fig7_goodput.json", "fig7_goodput",
+                     rows);
+    std::cout << "Wrote BENCH_fig7_goodput.json ("
+              << (smokeMode() ? "smoke" : "full") << " mode).\n"
+                 "Reading: goodput counts only tokens of requests "
                  "meeting the SLA (7B/13B: TTFT < 10 s, MTPOT < "
                  "1.5 s; 70B: 15 s / 5 s).\n";
     return 0;

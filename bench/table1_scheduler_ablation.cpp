@@ -34,7 +34,8 @@ struct Row
 
 void
 runDataset(const std::string &title, const workload::Dataset &dataset,
-           const workload::Dataset &history, double conservative_oc)
+           const workload::Dataset &history, double conservative_oc,
+           std::vector<bench::JsonRow> &json_rows)
 {
     model::PerfModel perf(model::ModelSpec::llama2_7b(),
                           model::HardwareSpec::a100_80g());
@@ -76,6 +77,15 @@ runDataset(const std::string &title, const workload::Dataset &dataset,
                       formatPercent(report.avgConsumedMemory, 2),
                       formatPercent(report.avgFutureRequired, 2),
                       formatPercent(report.evictedReqRatio(), 2)});
+        json_rows.push_back(bench::JsonRow{
+            {"dataset", title},
+            {"method", row.label},
+            {"decode_steps",
+             static_cast<double>(report.decodeSteps)},
+            {"consumed_memory", report.avgConsumedMemory},
+            {"future_required", report.avgFutureRequired},
+            {"evicted_req_ratio", report.evictedReqRatio()},
+        });
     }
     table.print(std::cout);
     std::cout << "\n";
@@ -91,17 +101,25 @@ main()
 
     const std::size_t n = smokeSize(1000, 80);
     const std::size_t history_n = smokeSize(1000, 120);
+    std::vector<bench::JsonRow> rows;
     runDataset("Distribution-1 (decode-heavy)",
                workload::makeDistribution1(n, 11),
-               workload::makeDistribution1(history_n, 12), 1.5);
+               workload::makeDistribution1(history_n, 12), 1.5,
+               rows);
     runDataset("Distribution-2 (balanced)",
                workload::makeDistribution2(n, 13),
-               workload::makeDistribution2(history_n, 14), 1.25);
+               workload::makeDistribution2(history_n, 14), 1.25,
+               rows);
     runDataset("Distribution-3 (prefill-heavy)",
                workload::makeDistribution3(n, 15),
-               workload::makeDistribution3(history_n, 16), 1.5);
+               workload::makeDistribution3(history_n, 16), 1.5,
+               rows);
 
-    std::cout << "Reading: fewer decoding steps means larger "
+    bench::writeJson("BENCH_table1_ablation.json", "table1_ablation",
+                     rows);
+    std::cout << "Wrote BENCH_table1_ablation.json ("
+              << (smokeMode() ? "smoke" : "full") << " mode).\n"
+                 "Reading: fewer decoding steps means larger "
                  "batches per step (better throughput); evicted "
                  "reqs is eviction events / finished requests and "
                  "can exceed 100% when requests bounce repeatedly.\n";

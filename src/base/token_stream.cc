@@ -1,0 +1,70 @@
+#include "base/token_stream.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+
+namespace {
+
+/** SplitMix64 finaliser: the bijective avalanche stage. */
+std::uint64_t
+mix64(std::uint64_t value)
+{
+    value ^= value >> 30;
+    value *= 0xbf58476d1ce4e5b9ull;
+    value ^= value >> 27;
+    value *= 0x94d049bb133111ebull;
+    value ^= value >> 31;
+    return value;
+}
+
+/** Fold one token (content key + position within its segment). */
+PrefixHash
+foldToken(PrefixHash hash, std::uint64_t key, TokenCount offset)
+{
+    return mix64(hash ^ mix64(key + 0x9e3779b97f4a7c15ull *
+                                        static_cast<std::uint64_t>(
+                                            offset + 1)));
+}
+
+} // namespace
+
+std::vector<PrefixHash>
+blockHashChain(std::span<const PromptSegment> segments,
+               TokenCount block_size_tokens, TokenCount max_tokens)
+{
+    LIGHTLLM_ASSERT(block_size_tokens >= 1,
+                    "block size must be >= 1");
+    std::vector<PrefixHash> hashes;
+    if (max_tokens < block_size_tokens)
+        return hashes;
+
+    PrefixHash hash = 0x50465343414348ull;  // chain seed
+    TokenCount position = 0;  // tokens folded so far
+    for (const PromptSegment &segment : segments) {
+        LIGHTLLM_ASSERT(segment.len > 0,
+                        "empty prompt segment");
+        for (TokenCount offset = 0; offset < segment.len; ++offset) {
+            if (position >= max_tokens)
+                return hashes;
+            hash = foldToken(hash, segment.key, offset);
+            ++position;
+            if (position % block_size_tokens == 0)
+                hashes.push_back(hash);
+        }
+    }
+    return hashes;
+}
+
+std::uint64_t
+deriveContentKey(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
+{
+    const std::uint64_t key =
+        mix64(seed ^ mix64(a + 0x9e3779b97f4a7c15ull) ^
+              mix64(b + 0xd1b54a32d192ed03ull));
+    return key == 0 ? 1 : key;
+}
+
+} // namespace lightllm

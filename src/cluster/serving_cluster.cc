@@ -18,6 +18,8 @@ routingPolicyName(RoutingPolicy policy)
         return "least-outstanding";
       case RoutingPolicy::FutureMemory:
         return "future-memory";
+      case RoutingPolicy::PrefixAffinity:
+        return "prefix-affinity";
     }
     return "unknown";
 }
@@ -28,7 +30,8 @@ parseRoutingPolicy(std::string_view name, RoutingPolicy &out)
     for (const RoutingPolicy policy :
          {RoutingPolicy::RoundRobin,
           RoutingPolicy::LeastOutstandingTokens,
-          RoutingPolicy::FutureMemory}) {
+          RoutingPolicy::FutureMemory,
+          RoutingPolicy::PrefixAffinity}) {
         if (name == routingPolicyName(policy)) {
             out = policy;
             return true;
@@ -130,7 +133,8 @@ ServingCluster::leastLoaded(
 }
 
 std::size_t
-ServingCluster::pickInstance(TokenCount footprint)
+ServingCluster::pickInstance(TokenCount footprint,
+                             std::uint64_t session_key)
 {
     switch (policy_) {
       case RoutingPolicy::RoundRobin:
@@ -159,6 +163,26 @@ ServingCluster::pickInstance(TokenCount footprint)
             return static_cast<double>(predictedLoad_[i] +
                                        footprint);
         });
+      case RoutingPolicy::PrefixAffinity:
+      {
+        // Keep a session's turns where its prefix is cached; place
+        // unknown sessions (and key-less traffic) least-loaded.
+        if (session_key != 0) {
+            const auto it = sessionHome_.find(session_key);
+            if (it != sessionHome_.end() &&
+                !draining_[it->second]) {
+                return it->second;
+            }
+        }
+        const std::size_t index =
+            leastLoaded([this](std::size_t i) {
+                return static_cast<double>(
+                    instances_[i]->outstandingTokens());
+            });
+        if (session_key != 0)
+            sessionHome_[session_key] = index;
+        return index;
+      }
     }
     panic("unknown routing policy");
 }
@@ -181,7 +205,8 @@ ServingCluster::routeSubmission(const workload::RequestSpec &spec,
         policy_ == RoutingPolicy::FutureMemory
         ? predictFootprint(spec)
         : 0;
-    const std::size_t index = pickInstance(footprint);
+    const std::size_t index =
+        pickInstance(footprint, spec.sessionKey);
     routedCounts_[index] += 1;
     routedTokens_[index] += spec.effectiveOutputLen();
     if (policy_ == RoutingPolicy::FutureMemory) {

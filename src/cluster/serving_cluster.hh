@@ -62,6 +62,16 @@ enum class RoutingPolicy
     RoundRobin,
     LeastOutstandingTokens,
     FutureMemory,
+
+    /**
+     * Session stickiness for prefix-cache fleets: a request whose
+     * sessionKey was seen before goes to the instance that served
+     * the session's earlier turns — the one whose prefix cache
+     * holds the conversation's blocks — and new sessions (and
+     * key-less requests) fall back to least-outstanding placement.
+     * A drained home instance is re-picked and remembered.
+     */
+    PrefixAffinity,
 };
 
 /** Human-readable policy label. */
@@ -185,8 +195,10 @@ class ServingCluster : public workload::RequestSink
                          Tick deliver, Tick stamp);
 
     /** Pick the target instance (`footprint` is the FutureMemory
-     *  charge; unused by the other policies). */
-    std::size_t pickInstance(TokenCount footprint);
+     *  charge, `session_key` the PrefixAffinity identity; each is
+     *  unused by the other policies). */
+    std::size_t pickInstance(TokenCount footprint,
+                             std::uint64_t session_key);
 
     /** Routable instance with the smallest capacity-normalised
      *  load, where `load_of(i)` is the policy's numerator. */
@@ -224,6 +236,9 @@ class ServingCluster : public workload::RequestSink
     std::vector<TokenCount> predictedLoad_;
     std::unordered_map<RequestId,
                        std::pair<std::size_t, TokenCount>> charges_;
+
+    /** PrefixAffinity state: each session's home instance. */
+    std::unordered_map<std::uint64_t, std::size_t> sessionHome_;
 };
 
 } // namespace cluster

@@ -24,9 +24,10 @@ AggressiveScheduler::beginAdmissionRound(const SchedulerContext &ctx)
 bool
 AggressiveScheduler::tryAdmit(const WaitingView &candidate)
 {
-    // Only the immediate prefill footprint is considered.
-    const TokenCount need =
-        candidate.promptLen + candidate.generatedLen;
+    // Only the immediate prefill footprint is considered; cached
+    // prefix blocks are already resident and cost nothing new.
+    const TokenCount need = candidate.promptLen +
+        candidate.generatedLen - candidate.cachedPrefixLen;
     if (used_ + need > limit_)
         return false;
     used_ += need;

@@ -21,9 +21,13 @@ ConservativeScheduler::beginAdmissionRound(const SchedulerContext &ctx)
         static_cast<double>(ctx.capacityTokens) * overcommit_);
 
     // Worst case for every running request: it reaches its cap.
+    // Shared prefix blocks are charged to whoever brought them in,
+    // not to every sharer.
     committed_ = 0;
-    for (const auto &request : ctx.running)
-        committed_ += request.promptLen + request.maxNewTokens;
+    for (const auto &request : ctx.running) {
+        committed_ += request.promptLen - request.cachedPrefixLen +
+            request.maxNewTokens;
+    }
 }
 
 bool
@@ -31,8 +35,8 @@ ConservativeScheduler::tryAdmit(const WaitingView &candidate)
 {
     // generatedLen counts toward maxNewTokens, so the worst-case
     // footprint of a re-queued request is unchanged.
-    const TokenCount need =
-        candidate.promptLen + candidate.maxNewTokens;
+    const TokenCount need = candidate.promptLen -
+        candidate.cachedPrefixLen + candidate.maxNewTokens;
     if (committed_ + need > limit_)
         return false;
     committed_ += need;

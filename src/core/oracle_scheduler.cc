@@ -28,8 +28,9 @@ OracleScheduler::beginAdmissionRound(const SchedulerContext &ctx)
             effectiveOutput(request.trueOutputLen,
                             request.maxNewTokens),
             request.generatedLen);
-        entries_.push_back(BatchEntry{request.promptLen,
-                                      request.generatedLen, total});
+        entries_.push_back(BatchEntry{
+            request.promptLen - request.cachedPrefixLen,
+            request.generatedLen, total});
     }
 }
 
@@ -41,8 +42,9 @@ OracleScheduler::tryAdmit(const WaitingView &candidate)
                         candidate.maxNewTokens),
         candidate.generatedLen);
     const BatchEntry entry{
-        candidate.promptLen + candidate.generatedLen, 0,
-        total - candidate.generatedLen};
+        candidate.promptLen + candidate.generatedLen -
+            candidate.cachedPrefixLen,
+        0, total - candidate.generatedLen};
     scratch_ = entries_;
     scratch_.push_back(entry);
     const TokenCount overhead = perRequestOverhead_ *

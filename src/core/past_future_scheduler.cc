@@ -140,9 +140,11 @@ PastFutureScheduler::beginAdmissionRound(const SchedulerContext &ctx)
                           request.maxNewTokens)
                 : samplePerturbed(request.generatedLen,
                                   request.maxNewTokens);
-            entries.push_back(BatchEntry{request.promptLen,
-                                         request.generatedLen,
-                                         predicted});
+            // Shared prefix blocks cost no private memory: charge
+            // the uncached prompt suffix only.
+            entries.push_back(BatchEntry{
+                request.promptLen - request.cachedPrefixLen,
+                request.generatedLen, predicted});
         }
     }
     peaks_.resize(static_cast<std::size_t>(trials_));
@@ -161,11 +163,12 @@ PastFutureScheduler::tryAdmit(const WaitingView &candidate)
                               candidate.maxNewTokens);
         // The recompute prefill re-materialises prompt +
         // generated tokens, so that is the candidate's resident
-        // footprint at admission; the remainder is its future
-        // growth.
+        // footprint at admission — minus whatever prefix the cache
+        // already holds; the remainder is its future growth.
         candidateEntries_[t] = BatchEntry{
-            candidate.promptLen + candidate.generatedLen, 0,
-            predicted - candidate.generatedLen};
+            candidate.promptLen + candidate.generatedLen -
+                candidate.cachedPrefixLen,
+            0, predicted - candidate.generatedLen};
         scratch_ = trialEntries_[t];
         scratch_.push_back(candidateEntries_[t]);
         peaks_[t] =
@@ -211,7 +214,8 @@ PastFutureScheduler::estimateFutureMemory(const SchedulerContext &ctx)
     entries.reserve(ctx.running.size());
     for (const auto &request : ctx.running) {
         entries.push_back(BatchEntry{
-            request.promptLen, request.generatedLen,
+            request.promptLen - request.cachedPrefixLen,
+            request.generatedLen,
             predict(request.id, request.generatedLen,
                     request.maxNewTokens)});
     }
@@ -223,7 +227,7 @@ PastFutureScheduler::estimateLoad(const SchedulerContext &ctx)
 {
     TokenCount total = estimateFutureMemory(ctx);
     for (const auto &candidate : ctx.waiting) {
-        total += candidate.promptLen +
+        total += candidate.promptLen - candidate.cachedPrefixLen +
             predict(candidate.id, candidate.generatedLen,
                     candidate.maxNewTokens);
     }

@@ -32,8 +32,10 @@ TokenCount
 Scheduler::estimateLoad(const SchedulerContext &ctx)
 {
     TokenCount total = ctx.usedTokens;
-    for (const auto &candidate : ctx.waiting)
-        total += candidate.promptLen + candidate.generatedLen;
+    for (const auto &candidate : ctx.waiting) {
+        total += candidate.promptLen + candidate.generatedLen -
+            candidate.cachedPrefixLen;
+    }
     return total;
 }
 

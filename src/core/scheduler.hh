@@ -56,6 +56,14 @@ struct RunningView
     /** Admitted but still prefilling — holds KV and will generate,
      *  but is not an eligible eviction victim. */
     bool prefilling = false;
+
+    /**
+     * Prompt tokens resident in *shared* prefix-cache blocks. They
+     * cost no private memory, so memory-exact policies charge
+     * promptLen - cachedPrefixLen for this request's resident
+     * prompt (0 when prefix caching is off — the seed arithmetic).
+     */
+    TokenCount cachedPrefixLen = 0;
 };
 
 /** Scheduler's view of one queued request. */
@@ -84,6 +92,18 @@ struct WaitingView
 
     /** Priority class (higher = more urgent). */
     int priority = 0;
+
+    /**
+     * Prompt tokens the prefix cache would cover if this request
+     * were admitted now — an estimate, like the output-length
+     * predictions: concurrent prefills can warm the cache further,
+     * and a reclaim triggered by an earlier admission in the same
+     * round can cool it. Admission charges only the uncached
+     * suffix, promptLen + generatedLen - cachedPrefixLen; the
+     * engine's allocation remains the safety backstop when the
+     * actual match is smaller.
+     */
+    TokenCount cachedPrefixLen = 0;
 };
 
 /** Everything a scheduler may inspect when deciding admissions. */

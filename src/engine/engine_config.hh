@@ -50,6 +50,16 @@ struct EngineConfig
     /** Prompt tokens per fused chunk when splitFuse is on. */
     TokenCount splitFuseChunk = 512;
 
+    /**
+     * Shared-prefix KV reuse (SGLang/vLLM-style radix prefix
+     * cache): admission matches a request's content-identified
+     * prompt against previously prefilled blocks, allocates and
+     * prefills only the uncached suffix, and finished requests'
+     * full blocks stay cached (LRU-reclaimed under memory
+     * pressure). Off by default — the bit-exact legacy path.
+     */
+    bool prefixCache = false;
+
     /** Latency multiplier emulating backend efficiency differences
      *  between frameworks (< 1 is faster than the reference). */
     double timeFactor = 1.0;

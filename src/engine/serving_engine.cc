@@ -26,6 +26,10 @@ ServingEngine::ServingEngine(
                     "time factor must be positive");
     LIGHTLLM_ASSERT(!config_.splitFuse || config_.splitFuseChunk > 0,
                     "split-fuse chunk must be positive");
+    if (config_.prefixCache) {
+        prefixCache_ = std::make_unique<memory::PrefixCache>(kv_);
+        kv_.attachPrefixCache(prefixCache_.get());
+    }
 }
 
 ServingEngine::ServingEngine(model::PerfModel perf_model,
@@ -181,7 +185,79 @@ ServingEngine::runningViewOf(const EngineRequest &request,
         request.spec.id,      request.spec.inputLen,
         request.generated,    request.spec.maxNewTokens,
         request.spec.outputLen, request.admitSeq,
-        request.spec.priority, prefilling};
+        request.spec.priority, prefilling,
+        request.cachedPrefix};
+}
+
+const std::vector<PrefixHash> &
+ServingEngine::promptHashes(EngineRequest &request)
+{
+    const workload::RequestSpec &spec = request.spec;
+    const TokenCount prompt = spec.inputLen + request.generated;
+    // Content-identified tokens: the prompt segments always; the
+    // regenerated output only when the spec names its content.
+    const TokenCount known = spec.outputKey != 0
+        ? prompt
+        : spec.inputLen;
+    // One short of the prompt: the final prompt token is always
+    // prefilled (it produces the logits for the first new token).
+    const TokenCount cap = std::min(known, prompt - 1);
+    if (request.hashedFor == cap)
+        return request.hashes;
+
+    streamScratch_.assign(spec.segments.begin(),
+                          spec.segments.end());
+    if (spec.outputKey != 0 && request.generated > 0) {
+        streamScratch_.push_back(
+            PromptSegment{spec.outputKey, request.generated});
+    }
+    request.hashes =
+        blockHashChain(streamScratch_, kv_.blockSize(), cap);
+    request.hashedFor = cap;
+    return request.hashes;
+}
+
+TokenCount
+ServingEngine::peekCachedPrefix(EngineRequest &request)
+{
+    // Swap-in restores the KV wholesale (admitOne allocates the
+    // full footprint privately), so schedulers must not discount a
+    // swapped-out candidate.
+    if (!prefixCache_ || request.spec.segments.empty() ||
+        request.swappedOut) {
+        return 0;
+    }
+    const auto matched = static_cast<TokenCount>(
+        prefixCache_->peek(promptHashes(request)));
+    return matched * kv_.blockSize();
+}
+
+void
+ServingEngine::cacheInsert(EngineRequest *request)
+{
+    if (!prefixCache_ || request->spec.segments.empty())
+        return;
+    const workload::RequestSpec &spec = request->spec;
+    const TokenCount known = spec.inputLen +
+        (spec.outputKey != 0 ? request->generated : 0);
+    streamScratch_.assign(spec.segments.begin(),
+                          spec.segments.end());
+    if (spec.outputKey != 0 && request->generated > 0) {
+        streamScratch_.push_back(
+            PromptSegment{spec.outputKey, request->generated});
+    }
+    insertHashScratch_ =
+        blockHashChain(streamScratch_, kv_.blockSize(), known);
+    const std::vector<memory::BlockId> &table =
+        kv_.blockTable(spec.id);
+    // Full identified blocks are always a prefix of the block
+    // table (the allocation covers prompt + at least one token).
+    const std::size_t count =
+        std::min(insertHashScratch_.size(), table.size());
+    prefixCache_->insert(
+        std::span<const PrefixHash>(insertHashScratch_)
+            .first(count),
+        std::span<const memory::BlockId>(table).first(count));
 }
 
 core::SchedulerContext
@@ -197,12 +273,12 @@ ServingEngine::buildContext()
         runningViews_.push_back(runningViewOf(*request, true));
 
     waitingViews_.clear();
-    for (const EngineRequest *request : waiting_) {
+    for (EngineRequest *request : waiting_) {
         waitingViews_.push_back(core::WaitingView{
             request->spec.id, request->spec.inputLen,
             request->generated, request->spec.maxNewTokens,
             request->arrival, request->spec.outputLen,
-            request->spec.priority});
+            request->spec.priority, peekCachedPrefix(*request)});
     }
 
     core::SchedulerContext ctx;
@@ -233,13 +309,31 @@ ServingEngine::admitOne(EngineRequest *request)
     }
     // Allocate prompt + recompute tokens + one slot for the token
     // the prefill itself emits.
-    const TokenCount tokens =
-        request->spec.inputLen + request->generated + 1;
+    const TokenCount prompt =
+        request->spec.inputLen + request->generated;
+    const TokenCount tokens = prompt + 1;
+    if (prefixCache_ && !request->spec.segments.empty()) {
+        // Reuse every cached full block of the prompt: only the
+        // uncached suffix is allocated — and only it is prefilled.
+        matchScratch_.clear();
+        prefixCache_->match(promptHashes(*request), matchScratch_);
+        if (!kv_.allocateShared(request->spec.id, tokens,
+                                matchScratch_)) {
+            return false;
+        }
+        const TokenCount shared =
+            kv_.requestSharedTokens(request->spec.id);
+        collector_.onPrefixLookup(prompt, shared);
+        request->admitSeq = nextAdmitSeq_++;
+        request->cachedPrefix = shared;
+        request->remainingPrompt = prompt - shared;
+        prefillPending_.push_back(request);
+        return true;
+    }
     if (!kv_.allocate(request->spec.id, tokens))
         return false;
     request->admitSeq = nextAdmitSeq_++;
-    request->remainingPrompt =
-        request->spec.inputLen + request->generated;
+    request->remainingPrompt = prompt;
     prefillPending_.push_back(request);
     return true;
 }
@@ -329,6 +423,10 @@ ServingEngine::finishRequest(EngineRequest *request)
     record.evictions = request->evictions;
     collector_.onRequestFinished(record);
 
+    // Retain the request's identified full blocks (prompt and, for
+    // session turns, the generated reply) before the references
+    // drop: the next turn's prompt extends exactly this stream.
+    cacheInsert(request);
     kv_.release(request->spec.id);
     policy_->onRequestFinished(request->spec.id,
                                request->generated);
@@ -399,9 +497,13 @@ ServingEngine::evictRequest(RequestId id)
 
     const TokenCount victim_tokens =
         kv_.requestTokens(victim->spec.id);
+    // release() only drops references: blocks the prefix cache (or
+    // another sharer) holds survive, so the victim's re-admission
+    // can re-match its prefix instead of recomputing it.
     kv_.release(victim->spec.id);
     victim->evictions += 1;
     victim->remainingPrompt = 0;
+    victim->cachedPrefix = 0;
     collector_.onEviction(victim->evictions == 1);
     policy_->onRequestEvicted(victim->spec.id);
     // Back to the front of the queue; the KV is either rebuilt by a
@@ -425,7 +527,8 @@ ServingEngine::trueFutureMemory() const
         const TokenCount target =
             std::max(request->targetOutput(), request->generated);
         scratchEntries_.push_back(core::BatchEntry{
-            request->spec.inputLen, request->generated, target});
+            request->spec.inputLen - request->cachedPrefix,
+            request->generated, target});
     };
     for (const EngineRequest *request : running_)
         add_entry(request);
@@ -458,10 +561,15 @@ ServingEngine::runPrefillPhase()
         request->remainingPrompt = 0;
         request->generated += 1;
         recordEmission(*request, now_);
-        if (request->generated >= request->targetOutput())
-            finishRequest(request);
-        else
+        if (request->generated >= request->targetOutput()) {
+            finishRequest(request);  // does its own cacheInsert
+        } else {
+            // The freshly prefilled prompt blocks are now valid
+            // KV: publish them so concurrent same-prefix requests
+            // share.
+            cacheInsert(request);
             running_.push_back(request);
+        }
     }
     prefillPending_.clear();
 }
@@ -615,10 +723,12 @@ ServingEngine::runFusedStep()
             return false;
         request->generated += 1;
         recordEmission(*request, now_);
-        if (request->generated >= request->targetOutput())
-            finished.push_back(request);
-        else
+        if (request->generated >= request->targetOutput()) {
+            finished.push_back(request);  // finish inserts
+        } else {
+            cacheInsert(request);
             running_.push_back(request);
+        }
         return true;
     });
 

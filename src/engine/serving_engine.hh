@@ -41,12 +41,14 @@
 #include <utility>
 #include <vector>
 
+#include "base/token_stream.hh"
 #include "base/types.hh"
 #include "core/future_memory.hh"
 #include "core/scheduler.hh"
 #include "core/scheduling_policy.hh"
 #include "engine/engine_config.hh"
 #include "memory/kv_block_manager.hh"
+#include "memory/prefix_cache.hh"
 #include "metrics/collector.hh"
 #include "metrics/report.hh"
 #include "model/perf_model.hh"
@@ -197,6 +199,12 @@ class ServingEngine : public workload::RequestSink
     std::size_t waitingSize() const { return waiting_.size(); }
     std::size_t numFinished() const { return finished_; }
     const memory::KvBlockManager &kvManager() const { return kv_; }
+
+    /** The engine's prefix cache; null when disabled. */
+    const memory::PrefixCache *prefixCache() const
+    {
+        return prefixCache_.get();
+    }
     const model::PerfModel &perfModel() const { return perf_; }
     core::SchedulingPolicy &policy() { return *policy_; }
     core::Scheduler &scheduler() { return policy_->admission(); }
@@ -222,6 +230,15 @@ class ServingEngine : public workload::RequestSink
 
         /** KV lives in host memory awaiting swap-in. */
         bool swappedOut = false;
+
+        /** Prompt tokens resident in shared prefix-cache blocks
+         *  (0 unless admitted through a cache match). */
+        TokenCount cachedPrefix = 0;
+
+        /** Memoised prompt block-hash chain (prefix-cache mode)
+         *  and the token cap it was computed for (-1 = none). */
+        std::vector<PrefixHash> hashes;
+        TokenCount hashedFor = -1;
 
         /** Tokens generation will produce (EOS or cap). */
         TokenCount
@@ -253,8 +270,24 @@ class ServingEngine : public workload::RequestSink
     /** Ask the policy for a decision and execute it. */
     void admitRequests();
 
-    /** Admit one request: allocate KV and queue its prefill. */
+    /** Admit one request: allocate KV (reusing any cached prefix)
+     *  and queue its prefill over the uncached suffix. */
     bool admitOne(EngineRequest *request);
+
+    /**
+     * The request's prompt block-hash chain, capped one token short
+     * of its recompute prompt (a fully cached prompt still prefills
+     * its last token) and at the tokens whose content is known
+     * (prompt; plus regenerated output when outputKey is set).
+     * Memoised per request. Prefix-cache mode only.
+     */
+    const std::vector<PrefixHash> &promptHashes(
+        EngineRequest &request);
+
+    /** Cache the request's full KV blocks whose content is
+     *  identified (prompt, plus generated tokens when the spec
+     *  names their content). No-op outside prefix-cache mode. */
+    void cacheInsert(EngineRequest *request);
 
     /** Process all pending prefills as dedicated iterations. */
     void runPrefillPhase();
@@ -295,6 +328,10 @@ class ServingEngine : public workload::RequestSink
     static core::RunningView runningViewOf(
         const EngineRequest &request, bool prefilling);
 
+    /** Cached-prefix tokens the cache would cover for a waiting
+     *  request right now (no LRU effect). */
+    TokenCount peekCachedPrefix(EngineRequest &request);
+
     /** Scale a modelled latency by the engine time factor. */
     Tick scaled(Tick duration) const;
 
@@ -305,6 +342,12 @@ class ServingEngine : public workload::RequestSink
     std::unique_ptr<core::SchedulingPolicy> policy_;
     EngineConfig config_;
     memory::KvBlockManager kv_;
+
+    /** Radix prefix cache over kv_; null when disabled. Declared
+     *  after kv_ so its teardown (dropping retained blocks) runs
+     *  while the manager is alive. */
+    std::unique_ptr<memory::PrefixCache> prefixCache_;
+
     metrics::MetricsCollector collector_;
 
     /** Private context in standalone mode; null when shared. */
@@ -357,6 +400,9 @@ class ServingEngine : public workload::RequestSink
     std::vector<core::WaitingView> waitingViews_;
     std::vector<RequestId> runningIds_;
     mutable std::vector<core::BatchEntry> scratchEntries_;
+    std::vector<memory::BlockId> matchScratch_;
+    std::vector<PromptSegment> streamScratch_;
+    std::vector<PrefixHash> insertHashScratch_;
 };
 
 } // namespace engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "memory/prefix_cache.hh"
 
 namespace lightllm {
 namespace memory {
@@ -31,26 +32,121 @@ KvBlockManager::KvBlockManager(TokenCount capacity_tokens,
     // Populate descending so blocks are handed out in ascending order.
     for (std::int64_t b = num_blocks - 1; b >= 0; --b)
         freeList_.push_back(static_cast<BlockId>(b));
+    states_.resize(static_cast<std::size_t>(num_blocks));
+}
+
+bool
+KvBlockManager::ensureFreeBlocks(std::int64_t need)
+{
+    if (need <= freeBlocks())
+        return true;
+    if (cache_ == nullptr)
+        return false;
+    if (need > freeBlocks() + cacheOnly_)
+        return false;
+    cache_->reclaim(need - freeBlocks());
+    LIGHTLLM_ASSERT(need <= freeBlocks(),
+                    "prefix cache reclaim under-delivered");
+    return true;
+}
+
+BlockId
+KvBlockManager::takeFreeBlock(TokenCount tokens)
+{
+    LIGHTLLM_ASSERT(!freeList_.empty(), "free list exhausted");
+    const BlockId block = freeList_.back();
+    freeList_.pop_back();
+    BlockState &state = states_[static_cast<std::size_t>(block)];
+    LIGHTLLM_ASSERT(state.requestRefs == 0 && !state.cached,
+                    "free-list block ", block, " still referenced");
+    state.requestRefs = 1;
+    state.heldTokens = tokens;
+    usedTokens_ += tokens;
+    return block;
+}
+
+void
+KvBlockManager::addRequestRef(BlockId block)
+{
+    BlockState &state = states_[static_cast<std::size_t>(block)];
+    LIGHTLLM_ASSERT(state.requestRefs > 0 || state.cached,
+                    "sharing an unreferenced block ", block);
+    if (state.requestRefs == 0) {
+        // A reclaimable cache-only block rejoins the working set.
+        LIGHTLLM_ASSERT(state.heldTokens == 0,
+                        "cache-only block still charged");
+        state.heldTokens = blockSize_;
+        usedTokens_ += blockSize_;
+        --cacheOnly_;
+    }
+    ++state.requestRefs;
+}
+
+void
+KvBlockManager::dropRequestRef(BlockId block)
+{
+    BlockState &state = states_[static_cast<std::size_t>(block)];
+    LIGHTLLM_ASSERT(state.requestRefs > 0,
+                    "over-release of block ", block);
+    --state.requestRefs;
+    if (state.requestRefs > 0)
+        return;
+    usedTokens_ -= state.heldTokens;
+    state.heldTokens = 0;
+    if (state.cached) {
+        ++cacheOnly_;  // parked: reclaimable, not free
+        return;
+    }
+    freeList_.push_back(block);
 }
 
 bool
 KvBlockManager::allocate(RequestId id, TokenCount num_tokens)
 {
     LIGHTLLM_ASSERT(num_tokens >= 0, "negative allocation");
+    return allocateShared(id, num_tokens, {});
+}
+
+bool
+KvBlockManager::allocateShared(RequestId id, TokenCount num_tokens,
+                               std::span<const BlockId> shared_prefix)
+{
+    LIGHTLLM_ASSERT(num_tokens >= 0, "negative allocation");
+    const TokenCount shared_tokens =
+        static_cast<TokenCount>(shared_prefix.size()) * blockSize_;
+    // Zero-token (and, with a prefix, fully-shared) allocations are
+    // rejected: every allocation must end in a private block it can
+    // write its next token into.
+    if (num_tokens <= shared_tokens)
+        return false;
     if (tables_.count(id) > 0)
         return false;
-    const std::int64_t need = ceilDiv(num_tokens, blockSize_);
-    if (need > freeBlocks())
-        return false;
+    const std::int64_t need =
+        ceilDiv(num_tokens - shared_tokens, blockSize_);
 
     Allocation alloc;
     alloc.numTokens = num_tokens;
-    alloc.blocks.reserve(static_cast<std::size_t>(need));
-    for (std::int64_t i = 0; i < need; ++i) {
-        alloc.blocks.push_back(freeList_.back());
-        freeList_.pop_back();
+    alloc.sharedTokens = shared_tokens;
+    alloc.blocks.reserve(shared_prefix.size() +
+                         static_cast<std::size_t>(need));
+    // Hold the shared blocks before covering the private suffix:
+    // an LRU reclaim triggered below must not steal a matched
+    // cache-only block out from under this allocation.
+    for (const BlockId block : shared_prefix) {
+        addRequestRef(block);
+        alloc.blocks.push_back(block);
     }
-    usedTokens_ += num_tokens;
+    if (!ensureFreeBlocks(need)) {
+        for (const BlockId block : shared_prefix)
+            dropRequestRef(block);
+        return false;
+    }
+    TokenCount remaining = num_tokens - shared_tokens;
+    for (std::int64_t i = 0; i < need; ++i) {
+        const TokenCount fill = std::min(remaining, blockSize_);
+        alloc.blocks.push_back(takeFreeBlock(fill));
+        remaining -= fill;
+    }
     tables_.emplace(id, std::move(alloc));
     return true;
 }
@@ -76,14 +172,31 @@ KvBlockManager::extend(RequestId id, TokenCount num_tokens)
                     "extend of unknown request ", id);
     Allocation &alloc = it->second;
     const std::int64_t need = blocksForExtension(alloc, num_tokens);
-    if (need > freeBlocks())
+    if (!ensureFreeBlocks(need))
         return false;
+
+    // Slack fill lands in the last block, which is always private
+    // (allocations end past their shared prefix by construction):
+    // charge it there before taking fresh blocks.
+    const TokenCount slack =
+        static_cast<TokenCount>(alloc.blocks.size()) * blockSize_ -
+        alloc.numTokens;
+    const TokenCount fill = std::min(num_tokens, slack);
+    if (fill > 0) {
+        BlockState &last =
+            states_[static_cast<std::size_t>(alloc.blocks.back())];
+        LIGHTLLM_ASSERT(last.requestRefs == 1,
+                        "slack fill into a shared block");
+        last.heldTokens += fill;
+        usedTokens_ += fill;
+    }
+    TokenCount remaining = num_tokens - fill;
     for (std::int64_t i = 0; i < need; ++i) {
-        alloc.blocks.push_back(freeList_.back());
-        freeList_.pop_back();
+        const TokenCount take = std::min(remaining, blockSize_);
+        alloc.blocks.push_back(takeFreeBlock(take));
+        remaining -= take;
     }
     alloc.numTokens += num_tokens;
-    usedTokens_ += num_tokens;
     return true;
 }
 
@@ -94,15 +207,15 @@ KvBlockManager::release(RequestId id)
     if (it == tables_.end())
         return;
     for (BlockId block : it->second.blocks)
-        freeList_.push_back(block);
-    usedTokens_ -= it->second.numTokens;
+        dropRequestRef(block);
     tables_.erase(it);
 }
 
 bool
 KvBlockManager::canAllocate(TokenCount num_tokens) const
 {
-    return ceilDiv(num_tokens, blockSize_) <= freeBlocks();
+    return ceilDiv(num_tokens, blockSize_) <=
+        freeBlocks() + (cache_ != nullptr ? cacheOnly_ : 0);
 }
 
 bool
@@ -116,7 +229,8 @@ KvBlockManager::canExtendBatchByOne(
                         "unknown request in batch: ", id);
         blocks_needed += blocksForExtension(it->second, 1);
     }
-    return blocks_needed <= freeBlocks();
+    return blocks_needed <=
+        freeBlocks() + (cache_ != nullptr ? cacheOnly_ : 0);
 }
 
 TokenCount
@@ -139,6 +253,13 @@ KvBlockManager::requestTokens(RequestId id) const
     return it == tables_.end() ? 0 : it->second.numTokens;
 }
 
+TokenCount
+KvBlockManager::requestSharedTokens(RequestId id) const
+{
+    const auto it = tables_.find(id);
+    return it == tables_.end() ? 0 : it->second.sharedTokens;
+}
+
 const std::vector<BlockId> &
 KvBlockManager::blockTable(RequestId id) const
 {
@@ -146,6 +267,42 @@ KvBlockManager::blockTable(RequestId id) const
     LIGHTLLM_ASSERT(it != tables_.end(),
                     "block table of unknown request ", id);
     return it->second.blocks;
+}
+
+std::int32_t
+KvBlockManager::requestRefs(BlockId block) const
+{
+    return states_[static_cast<std::size_t>(block)].requestRefs;
+}
+
+bool
+KvBlockManager::isCached(BlockId block) const
+{
+    return states_[static_cast<std::size_t>(block)].cached;
+}
+
+void
+KvBlockManager::retainCached(BlockId block)
+{
+    BlockState &state = states_[static_cast<std::size_t>(block)];
+    LIGHTLLM_ASSERT(!state.cached,
+                    "block ", block, " retained twice");
+    LIGHTLLM_ASSERT(state.requestRefs > 0,
+                    "caching a free block ", block);
+    state.cached = true;
+}
+
+void
+KvBlockManager::dropCached(BlockId block)
+{
+    BlockState &state = states_[static_cast<std::size_t>(block)];
+    LIGHTLLM_ASSERT(state.cached,
+                    "dropping uncached block ", block);
+    state.cached = false;
+    if (state.requestRefs == 0) {
+        --cacheOnly_;
+        freeList_.push_back(block);
+    }
 }
 
 } // namespace memory

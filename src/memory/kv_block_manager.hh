@@ -1,21 +1,41 @@
 /**
  * @file
- * Paged KV-cache block manager (PagedAttention-style).
+ * Paged KV-cache block manager (PagedAttention-style) with
+ * copy-on-write block sharing.
  *
  * KV memory is carved into fixed-size blocks of token slots. Each
  * request owns a block table mapping its logical token positions to
  * physical blocks; blocks are handed out from a free list and
- * returned on release. This reproduces vLLM-style block accounting:
- * a request's last block may be partially filled, so the manager
- * distinguishes token-level occupancy (what the paper's equations
- * reason about) from block-level occupancy (what actually limits
- * allocation).
+ * returned when their last reference drops. This reproduces
+ * vLLM-style block accounting: a request's last block may be
+ * partially filled, so the manager distinguishes token-level
+ * occupancy (what the paper's equations reason about) from
+ * block-level occupancy (what actually limits allocation).
+ *
+ * Sharing model (PR 4): every physical block is reference-counted.
+ * A request may be admitted with a *shared prefix* — a run of full
+ * blocks already holding the identical tokens (same system prompt,
+ * same conversation history), provided by the prefix cache. Shared
+ * blocks are never written again by sharers (a request only appends
+ * past its prefix, so divergence allocates fresh blocks — classic
+ * copy-on-write with the write window always past the shared
+ * region). release() decrements instead of freeing: a block returns
+ * to the free list only when no request and no cache entry holds it.
+ *
+ * Growth accounting: extend() first fills the slack in the
+ * allocation's last block (slack = blocks * blockSize - numTokens)
+ * and only then takes new blocks from the free list, so a request
+ * growing one token per decode step allocates one block every
+ * blockSize steps. Shared prefix blocks are always full, hence the
+ * last block of any allocation is private and slack arithmetic is
+ * unaffected by sharing.
  */
 
 #ifndef LIGHTLLM_MEMORY_KV_BLOCK_MANAGER_HH
 #define LIGHTLLM_MEMORY_KV_BLOCK_MANAGER_HH
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -24,10 +44,12 @@
 namespace lightllm {
 namespace memory {
 
+class PrefixCache;
+
 /** Physical block index within the KV pool. */
 using BlockId = std::int32_t;
 
-/** Allocates KV-cache token slots in fixed-size blocks. */
+/** Allocates KV-cache token slots in fixed-size, refcounted blocks. */
 class KvBlockManager
 {
   public:
@@ -45,28 +67,59 @@ class KvBlockManager
     TokenCount blockSize() const { return blockSize_; }
 
     /**
+     * Attach a prefix cache: blocks the cache retains survive
+     * release() as reclaimable entries, and allocation reclaims
+     * least-recently-used unreferenced cached blocks when the free
+     * list alone cannot cover a request. The cache must outlive the
+     * manager's use of it.
+     */
+    void attachPrefixCache(PrefixCache *cache) { cache_ = cache; }
+
+    /**
      * Allocate `num_tokens` slots for a new request.
      *
-     * @return false (and allocate nothing) when the free list cannot
-     *         cover the required blocks or the request already has
-     *         an allocation.
+     * @return false (and allocate nothing) when `num_tokens` is not
+     *         positive, the free list (plus reclaimable cached
+     *         blocks) cannot cover the required blocks, or the
+     *         request already has an allocation.
      */
     bool allocate(RequestId id, TokenCount num_tokens);
 
     /**
-     * Grow an existing request's allocation by `num_tokens` slots.
-     * Fills the slack in the request's last block before taking new
-     * blocks.
+     * Allocate with a shared prefix: each block of `shared_prefix`
+     * (full cached blocks, in stream order) gains a reference, and
+     * only the remaining `num_tokens - shared * blockSize()` slots
+     * are taken from the free list. Requires num_tokens to exceed
+     * the shared span so the allocation always ends in a private
+     * block.
+     *
+     * @return false (and change nothing) when the private suffix
+     *         cannot be covered or the request already has an
+     *         allocation.
+     */
+    bool allocateShared(RequestId id, TokenCount num_tokens,
+                        std::span<const BlockId> shared_prefix);
+
+    /**
+     * Grow an existing request's allocation by `num_tokens` slots
+     * (> 0). Fills the slack in the request's last (always private)
+     * block before taking new blocks: growing by g tokens takes
+     * exactly max(0, ceil((g - slack) / blockSize)) blocks.
      *
      * @return false (and change nothing) when insufficient blocks
      *         remain.
      */
     bool extend(RequestId id, TokenCount num_tokens);
 
-    /** Release all blocks owned by the request. */
+    /**
+     * Drop the request's references. Blocks whose last reference
+     * this was return to the free list; blocks shared with other
+     * requests or retained by the prefix cache live on.
+     */
     void release(RequestId id);
 
-    /** True when `num_tokens` more slots could be allocated now. */
+    /** True when `num_tokens` more slots could be allocated now
+     *  (reclaimable cached blocks count as available). */
     bool canAllocate(TokenCount num_tokens) const;
 
     /**
@@ -77,10 +130,17 @@ class KvBlockManager
     bool canExtendBatchByOne(
         const std::vector<RequestId> &ids) const;
 
-    /** Token slots currently assigned to requests. */
+    /**
+     * Token slots currently pinned by requests. Physically shared
+     * blocks count once no matter how many requests reference them;
+     * blocks held only by the prefix cache are reclaimable and do
+     * not count. Without sharing this equals the sum of per-request
+     * logical tokens (the seed semantics).
+     */
     TokenCount usedTokens() const { return usedTokens_; }
 
-    /** Token slots not yet assigned (block slack excluded). */
+    /** Token slots on the free list (reclaimable cached blocks
+     *  excluded; see reclaimableBlocks()). */
     TokenCount freeTokens() const;
 
     /** Blocks currently on the free list. */
@@ -89,11 +149,19 @@ class KvBlockManager
         return static_cast<std::int64_t>(freeList_.size());
     }
 
+    /** Cached blocks no request references — reclaimable on demand
+     *  by the attached prefix cache's LRU walk. */
+    std::int64_t reclaimableBlocks() const { return cacheOnly_; }
+
     /** Token-level utilization in [0, 1]. */
     double utilization() const;
 
-    /** Tokens allocated to one request; 0 if absent. */
+    /** Logical tokens allocated to one request (shared prefix
+     *  included); 0 if absent. */
     TokenCount requestTokens(RequestId id) const;
+
+    /** Tokens of one request covered by shared prefix blocks. */
+    TokenCount requestSharedTokens(RequestId id) const;
 
     /** Block table of one request (for attention-kernel mapping). */
     const std::vector<BlockId> &blockTable(RequestId id) const;
@@ -101,22 +169,78 @@ class KvBlockManager
     /** Number of live requests. */
     std::size_t numRequests() const { return tables_.size(); }
 
+    // --- Reference bookkeeping (prefix cache + tests) ---------------
+
+    /** Requests referencing `block` (cache retention excluded). */
+    std::int32_t requestRefs(BlockId block) const;
+
+    /** True when the prefix cache retains `block`. */
+    bool isCached(BlockId block) const;
+
+    /** The prefix cache retains `block` (must be live, not yet
+     *  cached): it will survive request release as reclaimable. */
+    void retainCached(BlockId block);
+
+    /** The prefix cache stops retaining `block`; if no request
+     *  references it, it returns to the free list. */
+    void dropCached(BlockId block);
+
   private:
     struct Allocation
     {
         TokenCount numTokens = 0;
+
+        /** Tokens covered by the shared full-block prefix. */
+        TokenCount sharedTokens = 0;
+
+        /** [shared prefix blocks ..., private blocks ...]. */
         std::vector<BlockId> blocks;
+    };
+
+    /** Per-physical-block reference state. */
+    struct BlockState
+    {
+        /** Requests whose tables contain the block. */
+        std::int32_t requestRefs = 0;
+
+        /** Retained by the prefix cache. */
+        bool cached = false;
+
+        /** Tokens this block contributes to usedTokens_ while
+         *  request-referenced (blockSize for full blocks, the
+         *  actual fill for a private last block). */
+        TokenCount heldTokens = 0;
     };
 
     /** Blocks needed to extend an allocation by `extra` tokens. */
     std::int64_t blocksForExtension(const Allocation &alloc,
                                     TokenCount extra) const;
 
+    /** Grow the free list to `need` blocks, reclaiming LRU cached
+     *  blocks if required. False when impossible. */
+    bool ensureFreeBlocks(std::int64_t need);
+
+    /** Take one block off the free list for a new reference holding
+     *  `tokens` slots. */
+    BlockId takeFreeBlock(TokenCount tokens);
+
+    /** Add a request reference to an existing (shared) block. */
+    void addRequestRef(BlockId block);
+
+    /** Drop one request reference; frees or parks the block. */
+    void dropRequestRef(BlockId block);
+
     TokenCount blockSize_;
     TokenCount capacityTokens_;
     std::vector<BlockId> freeList_;
+    std::vector<BlockState> states_;
     std::unordered_map<RequestId, Allocation> tables_;
     TokenCount usedTokens_ = 0;
+
+    /** Count of cached blocks with zero request references. */
+    std::int64_t cacheOnly_ = 0;
+
+    PrefixCache *cache_ = nullptr;
 };
 
 } // namespace memory

@@ -1,0 +1,90 @@
+#include "memory/prefix_cache.hh"
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace memory {
+
+PrefixCache::PrefixCache(KvBlockManager &kv) : kv_(kv)
+{
+}
+
+PrefixCache::~PrefixCache()
+{
+    // Orderly teardown keeps the manager's invariants intact even
+    // when the cache dies first (engine member destruction order).
+    for (const Entry &entry : lru_)
+        kv_.dropCached(entry.block);
+}
+
+std::size_t
+PrefixCache::match(std::span<const PrefixHash> hashes,
+                   std::vector<BlockId> &blocks_out)
+{
+    ++lookups_;
+    std::size_t matched = 0;
+    for (const PrefixHash hash : hashes) {
+        const auto it = map_.find(hash);
+        if (it == map_.end())
+            break;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        blocks_out.push_back(it->second->block);
+        ++matched;
+    }
+    hitBlocks_ += matched;
+    return matched;
+}
+
+std::size_t
+PrefixCache::peek(std::span<const PrefixHash> hashes) const
+{
+    std::size_t matched = 0;
+    for (const PrefixHash hash : hashes) {
+        if (map_.count(hash) == 0)
+            break;
+        ++matched;
+    }
+    return matched;
+}
+
+void
+PrefixCache::insert(std::span<const PrefixHash> hashes,
+                    std::span<const BlockId> blocks)
+{
+    LIGHTLLM_ASSERT(hashes.size() == blocks.size(),
+                    "hash/block span mismatch");
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        const auto it = map_.find(hashes[i]);
+        if (it != map_.end()) {
+            // Same content already cached (possibly under a
+            // different physical block prefilled concurrently);
+            // keep the incumbent, refresh its recency.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            continue;
+        }
+        kv_.retainCached(blocks[i]);
+        lru_.push_front(Entry{hashes[i], blocks[i]});
+        map_.emplace(hashes[i], lru_.begin());
+    }
+}
+
+std::int64_t
+PrefixCache::reclaim(std::int64_t count)
+{
+    std::int64_t reclaimed = 0;
+    auto it = lru_.end();
+    while (reclaimed < count && it != lru_.begin()) {
+        --it;
+        if (kv_.requestRefs(it->block) > 0)
+            continue;  // shared with a live request: keep cached
+        const BlockId block = it->block;
+        map_.erase(it->hash);
+        it = lru_.erase(it);
+        kv_.dropCached(block);
+        ++reclaimed;
+    }
+    return reclaimed;
+}
+
+} // namespace memory
+} // namespace lightllm

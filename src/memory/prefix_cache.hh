@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Radix/hash prefix cache over refcounted KV blocks.
+ *
+ * Maps block-chain hashes (base/token_stream.hh) to physical blocks
+ * whose KV holds exactly the hashed tokens. Because hash i commits
+ * to every token of blocks 0..i, the map behaves like a radix tree
+ * over token streams flattened to one node per full block: matching
+ * a request's chain front-to-back yields its longest cached prefix,
+ * and inserting extends exactly the missing suffix.
+ *
+ * Cached blocks are retained in the block manager, so they survive
+ * the owning request's release as *reclaimable* blocks: still
+ * serving future matches, but handed back to the free list — in
+ * least-recently-used order, referenced blocks skipped — the moment
+ * an allocation cannot be covered otherwise (KvBlockManager::
+ * ensureFreeBlocks). The cache therefore never shrinks usable
+ * capacity; it only recycles otherwise-idle blocks.
+ */
+
+#ifndef LIGHTLLM_MEMORY_PREFIX_CACHE_HH
+#define LIGHTLLM_MEMORY_PREFIX_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/token_stream.hh"
+#include "base/types.hh"
+#include "memory/kv_block_manager.hh"
+
+namespace lightllm {
+namespace memory {
+
+/** Longest-prefix block cache with LRU reclamation. */
+class PrefixCache
+{
+  public:
+    /** @param kv Block pool the cached blocks belong to; the
+     *        manager must outlive the cache. */
+    explicit PrefixCache(KvBlockManager &kv);
+
+    PrefixCache(const PrefixCache &) = delete;
+    PrefixCache &operator=(const PrefixCache &) = delete;
+
+    ~PrefixCache();
+
+    /**
+     * Longest cached prefix of `hashes`, front to back. Matched
+     * blocks are appended to `blocks_out` (not cleared) and touched
+     * in the LRU order.
+     *
+     * @return Number of blocks matched.
+     */
+    std::size_t match(std::span<const PrefixHash> hashes,
+                      std::vector<BlockId> &blocks_out);
+
+    /** Longest cached prefix length in blocks, with no LRU effect
+     *  (load forecasting must not disturb reclamation order). */
+    std::size_t peek(std::span<const PrefixHash> hashes) const;
+
+    /**
+     * Cache `blocks[i]` under `hashes[i]` for every position not
+     * already present (first insertion wins: a duplicate stream
+     * prefilled concurrently keeps the original blocks). Newly
+     * cached blocks are retained in the manager; they must be live
+     * request blocks whose KV holds the hashed tokens.
+     */
+    void insert(std::span<const PrefixHash> hashes,
+                std::span<const BlockId> blocks);
+
+    /**
+     * Hand up to `count` least-recently-used blocks that no request
+     * references back to the free list. Called by the manager when
+     * the free list runs dry.
+     *
+     * @return Blocks actually reclaimed.
+     */
+    std::int64_t reclaim(std::int64_t count);
+
+    /** Cached blocks (reclaimable or not). */
+    std::size_t size() const { return map_.size(); }
+
+    /** Total match() calls and block-level hits (bench telemetry;
+     *  request-level hit tokens live in the metrics collector). */
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hitBlocks() const { return hitBlocks_; }
+
+  private:
+    /** One cached block, linked into the LRU list. */
+    struct Entry
+    {
+        PrefixHash hash;
+        BlockId block;
+    };
+
+    using LruList = std::list<Entry>;
+
+    KvBlockManager &kv_;
+
+    /** Most recently used at the front. */
+    LruList lru_;
+
+    std::unordered_map<PrefixHash, LruList::iterator> map_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hitBlocks_ = 0;
+};
+
+} // namespace memory
+} // namespace lightllm
+
+#endif // LIGHTLLM_MEMORY_PREFIX_CACHE_HH

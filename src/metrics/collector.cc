@@ -62,6 +62,15 @@ MetricsCollector::onSwap(TokenCount tokens, Tick)
 }
 
 void
+MetricsCollector::onPrefixLookup(TokenCount prompt_tokens,
+                                 TokenCount hit_tokens)
+{
+    ++prefixLookups_;
+    prefixPromptTokens_ += prompt_tokens;
+    prefixHitTokens_ += hit_tokens;
+}
+
+void
 MetricsCollector::onRequestFinished(const RequestRecord &record)
 {
     totalOutputTokens_ += record.outputTokens;
@@ -80,6 +89,9 @@ MetricsCollector::resetMeasurement(Tick now)
     totalPrefillTokens_ = 0;
     swapEvents_ = 0;
     swappedTokens_ = 0;
+    prefixLookups_ = 0;
+    prefixPromptTokens_ = 0;
+    prefixHitTokens_ = 0;
     consumedWeighted_ = 0.0;
     futureWeighted_ = 0.0;
     batchWeighted_ = 0.0;
@@ -103,9 +115,13 @@ MetricsCollector::finish(std::string scheduler_name,
     report.swappedTokens = swappedTokens_;
     report.totalOutputTokens = totalOutputTokens_;
     report.totalPrefillTokens = totalPrefillTokens_;
+    report.prefixLookups = prefixLookups_;
+    report.prefixPromptTokens = prefixPromptTokens_;
+    report.prefixHitTokens = prefixHitTokens_;
     report.makespan = makespan - measureStart_;
     if (decodeDuration_ > 0.0) {
-        report.avgConsumedMemory = consumedWeighted_ / decodeDuration_;
+        report.avgConsumedMemory =
+            consumedWeighted_ / decodeDuration_;
         report.avgFutureRequired = futureWeighted_ / decodeDuration_;
         report.avgBatchSize = batchWeighted_ / decodeDuration_;
     }

@@ -53,6 +53,14 @@ class MetricsCollector
     /** A KV swap transfer (either direction) of `tokens` slots. */
     void onSwap(TokenCount tokens, Tick duration);
 
+    /**
+     * A prefix-cache lookup at admission: `prompt_tokens` were
+     * needed, `hit_tokens` of them were served from cached blocks
+     * (only cache-participating requests report).
+     */
+    void onPrefixLookup(TokenCount prompt_tokens,
+                        TokenCount hit_tokens);
+
     /** A request finished; `record` must be fully populated. */
     void onRequestFinished(const RequestRecord &record);
 
@@ -80,6 +88,9 @@ class MetricsCollector
     TokenCount swappedTokens_ = 0;
     TokenCount totalOutputTokens_ = 0;
     TokenCount totalPrefillTokens_ = 0;
+    std::int64_t prefixLookups_ = 0;
+    TokenCount prefixPromptTokens_ = 0;
+    TokenCount prefixHitTokens_ = 0;
 
     double consumedWeighted_ = 0.0;
     double futureWeighted_ = 0.0;

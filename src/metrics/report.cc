@@ -55,6 +55,15 @@ RunReport::evictedReqRatio() const
 }
 
 double
+RunReport::prefixHitRate() const
+{
+    if (prefixPromptTokens == 0)
+        return 0.0;
+    return static_cast<double>(prefixHitTokens) /
+        static_cast<double>(prefixPromptTokens);
+}
+
+double
 RunReport::p99TtftSeconds() const
 {
     std::vector<double> ttfts;
@@ -113,6 +122,9 @@ mergeReports(const std::vector<RunReport> &reports, std::string name)
         merged.swappedTokens += report.swappedTokens;
         merged.totalOutputTokens += report.totalOutputTokens;
         merged.totalPrefillTokens += report.totalPrefillTokens;
+        merged.prefixLookups += report.prefixLookups;
+        merged.prefixPromptTokens += report.prefixPromptTokens;
+        merged.prefixHitTokens += report.prefixHitTokens;
         merged.makespan = std::max(merged.makespan, report.makespan);
         const auto weight =
             static_cast<double>(report.decodeSteps);

@@ -60,6 +60,15 @@ struct RunReport
     TokenCount totalOutputTokens = 0;
     TokenCount totalPrefillTokens = 0;
 
+    /** Prefix-cache admissions by cache-participating requests. */
+    std::int64_t prefixLookups = 0;
+
+    /** Prompt tokens those admissions needed in total. */
+    TokenCount prefixPromptTokens = 0;
+
+    /** Prompt tokens served from cached blocks (not prefilled). */
+    TokenCount prefixHitTokens = 0;
+
     /** End-of-run simulated time. */
     Tick makespan = 0;
 
@@ -94,6 +103,10 @@ struct RunReport
     /** Eviction events / finished requests (the paper's "Evicted
      *  Reqs"; exceeds 1 when requests are evicted repeatedly). */
     double evictedReqRatio() const;
+
+    /** Prefix-cache hit rate in prompt tokens: hit / needed over
+     *  all cache-participating admissions (0 when none). */
+    double prefixHitRate() const;
 
     double p99TtftSeconds() const;
     double p99MtpotSeconds() const;

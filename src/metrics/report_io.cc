@@ -54,6 +54,14 @@ writeSummaryJson(std::ostream &os, const RunReport &report,
        << "  \"swap_events\": " << report.swapEvents << ",\n"
        << "  \"total_output_tokens\": " << report.totalOutputTokens
        << ",\n"
+       << "  \"total_prefill_tokens\": "
+       << report.totalPrefillTokens << ",\n"
+       << "  \"prefix_cache_lookups\": " << report.prefixLookups
+       << ",\n"
+       << "  \"prefix_cache_hit_tokens\": "
+       << report.prefixHitTokens << ",\n"
+       << "  \"prefix_cache_hit_rate\": "
+       << formatDouble(report.prefixHitRate(), 4) << ",\n"
        << "  \"makespan_s\": "
        << formatDouble(ticksToSeconds(report.makespan), 3) << ",\n"
        << "  \"throughput_tok_s\": "

@@ -6,6 +6,10 @@
 #ifndef LIGHTLLM_WORKLOAD_REQUEST_SPEC_HH
 #define LIGHTLLM_WORKLOAD_REQUEST_SPEC_HH
 
+#include <cstdint>
+#include <vector>
+
+#include "base/token_stream.hh"
 #include "base/types.hh"
 
 namespace lightllm {
@@ -38,6 +42,31 @@ struct RequestSpec
      * shielding) and by EDF's per-class deadline budgets.
      */
     int priority = 0;
+
+    /**
+     * Content identity of the prompt as a concatenation of
+     * segments whose lengths sum to `inputLen` (see
+     * base/token_stream.hh). Empty means "unique content": the
+     * request neither matches nor feeds the prefix cache. Session
+     * workloads populate this with the shared system prompt and the
+     * conversation history so multi-turn prefixes are recognised.
+     */
+    std::vector<PromptSegment> segments;
+
+    /**
+     * Content identity of the tokens this request *generates*
+     * (0 = unidentified). Session workloads set it so a finished
+     * turn's output blocks are cacheable and the next turn — whose
+     * prompt textually contains this output — can match them.
+     */
+    std::uint64_t outputKey = 0;
+
+    /**
+     * Conversation/session identity (0 = none). The cluster's
+     * prefix-affinity router keeps a session's turns on the
+     * instance that holds its cached prefix.
+     */
+    std::uint64_t sessionKey = 0;
 
     /** Number of output tokens generation will actually produce. */
     TokenCount

@@ -1,0 +1,129 @@
+#include "workload/session_gen.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace lightllm {
+namespace workload {
+
+SessionGenerator::SessionGenerator(
+    const SessionWorkloadConfig &config, RequestSink &sink)
+    : config_(config), sink_(sink)
+{
+    LIGHTLLM_ASSERT(config_.numSessions >= 1,
+                    "need at least one session");
+    LIGHTLLM_ASSERT(config_.turnsPerSession >= 1,
+                    "need at least one turn per session");
+    LIGHTLLM_ASSERT(config_.systemPromptTokens >= 1,
+                    "system prompt cannot be empty");
+    LIGHTLLM_ASSERT(config_.userTokensLo >= 1 &&
+                        config_.userTokensLo <= config_.userTokensHi,
+                    "bad user-token range");
+    LIGHTLLM_ASSERT(config_.outputTokensLo >= 1 &&
+                        config_.outputTokensLo <=
+                            config_.outputTokensHi,
+                    "bad output-token range");
+    LIGHTLLM_ASSERT(config_.maxNewTokens >= 1,
+                    "max_new_tokens must be positive");
+
+    // One system-prompt identity shared by the whole service.
+    const std::uint64_t system_key =
+        deriveContentKey(config_.seed, 0, 0);
+
+    Rng rng(config_.seed);
+    sessions_.resize(config_.numSessions);
+    for (std::size_t s = 0; s < config_.numSessions; ++s) {
+        Session &session = sessions_[s];
+        session.turns.reserve(config_.turnsPerSession);
+
+        // The conversation so far, shared-system-prompt first.
+        std::vector<PromptSegment> history{
+            PromptSegment{system_key, config_.systemPromptTokens}};
+        TokenCount history_tokens = config_.systemPromptTokens;
+
+        for (std::size_t t = 0; t < config_.turnsPerSession; ++t) {
+            const TokenCount user_len = rng.uniformInt(
+                config_.userTokensLo, config_.userTokensHi);
+            const TokenCount output_len =
+                std::min(rng.uniformInt(config_.outputTokensLo,
+                                        config_.outputTokensHi),
+                         config_.maxNewTokens);
+
+            RequestSpec spec;
+            spec.id = static_cast<RequestId>(
+                s * config_.turnsPerSession + t);
+            spec.maxNewTokens = config_.maxNewTokens;
+            spec.outputLen = output_len;
+            spec.priority = 0;
+            spec.sessionKey =
+                deriveContentKey(config_.seed ^ 0x5e551ull, s, 0);
+            spec.outputKey = deriveContentKey(
+                config_.seed ^ 0x0417ull, s, 2 * t + 1);
+
+            spec.segments = history;
+            spec.segments.push_back(PromptSegment{
+                deriveContentKey(config_.seed ^ 0x0415ull, s,
+                                 2 * t),
+                user_len});
+            spec.inputLen = history_tokens + user_len;
+
+            session.turns.push_back(spec);
+
+            // The next turn's prompt contains this user message and
+            // the reply the model will actually generate
+            // (effectiveOutputLen == outputLen: drawn within cap).
+            history = session.turns.back().segments;
+            history.push_back(
+                PromptSegment{spec.outputKey, output_len});
+            history_tokens = spec.inputLen + output_len;
+        }
+    }
+}
+
+void
+SessionGenerator::start(Tick now)
+{
+    for (std::size_t s = 0; s < sessions_.size(); ++s) {
+        submitTurn(s, now + static_cast<Tick>(s) *
+                          config_.rampInterval);
+    }
+}
+
+void
+SessionGenerator::submitTurn(std::size_t index, Tick when)
+{
+    Session &session = sessions_[index];
+    if (session.nextTurn >= session.turns.size())
+        return;
+    const RequestSpec &spec = session.turns[session.nextTurn];
+    ++session.nextTurn;
+    ++submitted_;
+    owner_.emplace(spec.id, index);
+    sink_.submitAt(spec, when);
+}
+
+void
+SessionGenerator::onRequestFinished(RequestId id, Tick finish_tick)
+{
+    const auto it = owner_.find(id);
+    if (it == owner_.end())
+        return;  // not ours (mixed workloads)
+    const std::size_t index = it->second;
+    owner_.erase(it);
+    submitTurn(index, finish_tick + config_.thinkTime);
+}
+
+const RequestSpec &
+SessionGenerator::turnSpec(std::size_t session,
+                           std::size_t turn) const
+{
+    LIGHTLLM_ASSERT(session < sessions_.size(), "bad session index");
+    LIGHTLLM_ASSERT(turn < sessions_[session].turns.size(),
+                    "bad turn index");
+    return sessions_[session].turns[turn];
+}
+
+} // namespace workload
+} // namespace lightllm

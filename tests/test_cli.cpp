@@ -71,6 +71,84 @@ TEST(CliParse, HelpShortCircuits)
     EXPECT_TRUE(options.showHelp);
 }
 
+TEST(CliParse, UsageDocumentsEveryRegisteredFlag)
+{
+    // printCliUsage is the only flag reference users see; a flag
+    // parsing accepts but usage omits is invisible. cliFlagNames()
+    // is generated from the same bindings parseCliArgs uses, so
+    // this audit cannot go stale.
+    std::ostringstream oss;
+    cli::printCliUsage(oss);
+    const std::string usage = oss.str();
+    for (const std::string &flag : cli::cliFlagNames()) {
+        EXPECT_NE(usage.find(flag), std::string::npos)
+            << "usage text does not mention " << flag;
+    }
+    // Sanity: the audit list itself is complete enough to include
+    // long-standing and brand-new flags alike.
+    const char *const expected[] = {
+        "--drain-at",      "--platform-mix",
+        "--eviction-mode", "--sessions",
+        "--turns",         "--system-prompt-tokens",
+        "--prefix-cache",  "--split-fuse",
+    };
+    const auto names = cli::cliFlagNames();
+    for (const char *flag : expected) {
+        EXPECT_NE(std::find(names.begin(), names.end(), flag),
+                  names.end())
+            << flag << " missing from cliFlagNames()";
+    }
+}
+
+TEST(CliParse, SessionFlagValidation)
+{
+    cli::CliOptions options;
+    EXPECT_EQ(parse({"--sessions", "4", "--turns", "6",
+                     "--system-prompt-tokens", "128",
+                     "--prefix-cache", "on"},
+                    options),
+              "");
+    EXPECT_EQ(options.sessions, 4u);
+    EXPECT_EQ(options.turns, 6u);
+    EXPECT_EQ(options.systemPromptTokens, 128);
+    EXPECT_EQ(options.prefixCache, "on");
+
+    cli::CliOptions bad;
+    EXPECT_NE(parse({"--prefix-cache", "maybe"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--sessions", "4", "--turns", "0"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--system-prompt-tokens", "0"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--sessions", "4", "--rate", "2.0"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--sessions", "4", "--priority-mix",
+                     "0.5,0.5"},
+                    bad),
+              "");
+}
+
+TEST(CliAssemble, SessionScenarioWiresThrough)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--sessions", "5", "--turns", "3",
+                     "--system-prompt-tokens", "200",
+                     "--prefix-cache", "on", "--think-time", "1.5"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+    EXPECT_TRUE(scenario.sessionMode);
+    EXPECT_TRUE(scenario.engineConfig.prefixCache);
+    EXPECT_EQ(scenario.sessionConfig.numSessions, 5u);
+    EXPECT_EQ(scenario.sessionConfig.turnsPerSession, 3u);
+    EXPECT_EQ(scenario.sessionConfig.systemPromptTokens, 200);
+    EXPECT_EQ(scenario.sessionConfig.thinkTime,
+              secondsToTicks(1.5));
+    // Scheduler cold-start seeding follows the session cap.
+    EXPECT_EQ(scenario.schedulerConfig.pastFuture.seedOutputLen,
+              scenario.sessionConfig.maxNewTokens);
+}
+
 TEST(CliAssemble, BuildsPastFutureScenario)
 {
     cli::CliOptions options;

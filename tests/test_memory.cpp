@@ -33,6 +33,33 @@ TEST(KvBlockManagerTest, AllocateTracksTokensAndBlocks)
     EXPECT_EQ(kv.freeBlocks(), 64 - 7);
 }
 
+TEST(KvBlockManagerTest, ZeroTokenAllocateRejected)
+{
+    KvBlockManager kv(1024, 16);
+    EXPECT_FALSE(kv.allocate(1, 0));
+    EXPECT_EQ(kv.usedTokens(), 0);
+    EXPECT_EQ(kv.numRequests(), 0u);
+    // The id stays available for a real allocation.
+    EXPECT_TRUE(kv.allocate(1, 10));
+}
+
+TEST(KvBlockManagerTest, PartialLastBlockGrowthAccounting)
+{
+    // Growth fills the last block's slack before taking new blocks:
+    // a request growing one token per step takes one fresh block
+    // every blockSize steps, never more.
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 33));  // 3 blocks, 15 slack
+    EXPECT_EQ(kv.blockTable(1).size(), 3u);
+    for (int step = 0; step < 15; ++step)
+        ASSERT_TRUE(kv.extend(1, 1));
+    EXPECT_EQ(kv.blockTable(1).size(), 3u);  // slack absorbed all
+    ASSERT_TRUE(kv.extend(1, 1));
+    EXPECT_EQ(kv.blockTable(1).size(), 4u);  // 49 tokens
+    EXPECT_EQ(kv.requestTokens(1), 49);
+    EXPECT_EQ(kv.usedTokens(), 49);
+}
+
 TEST(KvBlockManagerTest, DuplicateAllocateFails)
 {
     KvBlockManager kv(1024, 16);

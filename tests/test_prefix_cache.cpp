@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Shared-prefix KV subsystem tests: block hash chains, refcounted
+ * copy-on-write sharing, the radix prefix cache with LRU
+ * reclamation, engine-level cache hits (including eviction of
+ * requests whose blocks the cache retains), the multi-turn session
+ * workload, and prefix-affinity routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/token_stream.hh"
+#include "cluster/serving_cluster.hh"
+#include "core/scheduler_factory.hh"
+#include "engine/serving_engine.hh"
+#include "memory/kv_block_manager.hh"
+#include "memory/prefix_cache.hh"
+#include "test_fixtures.hh"
+#include "workload/session_gen.hh"
+
+namespace lightllm {
+namespace {
+
+using core::SchedulerConfig;
+using memory::BlockId;
+using memory::KvBlockManager;
+using memory::PrefixCache;
+using testfx::tinyPerf;
+using workload::RequestSpec;
+
+// --- Token-stream hash chains ------------------------------------
+
+TEST(BlockHashChainTest, EqualStreamsShareHashes)
+{
+    const std::vector<PromptSegment> a{{7, 40}, {9, 40}};
+    const std::vector<PromptSegment> b{{7, 40}, {9, 8}};
+    const auto ha = blockHashChain(a, 16, 80);
+    const auto hb = blockHashChain(b, 16, 48);
+    ASSERT_EQ(ha.size(), 5u);
+    ASSERT_EQ(hb.size(), 3u);
+    // b is a strict prefix of a: its full blocks hash identically.
+    for (std::size_t i = 0; i < hb.size(); ++i)
+        EXPECT_EQ(ha[i], hb[i]) << "block " << i;
+}
+
+TEST(BlockHashChainTest, DivergenceChangesEveryLaterHash)
+{
+    const std::vector<PromptSegment> a{{7, 32}, {9, 32}};
+    const std::vector<PromptSegment> b{{7, 32}, {8, 32}};
+    const auto ha = blockHashChain(a, 16, 64);
+    const auto hb = blockHashChain(b, 16, 64);
+    ASSERT_EQ(ha.size(), 4u);
+    ASSERT_EQ(hb.size(), 4u);
+    EXPECT_EQ(ha[0], hb[0]);
+    EXPECT_EQ(ha[1], hb[1]);
+    EXPECT_NE(ha[2], hb[2]);  // chained: divergence sticks
+    EXPECT_NE(ha[3], hb[3]);
+}
+
+TEST(BlockHashChainTest, CapExcludesPartialBlocks)
+{
+    const std::vector<PromptSegment> a{{7, 100}};
+    EXPECT_EQ(blockHashChain(a, 16, 100).size(), 6u);  // 96 tokens
+    EXPECT_EQ(blockHashChain(a, 16, 95).size(), 5u);
+    EXPECT_EQ(blockHashChain(a, 16, 15).size(), 0u);
+    EXPECT_EQ(blockHashChain(a, 16, 0).size(), 0u);
+}
+
+// --- Copy-on-write sharing in the block manager ------------------
+
+TEST(KvSharingTest, SharedBlocksCountPhysicallyOnce)
+{
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 64));  // 4 full blocks
+    const std::vector<BlockId> prefix(kv.blockTable(1).begin(),
+                                      kv.blockTable(1).begin() + 3);
+    ASSERT_TRUE(kv.allocateShared(2, 64, prefix));
+    EXPECT_EQ(kv.requestTokens(2), 64);
+    EXPECT_EQ(kv.requestSharedTokens(2), 48);
+    // 64 + only the 16 private tokens of request 2.
+    EXPECT_EQ(kv.usedTokens(), 80);
+    EXPECT_EQ(kv.requestRefs(prefix[0]), 2);
+    // Request 2's table is [shared..., private].
+    EXPECT_EQ(kv.blockTable(2).size(), 4u);
+    EXPECT_EQ(kv.blockTable(2)[0], prefix[0]);
+
+    kv.release(2);
+    EXPECT_EQ(kv.requestRefs(prefix[0]), 1);
+    EXPECT_EQ(kv.usedTokens(), 64);
+    kv.release(1);
+    EXPECT_EQ(kv.usedTokens(), 0);
+    EXPECT_EQ(kv.freeBlocks(), 64);
+}
+
+TEST(KvSharingTest, FullySharedAllocationRejected)
+{
+    KvBlockManager kv(1024, 16);
+    ASSERT_TRUE(kv.allocate(1, 32));
+    const std::vector<BlockId> prefix = kv.blockTable(1);
+    // 32 tokens over 2 shared blocks leaves no private block.
+    EXPECT_FALSE(kv.allocateShared(2, 32, prefix));
+    EXPECT_EQ(kv.numRequests(), 1u);
+    EXPECT_EQ(kv.requestRefs(prefix[0]), 1);
+}
+
+TEST(PrefixCacheTest, ReleaseParksCachedBlocksUntilReclaim)
+{
+    KvBlockManager kv(128, 16);  // 8 blocks
+    PrefixCache cache(kv);
+    kv.attachPrefixCache(&cache);
+
+    ASSERT_TRUE(kv.allocate(1, 64));  // 4 blocks
+    const std::vector<PromptSegment> stream{{42, 64}};
+    const auto hashes = blockHashChain(stream, 16, 64);
+    cache.insert(hashes, kv.blockTable(1));
+    EXPECT_EQ(cache.size(), 4u);
+
+    kv.release(1);
+    // Cached blocks are parked, not freed: reclaimable on demand.
+    EXPECT_EQ(kv.freeBlocks(), 4);
+    EXPECT_EQ(kv.reclaimableBlocks(), 4);
+    EXPECT_EQ(kv.usedTokens(), 0);
+
+    // A later identical stream still matches...
+    std::vector<BlockId> matched;
+    EXPECT_EQ(cache.match(hashes, matched), 4u);
+
+    // ...and a big allocation reclaims the parked blocks: 8 blocks
+    // are available even though only 4 are on the free list.
+    EXPECT_TRUE(kv.canAllocate(128));
+    ASSERT_TRUE(kv.allocate(2, 128));
+    EXPECT_EQ(cache.size(), 0u);  // all reclaimed
+    kv.release(2);
+    EXPECT_EQ(kv.freeBlocks(), 8);
+}
+
+TEST(PrefixCacheTest, ReclaimSkipsRequestReferencedBlocks)
+{
+    KvBlockManager kv(128, 16);  // 8 blocks
+    PrefixCache cache(kv);
+    kv.attachPrefixCache(&cache);
+
+    ASSERT_TRUE(kv.allocate(1, 64));  // 4 blocks
+    const std::vector<PromptSegment> stream{{42, 64}};
+    const auto hashes = blockHashChain(stream, 16, 64);
+    cache.insert(hashes, kv.blockTable(1));
+
+    // Request 1 still references its blocks: nothing reclaimable.
+    EXPECT_EQ(kv.reclaimableBlocks(), 0);
+    EXPECT_EQ(cache.reclaim(4), 0);
+    EXPECT_EQ(cache.size(), 4u);
+
+    // 4 free blocks remain; a 5-block allocation must fail while
+    // the cached blocks are pinned by request 1.
+    EXPECT_FALSE(kv.canAllocate(80));
+    EXPECT_FALSE(kv.allocate(2, 80));
+
+    kv.release(1);
+    EXPECT_TRUE(kv.allocate(2, 80));  // now reclaims one block
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PrefixCacheTest, LruOrderGovernsReclamation)
+{
+    KvBlockManager kv(128, 16);
+    PrefixCache cache(kv);
+    kv.attachPrefixCache(&cache);
+
+    ASSERT_TRUE(kv.allocate(1, 32));  // blocks A
+    ASSERT_TRUE(kv.allocate(2, 32));  // blocks B
+    const auto hashes_a =
+        blockHashChain(std::vector<PromptSegment>{{1, 32}}, 16, 32);
+    const auto hashes_b =
+        blockHashChain(std::vector<PromptSegment>{{2, 32}}, 16, 32);
+    cache.insert(hashes_a, kv.blockTable(1));
+    cache.insert(hashes_b, kv.blockTable(2));
+    kv.release(1);
+    kv.release(2);
+
+    // Touch A: B becomes the LRU stream.
+    std::vector<BlockId> matched;
+    cache.match(hashes_a, matched);
+    EXPECT_EQ(cache.reclaim(2), 2);
+    matched.clear();
+    EXPECT_EQ(cache.match(hashes_a, matched), 2u);  // A survives
+    EXPECT_EQ(cache.peek(hashes_b), 0u);            // B is gone
+}
+
+TEST(PrefixCacheTest, FirstInsertionWinsOnDuplicateContent)
+{
+    KvBlockManager kv(128, 16);
+    PrefixCache cache(kv);
+    kv.attachPrefixCache(&cache);
+
+    ASSERT_TRUE(kv.allocate(1, 32));
+    ASSERT_TRUE(kv.allocate(2, 32));  // same content, other blocks
+    const auto hashes =
+        blockHashChain(std::vector<PromptSegment>{{5, 32}}, 16, 32);
+    cache.insert(hashes, kv.blockTable(1));
+    cache.insert(hashes, kv.blockTable(2));
+    EXPECT_EQ(cache.size(), 2u);
+
+    std::vector<BlockId> matched;
+    ASSERT_EQ(cache.match(hashes, matched), 2u);
+    EXPECT_EQ(matched[0], kv.blockTable(1)[0]);
+    // Request 2's identical blocks were not retained.
+    EXPECT_FALSE(kv.isCached(kv.blockTable(2)[0]));
+}
+
+// --- Engine integration ------------------------------------------
+
+/** A request whose prompt content is one identified segment. */
+RequestSpec
+taggedRequest(RequestId id, std::uint64_t key, TokenCount input,
+              TokenCount output, TokenCount max_new = 4096)
+{
+    RequestSpec spec =
+        testfx::makeRequest(id, input, output, max_new);
+    spec.segments = {PromptSegment{key, input}};
+    return spec;
+}
+
+TEST(EnginePrefixTest, LaterSamePrefixAdmissionHitsCache)
+{
+    engine::EngineConfig config;
+    config.prefixCache = true;
+    engine::ServingEngine engine(
+        tinyPerf(8.0),
+        core::makeScheduler(SchedulerConfig::oracle()), config);
+
+    engine.submitAt(taggedRequest(1, 77, 64, 8), 0);
+    engine.submitAt(taggedRequest(2, 77, 64, 8),
+                    secondsToTicks(2.0));
+    const auto report = engine.run();
+
+    EXPECT_EQ(report.numFinished, 2u);
+    EXPECT_EQ(report.prefixLookups, 2);
+    // Request 2 reuses request 1's prompt blocks: 3 of its 4 full
+    // blocks (the last prompt token is always re-prefilled).
+    EXPECT_EQ(report.prefixHitTokens, 48);
+    EXPECT_EQ(report.prefixPromptTokens, 128);
+    // Only the uncached suffix was prefilled.
+    EXPECT_EQ(report.totalPrefillTokens, 64 + 16);
+    EXPECT_EQ(engine.kvManager().usedTokens(), 0);
+}
+
+TEST(EnginePrefixTest, DifferentContentNeverMatches)
+{
+    engine::EngineConfig config;
+    config.prefixCache = true;
+    engine::ServingEngine engine(
+        tinyPerf(8.0),
+        core::makeScheduler(SchedulerConfig::oracle()), config);
+
+    engine.submitAt(taggedRequest(1, 77, 64, 8), 0);
+    engine.submitAt(taggedRequest(2, 78, 64, 8),
+                    secondsToTicks(2.0));
+    const auto report = engine.run();
+    EXPECT_EQ(report.prefixHitTokens, 0);
+    EXPECT_EQ(report.totalPrefillTokens, 128);
+}
+
+TEST(EnginePrefixTest, EvictedSharerDecrefsAndRematchesOnReadmit)
+{
+    // Tiny pool: request 1 and the same-content request 2 cannot
+    // both finish resident, so request 2 is evicted while its
+    // shared prefix blocks are cache-retained (and referenced by
+    // request 1). Eviction must only drop references — request 1
+    // keeps decoding over those blocks — and request 2's recompute
+    // admission must hit the cache again.
+    engine::EngineConfig config;
+    config.prefixCache = true;
+    engine::ServingEngine engine(
+        tinyPerf(1.0),  // 672-token pool
+        core::makeScheduler(SchedulerConfig::aggressive(1.0)),
+        config);
+
+    engine.submitAt(taggedRequest(1, 77, 64, 500, 500), 0);
+    engine.submitAt(taggedRequest(2, 77, 64, 500, 500),
+                    secondsToTicks(0.5));
+    const auto report = engine.run();
+
+    EXPECT_EQ(report.numFinished, 2u);
+    EXPECT_GE(report.evictionEvents, 1);
+    // Eviction did not corrupt shared state: both requests
+    // completed their full generations and all memory returned.
+    EXPECT_EQ(report.totalOutputTokens, 1000);
+    EXPECT_EQ(engine.kvManager().usedTokens(), 0);
+    // First admission of request 2 hit 3 blocks (48 tokens); every
+    // post-eviction recompute admission re-matched at least the
+    // full 4-block prompt (64 tokens).
+    EXPECT_GE(report.prefixLookups, 3);
+    EXPECT_GE(report.prefixHitTokens, 48 + 64);
+
+    // The cache survives the run with its entries intact.
+    ASSERT_NE(engine.prefixCache(), nullptr);
+    EXPECT_GT(engine.prefixCache()->size(), 0u);
+}
+
+TEST(EnginePrefixTest, SplitFusePrefillsOnlyUncachedSuffix)
+{
+    engine::EngineConfig config;
+    config.prefixCache = true;
+    config.splitFuse = true;
+    config.splitFuseChunk = 32;
+    engine::ServingEngine engine(
+        tinyPerf(8.0),
+        core::makeScheduler(SchedulerConfig::oracle()), config);
+
+    engine.submitAt(taggedRequest(1, 77, 128, 8), 0);
+    engine.submitAt(taggedRequest(2, 77, 128, 8),
+                    secondsToTicks(2.0));
+    const auto report = engine.run();
+    EXPECT_EQ(report.numFinished, 2u);
+    // Request 2 re-prefills only its uncached suffix: 128 + 16.
+    EXPECT_EQ(report.prefixHitTokens, 112);
+    EXPECT_EQ(report.totalPrefillTokens, 144);
+}
+
+// --- Session workload --------------------------------------------
+
+TEST(SessionGeneratorTest, TurnsExtendTheSameStream)
+{
+    workload::SessionWorkloadConfig config;
+    config.numSessions = 2;
+    config.turnsPerSession = 3;
+    config.systemPromptTokens = 100;
+    config.seed = 7;
+
+    struct NullSink : workload::RequestSink
+    {
+        void submitAt(const RequestSpec &, Tick) override {}
+    } sink;
+    workload::SessionGenerator sessions(config, sink);
+
+    const RequestSpec &t0 = sessions.turnSpec(0, 0);
+    const RequestSpec &t1 = sessions.turnSpec(0, 1);
+    const RequestSpec &other = sessions.turnSpec(1, 0);
+
+    // Turn 0: system prompt + user message.
+    ASSERT_EQ(t0.segments.size(), 2u);
+    EXPECT_EQ(t0.segments[0].len, 100);
+    EXPECT_EQ(t0.inputLen,
+              t0.segments[0].len + t0.segments[1].len);
+
+    // Turn 1 starts with turn 0's prompt stream, then the reply,
+    // then the new user message.
+    ASSERT_EQ(t1.segments.size(), 4u);
+    EXPECT_EQ(t1.segments[0].key, t0.segments[0].key);
+    EXPECT_EQ(t1.segments[1].key, t0.segments[1].key);
+    EXPECT_EQ(t1.segments[2].key, t0.outputKey);
+    EXPECT_EQ(t1.segments[2].len, t0.effectiveOutputLen());
+    EXPECT_EQ(t1.inputLen,
+              t0.inputLen + t0.effectiveOutputLen() +
+                  t1.segments[3].len);
+
+    // Sessions share the system prompt but nothing else.
+    EXPECT_EQ(other.segments[0].key, t0.segments[0].key);
+    EXPECT_NE(other.segments[1].key, t0.segments[1].key);
+    EXPECT_NE(other.sessionKey, t0.sessionKey);
+    EXPECT_EQ(sessions.totalRequests(), 6u);
+}
+
+TEST(SessionGeneratorTest, PrefixCacheImprovesSessionTtft)
+{
+    // The PR's acceptance scenario: identical multi-turn workload,
+    // cache off vs on — mean TTFT must drop and the hit rate must
+    // be substantial (later turns re-prefill only their newest
+    // user message).
+    auto run = [](bool cache_on) {
+        workload::SessionWorkloadConfig config;
+        config.numSessions = 6;
+        config.turnsPerSession = 4;
+        config.systemPromptTokens = 256;
+        config.seed = 21;
+
+        engine::EngineConfig engine_config;
+        engine_config.prefixCache = cache_on;
+        engine::ServingEngine engine(
+            tinyPerf(64.0),
+            core::makeScheduler(
+                SchedulerConfig::pastFutureDefault(0.03)),
+            engine_config);
+        workload::SessionGenerator sessions(config, engine);
+        engine.setOnFinish(
+            [&](const RequestSpec &spec, Tick tick) {
+                sessions.onRequestFinished(spec.id, tick);
+            });
+        sessions.start();
+        return engine.run();
+    };
+
+    const auto off = run(false);
+    const auto on = run(true);
+    ASSERT_EQ(off.numFinished, 24u);
+    ASSERT_EQ(on.numFinished, 24u);
+    EXPECT_EQ(off.prefixHitTokens, 0);
+    EXPECT_GT(on.prefixHitRate(), 0.5);
+    EXPECT_LT(on.meanTtftSeconds(), off.meanTtftSeconds());
+    EXPECT_LT(on.totalPrefillTokens, off.totalPrefillTokens);
+    // Same generations either way: sharing changes memory and
+    // prefill work, never the decoded tokens.
+    EXPECT_EQ(on.totalOutputTokens, off.totalOutputTokens);
+}
+
+// --- Prefix-affinity routing -------------------------------------
+
+TEST(PrefixAffinityTest, ParseRoundTrip)
+{
+    cluster::RoutingPolicy policy;
+    ASSERT_TRUE(cluster::parseRoutingPolicy("prefix-affinity",
+                                            policy));
+    EXPECT_EQ(policy, cluster::RoutingPolicy::PrefixAffinity);
+    EXPECT_STREQ(cluster::routingPolicyName(policy),
+                 "prefix-affinity");
+}
+
+TEST(PrefixAffinityTest, SessionsStickToTheirHomeInstance)
+{
+    workload::SessionWorkloadConfig config;
+    config.numSessions = 9;
+    config.turnsPerSession = 3;
+    config.systemPromptTokens = 128;
+    config.seed = 5;
+
+    engine::EngineConfig engine_config;
+    engine_config.prefixCache = true;
+
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    for (int i = 0; i < 3; ++i) {
+        engines.push_back(std::make_unique<engine::ServingEngine>(
+            tinyPerf(64.0),
+            core::makeScheduler(
+                SchedulerConfig::pastFutureDefault(0.03)),
+            engine_config));
+    }
+    cluster::ServingCluster fleet(
+        std::move(engines), cluster::RoutingPolicy::PrefixAffinity);
+    fleet.recordSubmissions(true);
+
+    workload::SessionGenerator sessions(config, fleet);
+    fleet.setOnFinish([&](const RequestSpec &spec, Tick tick) {
+        sessions.onRequestFinished(spec.id, tick);
+    });
+    sessions.start();
+    const auto report = fleet.run();
+    EXPECT_EQ(report.numFinished, 27u);
+
+    // Every turn of a session lands on the session's home.
+    std::unordered_map<std::uint64_t, std::size_t> home;
+    for (const auto &routed : fleet.submissionLog()) {
+        ASSERT_NE(routed.spec.sessionKey, 0u);
+        const auto [it, inserted] = home.emplace(
+            routed.spec.sessionKey, routed.instance);
+        EXPECT_EQ(it->second, routed.instance)
+            << "session bounced between instances";
+    }
+    EXPECT_EQ(home.size(), 9u);
+
+    // Stickiness is what makes the caches hot: later turns hit.
+    EXPECT_GT(report.prefixHitRate(), 0.5);
+}
+
+} // namespace
+} // namespace lightllm

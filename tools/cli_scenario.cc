@@ -245,6 +245,14 @@ makeEngineConfig(const CliOptions &options)
     config.maxBatchSize = options.maxBatchSize;
     config.warmupRequests = options.warmupRequests;
 
+    if (options.prefixCache == "on")
+        config.prefixCache = true;
+    else if (options.prefixCache == "off")
+        config.prefixCache = false;
+    else
+        throw std::invalid_argument("unknown prefix-cache mode: " +
+                                    options.prefixCache);
+
     if (options.evictionPolicy == "lifo")
         config.evictionPolicy = engine::EvictionPolicy::Lifo;
     else if (options.evictionPolicy == "fifo")
@@ -263,12 +271,17 @@ makeEngineConfig(const CliOptions &options)
     return config;
 }
 
-} // namespace
+/** Flags taking no value. */
+constexpr const char *kBooleanFlags[] = {"--split-fuse", "--help"};
 
-std::string
-parseCliArgs(int argc, const char *const *argv, CliOptions &options)
+/**
+ * Bindings of every valued flag to its slot in `options`. Shared by
+ * parseCliArgs and cliFlagNames so the usage audit can never miss a
+ * flag that parsing accepts.
+ */
+std::map<std::string, std::function<bool(const std::string &)>>
+valuedFlagBindings(CliOptions &options)
 {
-    // Flags taking a value, keyed by name.
     std::map<std::string, std::function<bool(const std::string &)>>
         valued;
 
@@ -298,6 +311,18 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
     valued["--seed"] = [&options](const std::string &value) {
         return parseUnsigned(value, options.seed);
     };
+    valued["--sessions"] = bind_size(options.sessions);
+    valued["--turns"] = bind_size(options.turns);
+    valued["--system-prompt-tokens"] =
+        [&options](const std::string &value) {
+            std::uint64_t parsed = 0;
+            if (!parseUnsigned(value, parsed) || parsed == 0)
+                return false;
+            options.systemPromptTokens =
+                static_cast<TokenCount>(parsed);
+            return true;
+        };
+    valued["--prefix-cache"] = bind_string(options.prefixCache);
     valued["--clients"] = bind_size(options.clients);
     valued["--rate"] = bind_double(options.poissonRate);
     valued["--think-time"] = bind_double(options.thinkSeconds);
@@ -339,6 +364,30 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
     valued["--max-seconds"] = bind_double(options.maxSimSeconds);
     valued["--format"] = bind_string(options.format);
     valued["--csv"] = bind_string(options.csvPath);
+    return valued;
+}
+
+} // namespace
+
+std::vector<std::string>
+cliFlagNames()
+{
+    CliOptions scratch;
+    std::vector<std::string> names;
+    for (const auto &[name, binding] : valuedFlagBindings(scratch))
+        names.push_back(name);
+    for (const char *name : kBooleanFlags)
+        names.push_back(name);
+    return names;
+}
+
+std::string
+parseCliArgs(int argc, const char *const *argv, CliOptions &options)
+{
+    // Flags taking a value, keyed by name.
+    const std::map<std::string,
+                   std::function<bool(const std::string &)>>
+        valued = valuedFlagBindings(options);
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -373,6 +422,19 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
     if (options.format != "table" && options.format != "json" &&
         options.format != "both")
         return "bad value for --format: " + options.format;
+    if (options.prefixCache != "on" && options.prefixCache != "off")
+        return "bad value for --prefix-cache: " +
+            options.prefixCache + " (use on | off)";
+    if (options.sessions > 0) {
+        if (options.turns == 0)
+            return "--turns must be positive";
+        if (options.poissonRate > 0.0)
+            return "--rate is open-loop; the session workload is "
+                   "closed-loop by construction";
+        if (!options.priorityMix.empty())
+            return "--priority-mix applies to dataset workloads, "
+                   "not --sessions";
+    }
     if (options.requests == 0)
         return "--requests must be positive";
     if (options.clients == 0 && options.poissonRate <= 0.0)
@@ -419,7 +481,16 @@ printCliUsage(std::ostream &os)
         "  --clients N         closed-loop client count (default 32)\n"
         "  --rate R            open-loop Poisson arrivals/sec\n"
         "                      (overrides closed loop)\n"
-        "  --think-time S      closed-loop think time, seconds\n"
+        "  --think-time S      closed-loop (and per-turn session)\n"
+        "                      think time, seconds\n"
+        "\n"
+        "Multi-turn sessions (replaces --workload when set):\n"
+        "  --sessions N        concurrent conversations (0 = off);\n"
+        "                      every turn shares the system prompt\n"
+        "                      and prepends its session history\n"
+        "  --turns N           requests per session (default 4)\n"
+        "  --system-prompt-tokens N\n"
+        "                      shared system prompt length (512)\n"
         "\n"
         "Scheduler:\n"
         "  --scheduler NAME    past_future | aggressive |\n"
@@ -442,7 +513,9 @@ printCliUsage(std::ostream &os)
         "Fleet (exact event-driven co-simulation when N > 1):\n"
         "  --instances N       fleet size (default 1)\n"
         "  --routing P         round-robin | least-outstanding |\n"
-        "                      future-memory (the default)\n"
+        "                      future-memory (the default) |\n"
+        "                      prefix-affinity (sticky sessions:\n"
+        "                      turns follow their cached prefix)\n"
         "  --platform-mix L    per-instance hardware, name[:count]\n"
         "                      entries summing to N, e.g.\n"
         "                      a100-80g:2,a30:2 (default:\n"
@@ -457,6 +530,10 @@ printCliUsage(std::ostream &os)
         "\n"
         "Engine:\n"
         "  --block-size N      KV block size (default 16)\n"
+        "  --prefix-cache M    on | off (default off): shared-prefix\n"
+        "                      KV reuse with copy-on-write blocks;\n"
+        "                      admission charges and prefills only\n"
+        "                      the uncached prompt suffix\n"
         "  --split-fuse        enable chunked prefill\n"
         "  --max-batch N       running-batch cap (0 = unlimited)\n"
         "  --eviction-policy P lifo | fifo\n"
@@ -467,7 +544,8 @@ printCliUsage(std::ostream &os)
         "  --max-requests N    stop after N finished requests\n"
         "  --max-seconds S     stop after S simulated seconds\n"
         "  --format F          table | json | both (default table)\n"
-        "  --csv PATH          also write per-request CSV\n";
+        "  --csv PATH          also write per-request CSV\n"
+        "  --help, -h          show this reference\n";
 }
 
 Scenario
@@ -475,19 +553,38 @@ assembleScenario(const CliOptions &options)
 {
     const model::ModelSpec model_spec = makeModelSpec(options.model);
 
-    // textvqa's vision prefix follows the selected model (Qwen-VL
-    // uses 256 image tokens, LLaVA 576); text-only models fall back
-    // to the LLaVA-sized prefix.
-    const TokenCount image_tokens =
-        model_spec.imageTokens > 0 ? model_spec.imageTokens : 576;
-    workload::Dataset dataset =
-        makeWorkload(options.workload, options.requests,
-                     options.seed, image_tokens);
+    workload::Dataset dataset;
+    workload::SessionWorkloadConfig session_config;
+    const bool session_mode = options.sessions > 0;
+    if (session_mode) {
+        session_config.numSessions = options.sessions;
+        session_config.turnsPerSession = options.turns;
+        session_config.systemPromptTokens =
+            options.systemPromptTokens;
+        session_config.thinkTime =
+            secondsToTicks(options.thinkSeconds);
+        session_config.seed = options.seed;
+        // The dataset stands in for naming and generation caps so
+        // the scheduler-seeding path below is shared.
+        dataset.name = "sessions(" +
+            std::to_string(options.sessions) + "x" +
+            std::to_string(options.turns) + ")";
+        dataset.maxNewTokens = session_config.maxNewTokens;
+    } else {
+        // textvqa's vision prefix follows the selected model
+        // (Qwen-VL uses 256 image tokens, LLaVA 576); text-only
+        // models fall back to the LLaVA-sized prefix.
+        const TokenCount image_tokens =
+            model_spec.imageTokens > 0 ? model_spec.imageTokens
+                                       : 576;
+        dataset = makeWorkload(options.workload, options.requests,
+                               options.seed, image_tokens);
 
-    if (!options.priorityMix.empty()) {
-        workload::assignPriorityMix(
-            dataset, parsePriorityMix(options.priorityMix),
-            options.seed ^ 0x9e3779b97f4a7c15ull);
+        if (!options.priorityMix.empty()) {
+            workload::assignPriorityMix(
+                dataset, parsePriorityMix(options.priorityMix),
+                options.seed ^ 0x9e3779b97f4a7c15ull);
+        }
     }
 
     const metrics::SlaSpec sla = makeSla(options);
@@ -513,6 +610,8 @@ assembleScenario(const CliOptions &options)
 
     Scenario scenario{
         std::move(dataset),
+        session_mode,
+        session_config,
         scheduler_config,
         model::PerfModel(model_spec,
                          makeHardwareSpec(options.hardware,
@@ -579,6 +678,17 @@ runScenario(const Scenario &scenario)
             core::makeSchedulingPolicy(scenario.schedulerConfig),
             scenario.engineConfig);
 
+        if (scenario.sessionMode) {
+            workload::SessionGenerator sessions(
+                scenario.sessionConfig, engine);
+            engine.setOnFinish(
+                [&](const workload::RequestSpec &spec, Tick tick) {
+                    sessions.onRequestFinished(spec.id, tick);
+                });
+            sessions.start();
+            return engine.run(scenario.limits);
+        }
+
         if (scenario.poissonRate > 0.0) {
             workload::submitPoissonArrivals(scenario.dataset,
                                             engine,
@@ -612,6 +722,17 @@ runScenario(const Scenario &scenario)
                                   scenario.routing);
     if (scenario.drainAt > 0)
         fleet.scheduleDrain(0, scenario.drainAt);
+
+    if (scenario.sessionMode) {
+        workload::SessionGenerator sessions(
+            scenario.sessionConfig, fleet);
+        fleet.setOnFinish(
+            [&](const workload::RequestSpec &spec, Tick tick) {
+                sessions.onRequestFinished(spec.id, tick);
+            });
+        sessions.start();
+        return fleet.run();
+    }
 
     if (scenario.poissonRate > 0.0) {
         workload::submitPoissonArrivals(scenario.dataset, fleet,
@@ -668,6 +789,12 @@ emitReport(std::ostream &os, const CliOptions &options,
                       formatCount(report.evictionEvents)});
         table.addRow({"avg_consumed_mem",
                       formatPercent(report.avgConsumedMemory)});
+        if (scenario.engineConfig.prefixCache) {
+            table.addRow({"prefix_hit_rate",
+                          formatPercent(report.prefixHitRate())});
+            table.addRow({"prefix_hit_tokens",
+                          formatCount(report.prefixHitTokens)});
+        }
         table.print(os);
         os << report.summary(sla) << "\n";
     }

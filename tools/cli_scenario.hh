@@ -26,6 +26,7 @@
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
 #include "workload/datasets.hh"
+#include "workload/session_gen.hh"
 
 namespace lightllm {
 namespace cli {
@@ -37,6 +38,18 @@ struct CliOptions
     std::string workload = "sharegpt";
     std::size_t requests = 512;
     std::uint64_t seed = 42;
+
+    // Multi-turn session workload (closed loop by construction):
+    // active when sessions > 0, replacing --workload/--requests/
+    // --clients. Each session shares the global system prompt and
+    // prepends its full history to every turn.
+    std::size_t sessions = 0;
+    std::size_t turns = 4;
+    TokenCount systemPromptTokens = 512;
+
+    /** Shared-prefix KV reuse: "on" | "off" (default off — the
+     *  bit-exact legacy path). */
+    std::string prefixCache = "off";
 
     // Load generation: closed-loop clients by default; a positive
     // rate switches to open-loop Poisson arrivals.
@@ -115,10 +128,22 @@ std::string parseCliArgs(int argc, const char *const *argv,
 /** Flag reference printed by --help. */
 void printCliUsage(std::ostream &os);
 
+/**
+ * Every flag parseCliArgs accepts (valued and boolean alike), for
+ * the usage-completeness audit: each name must appear in
+ * printCliUsage's output.
+ */
+std::vector<std::string> cliFlagNames();
+
 /** A fully assembled, runnable scenario. */
 struct Scenario
 {
+    /** Empty (bar the name) in session mode. */
     workload::Dataset dataset;
+
+    /** Session workload; meaningful when sessionMode is set. */
+    bool sessionMode = false;
+    workload::SessionWorkloadConfig sessionConfig;
     core::SchedulerConfig schedulerConfig;
     model::PerfModel perf;
     metrics::SlaSpec sla;
