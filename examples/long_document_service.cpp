@@ -28,6 +28,7 @@
 #include "metrics/report_io.hh"
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
+#include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
 #include "workload/trace_gen.hh"
 #include "workload/trace_io.hh"

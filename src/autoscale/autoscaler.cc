@@ -1,0 +1,107 @@
+#include "autoscale/autoscaler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace autoscale {
+
+const char *
+shedPolicyName(ShedPolicy policy)
+{
+    switch (policy) {
+      case ShedPolicy::Never:
+        return "never";
+      case ShedPolicy::Overload:
+        return "overload";
+    }
+    return "unknown";
+}
+
+bool
+parseShedPolicy(std::string_view name, ShedPolicy &out)
+{
+    for (const ShedPolicy policy :
+         {ShedPolicy::Never, ShedPolicy::Overload}) {
+        if (name == shedPolicyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
+AutoScaler::AutoScaler(const AutoscaleConfig &config,
+                       std::unique_ptr<ScalePolicy> policy)
+    : config_(config), policy_(std::move(policy)),
+      monitor_(config.sla, config.monitorWindow),
+      lastScaleDown_(std::numeric_limits<Tick>::min() / 2)
+{
+    LIGHTLLM_ASSERT(policy_ != nullptr, "autoscaler needs a policy");
+    LIGHTLLM_ASSERT(config_.minInstances >= 1,
+                    "min instances must be at least 1");
+    LIGHTLLM_ASSERT(config_.minInstances <= config_.maxInstances,
+                    "min instances exceeds max instances");
+    LIGHTLLM_ASSERT(config_.controlInterval > 0,
+                    "control interval must be positive");
+    LIGHTLLM_ASSERT(config_.provisionDelay >= 0,
+                    "provision delay cannot be negative");
+    LIGHTLLM_ASSERT(config_.shedFactor > 0.0,
+                    "shed factor must be positive");
+}
+
+void
+AutoScaler::onRecord(const metrics::RequestRecord &record)
+{
+    monitor_.observe(record);
+}
+
+int
+AutoScaler::evaluate(const FleetSnapshot &fleet)
+{
+    const SloStats slo = monitor_.stats(fleet.now);
+    const int proposed = policy_->decide(fleet, slo);
+
+    const std::size_t n = fleet.nonDrainingCount();
+    const auto clamp = [&](long target) {
+        return std::clamp<long>(
+            target, static_cast<long>(config_.minInstances),
+            static_cast<long>(config_.maxInstances));
+    };
+    int delta = static_cast<int>(
+        clamp(static_cast<long>(n) + proposed) -
+        static_cast<long>(n));
+
+    if (delta < 0) {
+        // One retirement per cooldown: a lull must not dismantle
+        // the fleet faster than a spike can rebuild it.
+        if (fleet.now - lastScaleDown_ < config_.downCooldown)
+            return 0;
+        lastScaleDown_ = fleet.now;
+        return -1;
+    }
+    return delta;
+}
+
+bool
+AutoScaler::shouldShed(const FleetSnapshot &fleet,
+                       TokenCount footprint) const
+{
+    if (config_.shedPolicy != ShedPolicy::Overload)
+        return false;
+    // Shed only when no further capacity can possibly come: the
+    // fleet is at max scale and nothing is still warming up.
+    if (fleet.nonDrainingCount() < config_.maxInstances ||
+        fleet.warmingCount() > 0) {
+        return false;
+    }
+    const double bound = config_.shedFactor *
+        static_cast<double>(fleet.readyCapacityTokens());
+    return static_cast<double>(fleet.outstandingTokens() +
+                               footprint) > bound;
+}
+
+} // namespace autoscale
+} // namespace lightllm

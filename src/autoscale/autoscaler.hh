@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The SLA → capacity control loop.
+ *
+ * AutoScaler closes the loop the paper leaves open: observed (and
+ * forecast) service quality feeds back into fleet size. It is a
+ * passive decision engine — the cluster schedules the control ticks
+ * on its SimContext, builds FleetSnapshots, executes provisions and
+ * drains — while the scaler owns everything control-theoretic:
+ *
+ *  - the SloMonitor fed by per-request completion records;
+ *  - the pluggable ScalePolicy proposing size changes;
+ *  - min/max clamping and up/down cooldowns (scale-up is allowed
+ *    every control tick because a spike waits for no one; scale-down
+ *    is rate-limited to one instance per cooldown so a brief lull
+ *    cannot dismantle the fleet);
+ *  - the shed-or-queue admission decision at max scale: when no
+ *    further capacity can come, unbounded queueing would blow every
+ *    deadline in the backlog, so overflow arrivals are rejected
+ *    instead and counted.
+ */
+
+#ifndef LIGHTLLM_AUTOSCALE_AUTOSCALER_HH
+#define LIGHTLLM_AUTOSCALE_AUTOSCALER_HH
+
+#include <memory>
+#include <string_view>
+
+#include "autoscale/scale_policy.hh"
+#include "autoscale/slo_monitor.hh"
+#include "base/types.hh"
+#include "metrics/sla.hh"
+
+namespace lightllm {
+namespace autoscale {
+
+/** What happens to arrivals the fleet cannot absorb at max scale. */
+enum class ShedPolicy
+{
+    /** Queue everything (legacy behaviour; queues may grow without
+     *  bound under sustained overload). */
+    Never,
+
+    /**
+     * At max scale with nothing warming, reject a new request when
+     * the fleet's outstanding work (plus this request) exceeds
+     * `shedFactor` x ready capacity. Bounded queues, explicit
+     * rejections, surviving requests keep their deadlines. A shed
+     * request gets no completion callback — the model is an
+     * open-loop client receiving a rejection, so drivers that wait
+     * on completions (closed-loop pools, sessions) must not be
+     * combined with shedding.
+     */
+    Overload,
+};
+
+/** Human-readable shed policy label. */
+const char *shedPolicyName(ShedPolicy policy);
+
+/** Inverse of shedPolicyName; false when `name` is unknown. */
+bool parseShedPolicy(std::string_view name, ShedPolicy &out);
+
+/** Control-loop configuration. */
+struct AutoscaleConfig
+{
+    /** Fleet size bounds (min >= 1, min <= max). */
+    std::size_t minInstances = 1;
+    std::size_t maxInstances = 8;
+
+    /** Cold-start delay: a provisioned instance joins the router
+     *  this long after the scale-up decision. */
+    Tick provisionDelay = secondsToTicks(10.0);
+
+    /** Control tick period. */
+    Tick controlInterval = secondsToTicks(2.0);
+
+    /** Minimum spacing between scale-downs (scale-up is not rate
+     *  limited beyond the control interval). */
+    Tick downCooldown = secondsToTicks(30.0);
+
+    /** SLO monitor window. */
+    Tick monitorWindow = secondsToTicks(60.0);
+
+    /** Attainment target driving both policies. */
+    double sloTarget = 0.9;
+
+    /** SLA the monitor judges completions against. */
+    metrics::SlaSpec sla;
+
+    ShedPolicy shedPolicy = ShedPolicy::Never;
+
+    /** Outstanding-to-capacity bound of ShedPolicy::Overload. */
+    double shedFactor = 1.5;
+};
+
+/** Decision engine of the autoscaling control loop. */
+class AutoScaler
+{
+  public:
+    AutoScaler(const AutoscaleConfig &config,
+               std::unique_ptr<ScalePolicy> policy);
+
+    /** Feed one completion into the SLO monitor. */
+    void onRecord(const metrics::RequestRecord &record);
+
+    /**
+     * One control tick: ask the policy, clamp to [min, max], apply
+     * cooldowns.
+     *
+     * @return Instances to provision (> 0), one instance to retire
+     *         (-1), or hold (0).
+     */
+    int evaluate(const FleetSnapshot &fleet);
+
+    /**
+     * Shed-or-queue decision for a new arrival whose predicted
+     * resident footprint is `footprint` tokens.
+     */
+    bool shouldShed(const FleetSnapshot &fleet,
+                    TokenCount footprint) const;
+
+    /** Windowed SLO summary ending at `now`. */
+    SloStats sloStats(Tick now) { return monitor_.stats(now); }
+
+    const AutoscaleConfig &config() const { return config_; }
+    const ScalePolicy &policy() const { return *policy_; }
+    SloMonitor &monitor() { return monitor_; }
+
+  private:
+    AutoscaleConfig config_;
+    std::unique_ptr<ScalePolicy> policy_;
+    SloMonitor monitor_;
+    Tick lastScaleDown_;
+};
+
+} // namespace autoscale
+} // namespace lightllm
+
+#endif // LIGHTLLM_AUTOSCALE_AUTOSCALER_HH

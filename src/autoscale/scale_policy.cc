@@ -1,0 +1,187 @@
+#include "autoscale/scale_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace autoscale {
+
+std::size_t
+FleetSnapshot::nonDrainingCount() const
+{
+    std::size_t count = 0;
+    for (const InstanceSnapshot &instance : instances)
+        count += instance.draining ? 0 : 1;
+    return count;
+}
+
+std::size_t
+FleetSnapshot::routableCount() const
+{
+    std::size_t count = 0;
+    for (const InstanceSnapshot &instance : instances)
+        count += instance.routable ? 1 : 0;
+    return count;
+}
+
+std::size_t
+FleetSnapshot::warmingCount() const
+{
+    std::size_t count = 0;
+    for (const InstanceSnapshot &instance : instances)
+        count += instance.warming ? 1 : 0;
+    return count;
+}
+
+TokenCount
+FleetSnapshot::readyCapacityTokens() const
+{
+    TokenCount total = 0;
+    for (const InstanceSnapshot &instance : instances) {
+        if (!instance.draining)
+            total += instance.capacityTokens;
+    }
+    return total;
+}
+
+TokenCount
+FleetSnapshot::predictedLoadTokens() const
+{
+    TokenCount total = 0;
+    for (const InstanceSnapshot &instance : instances) {
+        if (!instance.draining)
+            total += instance.predictedLoadTokens;
+    }
+    return total;
+}
+
+TokenCount
+FleetSnapshot::outstandingTokens() const
+{
+    TokenCount total = 0;
+    for (const InstanceSnapshot &instance : instances) {
+        if (!instance.draining)
+            total += instance.outstandingTokens;
+    }
+    return total;
+}
+
+ReactiveThresholdPolicy::ReactiveThresholdPolicy(
+    ReactivePolicyConfig config)
+    : config_(config)
+{
+    LIGHTLLM_ASSERT(config_.sloTarget > 0.0 &&
+                        config_.sloTarget <= 1.0,
+                    "slo target must be in (0, 1]");
+    LIGHTLLM_ASSERT(config_.downAttainment >= config_.sloTarget,
+                    "scale-down attainment below the target would "
+                    "flap");
+}
+
+int
+ReactiveThresholdPolicy::decide(const FleetSnapshot &fleet,
+                                const SloStats &slo)
+{
+    const std::size_t n = fleet.nonDrainingCount();
+
+    // Threshold up: observed attainment fell below the target.
+    if (slo.samples >= config_.minSamples &&
+        slo.attainment < config_.sloTarget) {
+        return 1;
+    }
+
+    // Hysteresis down: comfortably attaining *and* the shrunk fleet
+    // would still be lightly loaded (projected on mean capacity).
+    if (n > 1 && slo.attainment >= config_.downAttainment) {
+        const double mean_capacity =
+            static_cast<double>(fleet.readyCapacityTokens()) /
+            static_cast<double>(n);
+        const double capacity_after =
+            mean_capacity * static_cast<double>(n - 1);
+        const double utilisation_after =
+            static_cast<double>(fleet.outstandingTokens()) /
+            std::max(capacity_after, 1.0);
+        if (utilisation_after < config_.downUtilisation)
+            return -1;
+    }
+    return 0;
+}
+
+PredictiveFutureMemoryPolicy::PredictiveFutureMemoryPolicy(
+    PredictivePolicyConfig config)
+    : config_(config)
+{
+    LIGHTLLM_ASSERT(config_.headroom > 0.0 &&
+                        config_.headroom <= 1.0,
+                    "headroom must be in (0, 1]");
+    LIGHTLLM_ASSERT(config_.downFraction > 0.0 &&
+                        config_.downFraction < 1.0,
+                    "down fraction must be in (0, 1)");
+}
+
+int
+PredictiveFutureMemoryPolicy::decide(const FleetSnapshot &fleet,
+                                     const SloStats &slo)
+{
+    const std::size_t n = fleet.nonDrainingCount();
+    if (n == 0)
+        return 1;
+
+    const double mean_capacity =
+        static_cast<double>(fleet.readyCapacityTokens()) /
+        static_cast<double>(n);
+    if (mean_capacity <= 0.0)
+        return 0;
+
+    // The fleet's committed memory demand: every instance's
+    // future-memory forecast (running-batch peak + queued
+    // footprints), summed. This is known *now*, before any TTFT
+    // degrades — the whole point of scaling on the forecast.
+    const double demand =
+        static_cast<double>(fleet.predictedLoadTokens());
+
+    // Instances needed so demand fits under the headroom target.
+    const double per_instance =
+        config_.headroom * mean_capacity;
+    const std::size_t needed = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(demand / per_instance)));
+
+    if (needed > n) {
+        // Warming capacity already counts in n, so this only asks
+        // for what is still missing.
+        return static_cast<int>(needed - n);
+    }
+
+    // Shrink once the forecast fits comfortably in one fewer
+    // instance — but never while the SLO is actually suffering.
+    if (n > 1 && slo.attainment >= config_.sloTarget &&
+        demand < config_.downFraction * per_instance *
+                     static_cast<double>(n - 1)) {
+        return -1;
+    }
+    return 0;
+}
+
+std::unique_ptr<ScalePolicy>
+makeScalePolicy(std::string_view name, double slo_target)
+{
+    if (name == "reactive") {
+        ReactivePolicyConfig config;
+        config.sloTarget = slo_target;
+        config.downAttainment =
+            std::max(config.downAttainment, slo_target);
+        return std::make_unique<ReactiveThresholdPolicy>(config);
+    }
+    if (name == "predictive") {
+        PredictivePolicyConfig config;
+        config.sloTarget = slo_target;
+        return std::make_unique<PredictiveFutureMemoryPolicy>(
+            config);
+    }
+    return nullptr;
+}
+
+} // namespace autoscale
+} // namespace lightllm

@@ -43,21 +43,226 @@ parseRoutingPolicy(std::string_view name, RoutingPolicy &out)
 ServingCluster::ServingCluster(
     std::vector<std::unique_ptr<engine::ServingEngine>> instances,
     RoutingPolicy policy)
-    : instances_(std::move(instances)), policy_(policy),
-      draining_(instances_.size(), false),
-      routedCounts_(instances_.size(), 0),
-      routedTokens_(instances_.size(), 0),
-      routingPredictor_(1000),
-      predictedLoad_(instances_.size(), 0)
+    : policy_(policy), routingPredictor_(1000)
 {
-    LIGHTLLM_ASSERT(!instances_.empty(),
+    LIGHTLLM_ASSERT(!instances.empty(),
                     "cluster needs at least one instance");
-    for (auto &instance : instances_) {
-        instance->attachContext(context_);
-        instance->setOnFinish(
-            [this](const workload::RequestSpec &spec, Tick tick) {
-                handleFinish(spec, tick);
-            });
+    for (auto &instance : instances)
+        adoptInstance(std::move(instance));
+    peakInstances_ = instances_.size();
+}
+
+void
+ServingCluster::adoptInstance(
+    std::unique_ptr<engine::ServingEngine> engine)
+{
+    const std::size_t index = instances_.size();
+    engine->attachContext(context_);
+    engine->setOnFinish(
+        [this, index](const workload::RequestSpec &spec,
+                      Tick tick) {
+            handleFinish(index, spec, tick);
+        });
+    engine->setOnRecord(
+        [this](const metrics::RequestRecord &record) {
+            if (autoscaler_)
+                autoscaler_->onRecord(record);
+        });
+    instances_.push_back(std::move(engine));
+    draining_.push_back(false);
+    warming_.push_back(false);
+    routedCounts_.push_back(0);
+    routedTokens_.push_back(0);
+    predictedLoad_.push_back(0);
+    inFlight_.push_back(0);
+    provisionedAt_.push_back(context_.now());
+    retiredAt_.push_back(-1);
+}
+
+void
+ServingCluster::setInstanceFactory(InstanceFactory factory)
+{
+    LIGHTLLM_ASSERT(factory != nullptr, "null instance factory");
+    factory_ = std::move(factory);
+}
+
+void
+ServingCluster::enableAutoscale(
+    const autoscale::AutoscaleConfig &config,
+    std::unique_ptr<autoscale::ScalePolicy> policy)
+{
+    LIGHTLLM_ASSERT(!ran_, "enableAutoscale must precede run()");
+    LIGHTLLM_ASSERT(offeredRequests_ == 0,
+                    "enableAutoscale must precede submissions "
+                    "(routing defers to arrival ticks only for "
+                    "elastic fleets)");
+    LIGHTLLM_ASSERT(factory_ != nullptr,
+                    "autoscaling needs an instance factory "
+                    "(setInstanceFactory)");
+    LIGHTLLM_ASSERT(instances_.size() >= config.minInstances &&
+                        instances_.size() <= config.maxInstances,
+                    "initial fleet of ", instances_.size(),
+                    " outside [", config.minInstances, ", ",
+                    config.maxInstances, "]");
+    autoscaler_ = std::make_unique<autoscale::AutoScaler>(
+        config, std::move(policy));
+}
+
+std::size_t
+ServingCluster::provisionInstance(Tick warmup_delay)
+{
+    LIGHTLLM_ASSERT(factory_ != nullptr,
+                    "provisioning needs an instance factory");
+    LIGHTLLM_ASSERT(warmup_delay >= 0, "negative warm-up delay");
+    const std::size_t index = instances_.size();
+    adoptInstance(factory_());
+    warming_[index] = true;
+    ++scaleUpEvents_;
+
+    std::size_t alive = 0;
+    for (const Tick retired : retiredAt_)
+        alive += retired < 0 ? 1 : 0;
+    peakInstances_ = std::max(peakInstances_, alive);
+
+    // Warm-up completion: the instance joins the router only after
+    // the cold-start delay, even though its cost clock (and event
+    // loop) started now.
+    context_.schedule(context_.now() + warmup_delay,
+                      [this, index](Tick) {
+                          warming_[index] = false;
+                      });
+    return index;
+}
+
+std::size_t
+ServingCluster::routableInstances() const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < instances_.size(); ++i)
+        count += routable(i) ? 1 : 0;
+    return count;
+}
+
+std::size_t
+ServingCluster::warmingInstances() const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < instances_.size(); ++i)
+        count += (warming_[i] && !draining_[i]) ? 1 : 0;
+    return count;
+}
+
+std::size_t
+ServingCluster::nonDrainingInstances() const
+{
+    std::size_t count = 0;
+    for (const bool draining : draining_)
+        count += draining ? 0 : 1;
+    return count;
+}
+
+bool
+ServingCluster::retireInstance(std::size_t keep_at_least)
+{
+    if (nonDrainingInstances() <= keep_at_least)
+        return false;
+
+    // Cheapest first: a warming instance never took traffic, so
+    // retiring it is free. Otherwise drain the routable instance
+    // with the least outstanding work — but never the last one
+    // still accepting traffic.
+    std::size_t victim = instances_.size();
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        if (warming_[i] && !draining_[i]) {
+            victim = i;
+            break;
+        }
+    }
+    if (victim == instances_.size()) {
+        if (routableInstances() <= 1)
+            return false;
+        TokenCount least = std::numeric_limits<TokenCount>::max();
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            if (!routable(i))
+                continue;
+            const TokenCount load =
+                instances_[i]->outstandingTokens();
+            if (load < least) {
+                least = load;
+                victim = i;
+            }
+        }
+    }
+    LIGHTLLM_ASSERT(victim < instances_.size(),
+                    "no retirable instance");
+    ++scaleDownEvents_;
+    drainNow(victim);
+    return true;
+}
+
+autoscale::FleetSnapshot
+ServingCluster::snapshot()
+{
+    autoscale::FleetSnapshot snap;
+    snap.now = context_.now();
+    snap.instances.reserve(instances_.size());
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        autoscale::InstanceSnapshot instance;
+        instance.routable = routable(i);
+        instance.warming = warming_[i] && !draining_[i];
+        instance.draining = draining_[i];
+        instance.capacityTokens =
+            instances_[i]->capacityTokens();
+        instance.usedTokens =
+            instances_[i]->kvManager().usedTokens();
+        instance.outstandingTokens =
+            instances_[i]->outstandingTokens();
+        instance.predictedLoadTokens =
+            instances_[i]->predictedLoadTokens();
+        instance.waiting = instances_[i]->waitingSize();
+        instance.running = instances_[i]->runningSize();
+        snap.instances.push_back(instance);
+    }
+    return snap;
+}
+
+void
+ServingCluster::controlTick(Tick when)
+{
+    const autoscale::FleetSnapshot snap = snapshot();
+    const int delta = autoscaler_->evaluate(snap);
+    if (delta > 0) {
+        const std::size_t max_size =
+            autoscaler_->config().maxInstances;
+        for (int i = 0; i < delta; ++i) {
+            if (nonDrainingInstances() >= max_size)
+                break;
+            provisionInstance(autoscaler_->config()
+                                  .provisionDelay);
+        }
+    } else if (delta < 0) {
+        retireInstance(autoscaler_->config().minInstances);
+    }
+
+    // Keep ticking while anything can still happen. The fleet is
+    // quiescent once every offered request finished (or was shed)
+    // and no instance holds work or pending arrivals — after that,
+    // only bookkeeping events (e.g. a far-future warm-up) could
+    // remain, and no further control decision can matter.
+    std::size_t finished = 0;
+    bool busy = false;
+    for (const auto &instance : instances_) {
+        finished += instance->numFinished();
+        busy = busy || instance->hasWork() ||
+               instance->hasPendingArrivals();
+    }
+    const bool quiescent = !busy &&
+        shedRequests_ + static_cast<std::int64_t>(finished) ==
+            offeredRequests_;
+    if (!context_.empty() && !quiescent) {
+        context_.schedule(
+            when + autoscaler_->config().controlInterval,
+            [this](Tick tick) { controlTick(tick); });
     }
 }
 
@@ -75,15 +280,27 @@ ServingCluster::warmRoutingHistory(
 }
 
 void
-ServingCluster::handleFinish(const workload::RequestSpec &spec,
+ServingCluster::handleFinish(std::size_t instance,
+                             const workload::RequestSpec &spec,
                              Tick tick)
 {
     routingPredictor_.observe(spec.effectiveOutputLen());
     const auto it = charges_.find(spec.id);
     if (it != charges_.end()) {
-        const auto [instance, charge] = it->second;
-        predictedLoad_[instance] -= charge;
+        const auto [charged, charge] = it->second;
+        predictedLoad_[charged] -= charge;
         charges_.erase(it);
+    }
+    LIGHTLLM_ASSERT(inFlight_[instance] > 0,
+                    "finish without a routed request on instance ",
+                    instance);
+    --inFlight_[instance];
+    lastFinishTick_ = std::max(lastFinishTick_, tick);
+    if (draining_[instance] && inFlight_[instance] == 0 &&
+        retiredAt_[instance] < 0) {
+        // The drained instance just went idle: its cost clock
+        // stops here.
+        retiredAt_[instance] = tick;
     }
     if (onFinish_)
         onFinish_(spec, tick);
@@ -118,7 +335,7 @@ ServingCluster::leastLoaded(
     std::size_t best = instances_.size();
     double best_load = std::numeric_limits<double>::max();
     for (std::size_t i = 0; i < instances_.size(); ++i) {
-        if (draining_[i])
+        if (!routable(i))
             continue;
         const double load = load_of(i) /
             static_cast<double>(instances_[i]->capacityTokens());
@@ -144,7 +361,7 @@ ServingCluster::pickInstance(TokenCount footprint,
             const std::size_t index = nextRoundRobin_;
             nextRoundRobin_ =
                 (nextRoundRobin_ + 1) % instances_.size();
-            if (!draining_[index])
+            if (routable(index))
                 return index;
         }
         panic("no routable instance (all draining?)");
@@ -170,7 +387,7 @@ ServingCluster::pickInstance(TokenCount footprint,
         if (session_key != 0) {
             const auto it = sessionHome_.find(session_key);
             if (it != sessionHome_.end() &&
-                !draining_[it->second]) {
+                routable(it->second)) {
                 return it->second;
             }
         }
@@ -192,7 +409,33 @@ ServingCluster::submitAt(const workload::RequestSpec &spec,
                          Tick arrival)
 {
     const Tick when = std::max(arrival, context_.now());
-    routeSubmission(spec, when, when);
+    ++offeredRequests_;
+    if (!autoscaler_) {
+        // Legacy path (bit-exact): route at submission time.
+        routeSubmission(spec, when, when);
+        return;
+    }
+    // Elastic fleet: defer routing to the arrival tick so the
+    // decision sees the fleet as it exists *then* — including
+    // instances provisioned meanwhile — and so the shed-or-queue
+    // check judges the actual load at arrival, not at submission
+    // (open-loop workloads pre-schedule everything up front).
+    context_.schedule(when, [this, spec](Tick tick) {
+        // Snapshot + footprint are per-arrival costs; pay them
+        // only when a shed policy can actually use them. A shed
+        // request gets no completion callback — shedding models an
+        // open-loop client receiving a rejection (closed-loop
+        // generators would stall waiting on it; the CLI forbids
+        // that combination).
+        if (autoscaler_->config().shedPolicy !=
+                autoscale::ShedPolicy::Never &&
+            autoscaler_->shouldShed(snapshot(),
+                                    predictFootprint(spec))) {
+            ++shedRequests_;
+            return;
+        }
+        routeSubmission(spec, tick, tick);
+    });
 }
 
 void
@@ -209,6 +452,7 @@ ServingCluster::routeSubmission(const workload::RequestSpec &spec,
         pickInstance(footprint, spec.sessionKey);
     routedCounts_[index] += 1;
     routedTokens_[index] += spec.effectiveOutputLen();
+    ++inFlight_[index];
     if (policy_ == RoutingPolicy::FutureMemory) {
         predictedLoad_[index] += footprint;
         charges_[spec.id] = std::make_pair(index, footprint);
@@ -236,12 +480,19 @@ ServingCluster::drainNow(std::size_t index)
 {
     LIGHTLLM_ASSERT(!draining_[index], "instance ", index,
                     " drained twice");
+    // The surviving fleet must be non-empty; when instance `index`
+    // is the only one left undrained, draining it would retire the
+    // whole fleet.
+    std::size_t undrained_others = 0;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        if (i != index && !draining_[i])
+            ++undrained_others;
+    }
+    LIGHTLLM_ASSERT(undrained_others > 0, "cannot drain instance ",
+                    index,
+                    ": it is the last undrained instance of the "
+                    "fleet");
     draining_[index] = true;
-    std::size_t undrained = 0;
-    for (std::size_t i = 0; i < instances_.size(); ++i)
-        undrained += draining_[i] ? 0 : 1;
-    LIGHTLLM_ASSERT(undrained > 0,
-                    "cannot drain the last routable instance");
 
     // Requests the instance never admitted go back through the
     // router with their original arrival stamps (latency metrics
@@ -258,8 +509,16 @@ ServingCluster::drainNow(std::size_t index)
         // tokens back so tokenImbalance() reflects served load
         // (routedCounts_ intentionally keeps counting decisions).
         routedTokens_[index] -= drained.spec.effectiveOutputLen();
+        LIGHTLLM_ASSERT(inFlight_[index] > 0,
+                        "drained request without an in-flight "
+                        "entry");
+        --inFlight_[index];
         routeSubmission(drained.spec, drained.redispatchAt,
                         drained.arrivalStamp);
+    }
+    if (inFlight_[index] == 0 && retiredAt_[index] < 0) {
+        // Nothing left running: the instance is idle from here on.
+        retiredAt_[index] = context_.now();
     }
 }
 
@@ -268,6 +527,13 @@ ServingCluster::run()
 {
     LIGHTLLM_ASSERT(!ran_, "cluster instances are single-run");
     ran_ = true;
+
+    // Start the autoscale control loop one interval in.
+    if (autoscaler_) {
+        context_.schedule(
+            autoscaler_->config().controlInterval,
+            [this](Tick tick) { controlTick(tick); });
+    }
 
     // Exact co-simulation: every arrival, iteration boundary,
     // completion, and drain fires in global (tick, class, FIFO)
@@ -280,10 +546,31 @@ ServingCluster::run()
     reports.reserve(instances_.size());
     for (const auto &instance : instances_)
         reports.push_back(instance->report());
-    return metrics::mergeReports(
+    metrics::RunReport merged = metrics::mergeReports(
         reports, "Cluster(" +
                      std::string(routingPolicyName(policy_)) + " x" +
                      std::to_string(instances_.size()) + ")");
+
+    // Instance-seconds: each instance costs from its provision tick
+    // until it went idle after draining, or the end of service.
+    // The end-of-service tick is tracked absolutely (the last
+    // completion anywhere) because per-instance makespans are
+    // measurement-relative under --warmup.
+    instanceSecondsTotal_ = 0.0;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const Tick end = retiredAt_[i] >= 0 ? retiredAt_[i]
+                                            : lastFinishTick_;
+        instanceSecondsTotal_ += ticksToSeconds(
+            std::max<Tick>(0, end - provisionedAt_[i]));
+    }
+
+    merged.shedRequests = shedRequests_;
+    merged.offeredRequests = offeredRequests_;
+    merged.instanceSeconds = instanceSecondsTotal_;
+    merged.scaleUpEvents = scaleUpEvents_;
+    merged.scaleDownEvents = scaleDownEvents_;
+    merged.peakInstances = peakInstances_;
+    return merged;
 }
 
 metrics::RunReport

@@ -34,6 +34,17 @@
  * receiving traffic, hands its not-yet-admitted queue back to the
  * router for re-dispatch, and finishes the requests that already
  * hold engine state.
+ *
+ * With an instance factory and an autoscale::AutoScaler attached,
+ * the fleet becomes elastic (DESIGN.md §5): a periodic control
+ * event snapshots the fleet, the scale policy proposes a size, and
+ * the cluster executes it — provisionInstance() creates an engine
+ * that joins the router only after a configurable cold-start delay,
+ * scale-down retires the least-loaded instance through the drain
+ * path, and at max scale the shed policy may reject overflow
+ * arrivals instead of queueing them without bound. Instance-seconds
+ * are accounted per instance (provision to retirement/end) as the
+ * cost axis every attainment number is traded against.
  */
 
 #ifndef LIGHTLLM_CLUSTER_SERVING_CLUSTER_HH
@@ -46,6 +57,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "autoscale/autoscaler.hh"
 #include "base/types.hh"
 #include "core/length_predictor.hh"
 #include "engine/serving_engine.hh"
@@ -134,6 +146,96 @@ class ServingCluster : public workload::RequestSink
      */
     void scheduleDrain(std::size_t index, Tick when);
 
+    // --- Elastic autoscaling (DESIGN.md §5) ---------------------------
+
+    /** Builds engines for runtime provisioning. */
+    using InstanceFactory =
+        std::function<std::unique_ptr<engine::ServingEngine>()>;
+
+    /** Install the engine builder scale-up uses. Must be set before
+     *  enableAutoscale(). */
+    void setInstanceFactory(InstanceFactory factory);
+
+    /**
+     * Attach the SLA → capacity control loop: completion records
+     * feed the scaler's SLO monitor, and a control event every
+     * `config.controlInterval` evaluates the policy and executes
+     * provisions / drains / sheds. Must precede run(); requires an
+     * instance factory; the initial fleet must lie inside
+     * [minInstances, maxInstances].
+     */
+    void enableAutoscale(const autoscale::AutoscaleConfig &config,
+                         std::unique_ptr<autoscale::ScalePolicy>
+                             policy);
+
+    /** The attached scaler (null when autoscaling is off). */
+    const autoscale::AutoScaler *autoscaler() const
+    {
+        return autoscaler_.get();
+    }
+
+    /**
+     * Provision one instance now: the engine joins the fleet
+     * immediately (events, metrics) but becomes routable only after
+     * `warmup_delay` ticks — the cold-start window during which its
+     * cost is already accruing. Requires an instance factory.
+     *
+     * @return Index of the new instance.
+     */
+    std::size_t provisionInstance(Tick warmup_delay);
+
+    /**
+     * Retire one instance through the drain path: the least-loaded
+     * routable instance (warming instances first — they never took
+     * traffic) stops receiving requests and hands its queue back to
+     * the router.
+     *
+     * @param keep_at_least Refuse to shrink the non-draining fleet
+     *        below this many instances.
+     * @return false when the fleet is already at the floor (or
+     *         retiring would leave no routable instance).
+     */
+    bool retireInstance(std::size_t keep_at_least);
+
+    /** Fleet state at the current tick (control loop, tests). */
+    autoscale::FleetSnapshot snapshot();
+
+    /** Instances accepting traffic (not draining, warm-up done). */
+    std::size_t routableInstances() const;
+
+    /** Provisioned-but-cold instances. */
+    std::size_t warmingInstances() const;
+
+    /** Instances not scheduled for retirement (warming included). */
+    std::size_t nonDrainingInstances() const;
+
+    /** Requests rejected by overload shedding so far. */
+    std::int64_t shedRequests() const { return shedRequests_; }
+
+    /** New requests offered to the router (shed + accepted;
+     *  re-dispatches excluded). */
+    std::int64_t offeredRequests() const
+    {
+        return offeredRequests_;
+    }
+
+    /** Instance-seconds consumed over the run (valid after
+     *  run()): Σ per instance of alive time from provision to
+     *  retirement (or end of run). */
+    double instanceSeconds() const
+    {
+        return instanceSecondsTotal_;
+    }
+
+    std::int64_t scaleUpEvents() const { return scaleUpEvents_; }
+    std::int64_t scaleDownEvents() const
+    {
+        return scaleDownEvents_;
+    }
+
+    /** Largest concurrently alive fleet size seen. */
+    std::size_t peakInstances() const { return peakInstances_; }
+
     /**
      * Co-simulate all instances to completion and return the merged
      * report (per-instance reports remain available).
@@ -190,6 +292,19 @@ class ServingCluster : public workload::RequestSink
     double tokenImbalance() const;
 
   private:
+    /** Attach `engine` as instance `index` (context, callbacks,
+     *  per-instance state rows). */
+    void adoptInstance(std::unique_ptr<engine::ServingEngine> engine);
+
+    /** True when instance `i` may receive new traffic. */
+    bool routable(std::size_t i) const
+    {
+        return !draining_[i] && !warming_[i];
+    }
+
+    /** One autoscale control tick at `when`. */
+    void controlTick(Tick when);
+
     /** Route one (possibly re-dispatched) submission. */
     void routeSubmission(const workload::RequestSpec &spec,
                          Tick deliver, Tick stamp);
@@ -209,7 +324,8 @@ class ServingCluster : public workload::RequestSink
     TokenCount predictFootprint(const workload::RequestSpec &spec);
 
     /** Completion fan-in: bookkeeping + user callback. */
-    void handleFinish(const workload::RequestSpec &spec, Tick tick);
+    void handleFinish(std::size_t instance,
+                      const workload::RequestSpec &spec, Tick tick);
 
     /** Drain-event body for instance `index`. */
     void drainNow(std::size_t index);
@@ -227,6 +343,31 @@ class ServingCluster : public workload::RequestSink
     std::vector<RoutedSubmission> submissionLog_;
     FinishCallback onFinish_;
     bool ran_ = false;
+
+    // Lifecycle state (one row per instance).
+    std::vector<bool> warming_;
+    std::vector<Tick> provisionedAt_;
+
+    /** Tick the instance went idle after draining (-1 = alive). */
+    std::vector<Tick> retiredAt_;
+
+    /** Absolute tick of the latest completion anywhere in the
+     *  fleet (instance-seconds end-of-service; per-instance
+     *  makespans are measurement-relative under warmup). */
+    Tick lastFinishTick_ = 0;
+
+    /** Routed-but-unfinished requests per instance. */
+    std::vector<std::size_t> inFlight_;
+
+    // Autoscale state.
+    InstanceFactory factory_;
+    std::unique_ptr<autoscale::AutoScaler> autoscaler_;
+    std::int64_t shedRequests_ = 0;
+    std::int64_t offeredRequests_ = 0;
+    std::int64_t scaleUpEvents_ = 0;
+    std::int64_t scaleDownEvents_ = 0;
+    std::size_t peakInstances_ = 0;
+    double instanceSecondsTotal_ = 0.0;
 
     // FutureMemory routing state: the router's own "past" (the same
     // LengthPredictor component the Past-Future scheduler and the

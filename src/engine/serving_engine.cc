@@ -125,6 +125,12 @@ ServingEngine::setOnFinish(FinishCallback callback)
     onFinish_ = std::move(callback);
 }
 
+void
+ServingEngine::setOnRecord(RecordCallback callback)
+{
+    onRecord_ = std::move(callback);
+}
+
 Tick
 ServingEngine::scaled(Tick duration) const
 {
@@ -438,20 +444,28 @@ ServingEngine::finishRequest(EngineRequest *request)
 
     const workload::RequestSpec spec = request->spec;
     requests_.erase(spec.id);
-    if (!onFinish_)
+    if (!onFinish_ && !onRecord_)
         return;
     if (shared_) {
         // Defer the notification to the shared queue at the exact
-        // finish tick: listeners (router, clients) then observe the
-        // completion in global event order rather than mid-way
-        // through this engine's iteration.
+        // finish tick: listeners (router, clients, SLO monitors)
+        // then observe the completion in global event order rather
+        // than mid-way through this engine's iteration. One event
+        // carries both callbacks, record first.
         const Tick finish_tick = now_;
         context_->schedule(finish_tick,
-                           [this, spec, finish_tick](Tick) {
-                               onFinish_(spec, finish_tick);
+                           [this, spec, record,
+                            finish_tick](Tick) {
+                               if (onRecord_)
+                                   onRecord_(record);
+                               if (onFinish_)
+                                   onFinish_(spec, finish_tick);
                            });
     } else {
-        onFinish_(spec, now_);
+        if (onRecord_)
+            onRecord_(record);
+        if (onFinish_)
+            onFinish_(spec, now_);
     }
 }
 

@@ -67,6 +67,11 @@ class ServingEngine : public workload::RequestSink
     using FinishCallback =
         std::function<void(const workload::RequestSpec &, Tick)>;
 
+    /** Callback fired with the full latency record of a finished
+     *  request (SLO monitoring). */
+    using RecordCallback =
+        std::function<void(const metrics::RequestRecord &)>;
+
     /** Full pipeline: admission policy + queue-ordering policy. */
     ServingEngine(model::PerfModel perf_model,
                   std::unique_ptr<core::SchedulingPolicy> policy,
@@ -118,6 +123,11 @@ class ServingEngine : public workload::RequestSink
      *  In actor mode the callback fires as a Delivery event at the
      *  exact finish tick, in global event order. */
     void setOnFinish(FinishCallback callback);
+
+    /** Register a latency-record listener (e.g. the cluster's SLO
+     *  monitor fan-in). Delivered with the same timing discipline
+     *  as setOnFinish, immediately before it at the same event. */
+    void setOnRecord(RecordCallback callback);
 
     /**
      * Run the serving loop until the limits are hit or no work and
@@ -394,6 +404,7 @@ class ServingEngine : public workload::RequestSink
     std::uint64_t nextAdmitSeq_ = 0;
     bool ran_ = false;
     FinishCallback onFinish_;
+    RecordCallback onRecord_;
 
     // Scratch buffers reused across iterations.
     std::vector<core::RunningView> runningViews_;

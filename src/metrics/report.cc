@@ -64,23 +64,46 @@ RunReport::prefixHitRate() const
 }
 
 double
-RunReport::p99TtftSeconds() const
+RunReport::shedRate() const
+{
+    if (offeredRequests <= 0)
+        return 0.0;
+    return static_cast<double>(shedRequests) /
+        static_cast<double>(offeredRequests);
+}
+
+double
+RunReport::ttftPercentileSeconds(double q) const
 {
     std::vector<double> ttfts;
     ttfts.reserve(requests.size());
     for (const auto &record : requests)
         ttfts.push_back(ticksToSeconds(record.ttft()));
-    return stats::percentile(std::move(ttfts), 0.99);
+    return stats::percentile(std::move(ttfts), q);
 }
 
 double
-RunReport::p99MtpotSeconds() const
+RunReport::mtpotPercentileSeconds(double q) const
 {
     std::vector<double> gaps;
     gaps.reserve(requests.size());
     for (const auto &record : requests)
         gaps.push_back(ticksToSeconds(record.maxGap));
-    return stats::percentile(std::move(gaps), 0.99);
+    return stats::percentile(std::move(gaps), q);
+}
+
+double
+RunReport::ttftAttainment(const SlaSpec &sla) const
+{
+    if (requests.empty())
+        return 0.0;
+    std::size_t met = 0;
+    for (const auto &record : requests) {
+        if (record.ttft() < sla.ttftLimit)
+            ++met;
+    }
+    return static_cast<double>(met) /
+        static_cast<double>(requests.size());
 }
 
 double
@@ -125,6 +148,13 @@ mergeReports(const std::vector<RunReport> &reports, std::string name)
         merged.prefixLookups += report.prefixLookups;
         merged.prefixPromptTokens += report.prefixPromptTokens;
         merged.prefixHitTokens += report.prefixHitTokens;
+        merged.shedRequests += report.shedRequests;
+        merged.offeredRequests += report.offeredRequests;
+        merged.instanceSeconds += report.instanceSeconds;
+        merged.scaleUpEvents += report.scaleUpEvents;
+        merged.scaleDownEvents += report.scaleDownEvents;
+        merged.peakInstances =
+            std::max(merged.peakInstances, report.peakInstances);
         merged.makespan = std::max(merged.makespan, report.makespan);
         const auto weight =
             static_cast<double>(report.decodeSteps);

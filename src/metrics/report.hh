@@ -83,6 +83,29 @@ struct RunReport
     /** Decode-step-weighted mean running batch size. */
     double avgBatchSize = 0.0;
 
+    // --- Fleet / autoscale outcome (zero unless set by a cluster
+    // run; engines never shed or scale) -------------------------------
+
+    /** Requests the router rejected under overload shedding. */
+    std::int64_t shedRequests = 0;
+
+    /** Requests offered to the router (shed + accepted; 0 for
+     *  single-engine runs). */
+    std::int64_t offeredRequests = 0;
+
+    /** Instance-seconds consumed over the run: each instance's
+     *  alive time (provision to retire/end) summed — the autoscale
+     *  cost axis. */
+    double instanceSeconds = 0.0;
+
+    /** Autoscale control actions taken. */
+    std::int64_t scaleUpEvents = 0;
+    std::int64_t scaleDownEvents = 0;
+
+    /** Largest concurrently provisioned fleet size (0 unless the
+     *  run autoscaled). */
+    std::size_t peakInstances = 0;
+
     /** Per-request latency records. */
     std::vector<RequestRecord> requests;
 
@@ -108,10 +131,47 @@ struct RunReport
      *  all cache-participating admissions (0 when none). */
     double prefixHitRate() const;
 
-    double p99TtftSeconds() const;
-    double p99MtpotSeconds() const;
+    /** Requests rejected by router admission control / offered to
+     *  the router (0 when shedding never happened / not a fleet
+     *  run). */
+    double shedRate() const;
+
+    /** TTFT percentile in seconds (nearest-rank; q in [0, 1]). */
+    double ttftPercentileSeconds(double q) const;
+
+    /** Largest-inter-token-gap (MTPOT) percentile in seconds. */
+    double mtpotPercentileSeconds(double q) const;
+
+    double p50TtftSeconds() const
+    {
+        return ttftPercentileSeconds(0.50);
+    }
+    double p90TtftSeconds() const
+    {
+        return ttftPercentileSeconds(0.90);
+    }
+    double p99TtftSeconds() const
+    {
+        return ttftPercentileSeconds(0.99);
+    }
+    double p50MtpotSeconds() const
+    {
+        return mtpotPercentileSeconds(0.50);
+    }
+    double p90MtpotSeconds() const
+    {
+        return mtpotPercentileSeconds(0.90);
+    }
+    double p99MtpotSeconds() const
+    {
+        return mtpotPercentileSeconds(0.99);
+    }
     double meanTtftSeconds() const;
     double meanTpotSeconds() const;
+
+    /** Fraction of requests whose TTFT meets `sla.ttftLimit` (the
+     *  autoscaling attainment target; MTPOT not considered). */
+    double ttftAttainment(const SlaSpec &sla) const;
 
     /** One-line human-readable summary. */
     std::string summary(const SlaSpec &sla) const;

@@ -70,10 +70,29 @@ writeSummaryJson(std::ostream &os, const RunReport &report,
        << formatDouble(report.goodputTokensPerSec(sla), 3) << ",\n"
        << "  \"sla_compliant_fraction\": "
        << formatDouble(report.slaCompliantFraction(sla), 4) << ",\n"
+       << "  \"p50_ttft_s\": "
+       << formatDouble(report.p50TtftSeconds(), 3) << ",\n"
+       << "  \"p90_ttft_s\": "
+       << formatDouble(report.p90TtftSeconds(), 3) << ",\n"
        << "  \"p99_ttft_s\": "
        << formatDouble(report.p99TtftSeconds(), 3) << ",\n"
+       << "  \"p50_mtpot_s\": "
+       << formatDouble(report.p50MtpotSeconds(), 3) << ",\n"
+       << "  \"p90_mtpot_s\": "
+       << formatDouble(report.p90MtpotSeconds(), 3) << ",\n"
        << "  \"p99_mtpot_s\": "
        << formatDouble(report.p99MtpotSeconds(), 3) << ",\n"
+       << "  \"shed_requests\": " << report.shedRequests << ",\n"
+       << "  \"offered_requests\": " << report.offeredRequests
+       << ",\n"
+       << "  \"shed_rate\": "
+       << formatDouble(report.shedRate(), 4) << ",\n"
+       << "  \"instance_seconds\": "
+       << formatDouble(report.instanceSeconds, 1) << ",\n"
+       << "  \"scale_up_events\": " << report.scaleUpEvents << ",\n"
+       << "  \"scale_down_events\": " << report.scaleDownEvents
+       << ",\n"
+       << "  \"peak_instances\": " << report.peakInstances << ",\n"
        << "  \"avg_consumed_memory\": "
        << formatDouble(report.avgConsumedMemory, 4) << ",\n"
        << "  \"avg_future_required\": "

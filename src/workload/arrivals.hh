@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared arrival-generation helpers for workload drivers.
+ *
+ * Every load generator needs the same two pieces of timing logic:
+ * the staggered cohort start (closed-loop clients and sessions ramp
+ * their members `ramp_interval` apart to avoid a synchronized burst
+ * at t = 0) and open-loop Poisson submission. Both live here so
+ * ClosedLoopClientPool, SessionGenerator, and the time-varying
+ * RateSchedule driver integrate through one helper instead of
+ * re-implementing the arithmetic.
+ */
+
+#ifndef LIGHTLLM_WORKLOAD_ARRIVALS_HH
+#define LIGHTLLM_WORKLOAD_ARRIVALS_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "workload/datasets.hh"
+#include "workload/rate_schedule.hh"
+
+namespace lightllm {
+namespace workload {
+
+class RequestSink;
+
+/**
+ * Start tick of the index-th member of a staggered cohort: `now`
+ * plus `index * ramp_interval`. The one place the ramp arithmetic
+ * lives (closed-loop clients, sessions).
+ */
+Tick staggeredStart(Tick now, std::size_t index,
+                    Tick ramp_interval);
+
+/**
+ * Open-loop Poisson submission: the whole dataset is scheduled up
+ * front with exponential inter-arrival gaps at `rate` requests per
+ * second, independent of service progress. Equivalent to a
+ * constant RateSchedule (and implemented as one).
+ */
+void submitPoissonArrivals(const Dataset &dataset, RequestSink &sink,
+                           double rate_per_second,
+                           std::uint64_t seed, Tick start = 0);
+
+/**
+ * Open-loop submission under a time-varying RateSchedule: a
+ * non-homogeneous Poisson process with piecewise-constant intensity.
+ * Within a segment, gaps are exponential at the segment's rate; a
+ * gap that crosses the segment boundary is re-drawn from the
+ * boundary (exact by memorylessness). Zero-rate segments are skipped
+ * to their end. Scheduling is done up front, like
+ * submitPoissonArrivals.
+ */
+void submitScheduledArrivals(const Dataset &dataset,
+                             RequestSink &sink,
+                             const RateSchedule &schedule,
+                             std::uint64_t seed, Tick start = 0);
+
+} // namespace workload
+} // namespace lightllm
+
+#endif // LIGHTLLM_WORKLOAD_ARRIVALS_HH

@@ -1,7 +1,7 @@
 #include "workload/client_pool.hh"
 
 #include "base/logging.hh"
-#include "base/rng.hh"
+#include "workload/arrivals.hh"
 
 namespace lightllm {
 namespace workload {
@@ -24,10 +24,8 @@ ClosedLoopClientPool::start(Tick now)
 {
     const std::size_t initial =
         std::min(numClients_, dataset_.requests.size());
-    for (std::size_t c = 0; c < initial; ++c) {
-        submitNext(now +
-                   static_cast<Tick>(c) * rampInterval_);
-    }
+    for (std::size_t c = 0; c < initial; ++c)
+        submitNext(staggeredStart(now, c, rampInterval_));
 }
 
 void
@@ -44,21 +42,6 @@ ClosedLoopClientPool::submitNext(Tick when)
     LIGHTLLM_ASSERT(!exhausted(), "no dataset requests left");
     sink_.submitAt(dataset_.requests[nextIndex_], when);
     ++nextIndex_;
-}
-
-void
-submitPoissonArrivals(const Dataset &dataset, RequestSink &sink,
-                      double rate_per_second, std::uint64_t seed,
-                      Tick start)
-{
-    LIGHTLLM_ASSERT(rate_per_second > 0.0,
-                    "arrival rate must be positive");
-    Rng rng(seed);
-    double now_seconds = ticksToSeconds(start);
-    for (const auto &spec : dataset.requests) {
-        now_seconds += rng.exponential(rate_per_second);
-        sink.submitAt(spec, secondsToTicks(now_seconds));
-    }
 }
 
 } // namespace workload

@@ -76,15 +76,6 @@ class ClosedLoopClientPool
     std::size_t nextIndex_ = 0;
 };
 
-/**
- * Open-loop Poisson submission: the whole dataset is scheduled up
- * front with exponential inter-arrival gaps at `rate` requests per
- * second, independent of service progress.
- */
-void submitPoissonArrivals(const Dataset &dataset, RequestSink &sink,
-                           double rate_per_second,
-                           std::uint64_t seed, Tick start = 0);
-
 } // namespace workload
 } // namespace lightllm
 

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "workload/arrivals.hh"
 
 namespace lightllm {
 namespace workload {
@@ -85,10 +86,8 @@ SessionGenerator::SessionGenerator(
 void
 SessionGenerator::start(Tick now)
 {
-    for (std::size_t s = 0; s < sessions_.size(); ++s) {
-        submitTurn(s, now + static_cast<Tick>(s) *
-                          config_.rampInterval);
-    }
+    for (std::size_t s = 0; s < sessions_.size(); ++s)
+        submitTurn(s, staggeredStart(now, s, config_.rampInterval));
 }
 
 void

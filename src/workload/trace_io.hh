@@ -41,6 +41,30 @@ Trace readTraceCsvFile(const std::string &path);
 Dataset traceToDataset(const Trace &trace,
                        TokenCount max_new_tokens);
 
+/**
+ * Write a dataset as CSV with the full RequestSpec: header
+ * `id,input_len,output_len,max_new_tokens,priority,session_key,
+ * output_key,segments`, one row per request. The content-identity
+ * fields added with the shared-prefix subsystem round-trip exactly:
+ * keys are hexadecimal, and `segments` is a `key:len` list joined
+ * by '|' (empty for content-less requests).
+ */
+void writeDatasetCsv(std::ostream &os, const Dataset &dataset);
+
+/** writeDatasetCsv to a file; fatal() on I/O failure. */
+void writeDatasetCsvFile(const std::string &path,
+                         const Dataset &dataset);
+
+/**
+ * Parse a dataset CSV; fatal() on malformed content. The dataset's
+ * name is `name`; its generation cap is the maximum per-request
+ * max_new_tokens (0 for an empty dataset).
+ */
+Dataset readDatasetCsv(std::istream &is, const std::string &name);
+
+/** Read a dataset CSV from a file; fatal() on I/O failure. */
+Dataset readDatasetCsvFile(const std::string &path);
+
 } // namespace workload
 } // namespace lightllm
 

@@ -309,6 +309,140 @@ TEST(CliAssemble, QueuePolicyAndPriorityMixWireThrough)
     }
 }
 
+TEST(CliParse, AutoscaleFlagValidation)
+{
+    cli::CliOptions options;
+    EXPECT_EQ(parse({"--autoscale", "--instances", "2",
+                     "--min-instances", "1", "--max-instances",
+                     "4", "--provision-delay", "5",
+                     "--scale-policy", "reactive",
+                     "--scale-slo-target", "0.95",
+                     "--shed-policy", "overload",
+                     "--rate-schedule", "spike:4,20,30,10"},
+                    options),
+              "");
+    EXPECT_TRUE(options.autoscale);
+    EXPECT_EQ(options.maxInstances, 4u);
+    EXPECT_DOUBLE_EQ(options.scaleSloTarget, 0.95);
+
+    options = {};
+    EXPECT_NE(parse({"--autoscale", "--min-instances", "4",
+                     "--max-instances", "2"},
+                    options),
+              "");
+    options = {};
+    // Initial fleet outside [min, max].
+    EXPECT_NE(parse({"--autoscale", "--instances", "9",
+                     "--max-instances", "4"},
+                    options),
+              "");
+    options = {};
+    EXPECT_NE(parse({"--autoscale", "--scale-slo-target", "1.5"},
+                    options),
+              "");
+    options = {};
+    // Shedding guards the autoscaler's max scale.
+    EXPECT_NE(parse({"--shed-policy", "overload"}, options), "");
+    options = {};
+    // Run limits stay single-instance only.
+    EXPECT_NE(parse({"--autoscale", "--max-requests", "10"},
+                    options),
+              "");
+    options = {};
+    // A schedule fixes the arrival process; --rate conflicts.
+    EXPECT_NE(parse({"--rate-schedule", "const:5", "--rate", "2"},
+                    options),
+              "");
+    options = {};
+    // Sessions are closed-loop.
+    EXPECT_NE(parse({"--sessions", "4", "--rate-schedule",
+                     "const:5"},
+                    options),
+              "");
+    options = {};
+    // A rate schedule is open-loop: --clients 0 is fine, exactly
+    // as with --rate.
+    EXPECT_EQ(parse({"--rate-schedule", "const:5", "--clients",
+                     "0"},
+                    options),
+              "");
+    options = {};
+    // Shed requests get no completion: closed-loop drivers would
+    // stall on them, so shedding requires open-loop load.
+    EXPECT_NE(parse({"--autoscale", "--shed-policy", "overload"},
+                    options),
+              "");
+    options = {};
+    EXPECT_EQ(parse({"--autoscale", "--shed-policy", "overload",
+                     "--rate", "5"},
+                    options),
+              "");
+}
+
+TEST(CliAssemble, AutoscaleScenarioWiresThrough)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--autoscale", "--instances", "1",
+                     "--max-instances", "3", "--provision-delay",
+                     "2.5", "--scale-policy", "predictive",
+                     "--scale-slo-target", "0.85",
+                     "--shed-policy", "overload",
+                     "--rate-schedule", "steps:5x10,9"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+    EXPECT_TRUE(scenario.autoscale);
+    EXPECT_EQ(scenario.scalePolicyName, "predictive");
+    EXPECT_EQ(scenario.autoscaleConfig.maxInstances, 3u);
+    EXPECT_EQ(scenario.autoscaleConfig.provisionDelay,
+              secondsToTicks(2.5));
+    EXPECT_DOUBLE_EQ(scenario.autoscaleConfig.sloTarget, 0.85);
+    EXPECT_EQ(scenario.autoscaleConfig.shedPolicy,
+              autoscale::ShedPolicy::Overload);
+    EXPECT_EQ(scenario.autoscaleConfig.sla.ttftLimit,
+              scenario.sla.ttftLimit);
+    // Autoscale forces the cluster path, even from one instance.
+    EXPECT_EQ(scenario.fleetPerfs.size(), 1u);
+    ASSERT_TRUE(scenario.hasRateSchedule);
+    EXPECT_DOUBLE_EQ(scenario.rateSchedule.rateAt(12.0), 9.0);
+
+    options.scalePolicy = "psychic";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+    options.scalePolicy = "predictive";
+    options.rateSchedule = "spike:bogus";
+    EXPECT_THROW(cli::assembleScenario(options),
+                 std::invalid_argument);
+}
+
+TEST(CliRun, TinyAutoscaleScenarioEndToEnd)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--autoscale", "--instances", "1",
+                     "--max-instances", "2", "--provision-delay",
+                     "1", "--workload", "dist1", "--requests",
+                     "32", "--rate-schedule", "const:8",
+                     "--format", "json"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+    const metrics::RunReport report = cli::runScenario(scenario);
+    EXPECT_EQ(static_cast<std::int64_t>(report.numFinished) +
+                  report.shedRequests,
+              32);
+    EXPECT_GE(report.peakInstances, 1u);
+    EXPECT_GT(report.instanceSeconds, 0.0);
+
+    std::ostringstream out;
+    cli::emitReport(out, options, scenario, report);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"shed_rate\""), std::string::npos);
+    EXPECT_NE(text.find("\"instance_seconds\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"p50_ttft_s\""), std::string::npos);
+    EXPECT_NE(text.find("\"p90_mtpot_s\""), std::string::npos);
+}
+
 TEST(CliRun, TinyScenarioEndToEnd)
 {
     cli::CliOptions options;

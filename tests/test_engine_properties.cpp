@@ -15,6 +15,7 @@
 #include "engine/serving_engine.hh"
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
+#include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
 #include "workload/datasets.hh"
 

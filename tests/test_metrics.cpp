@@ -191,6 +191,89 @@ TEST(RunReportTest, P99UsesNearestRank)
     EXPECT_DOUBLE_EQ(report.p99TtftSeconds(), 99.0);
 }
 
+TEST(RunReportTest, PercentileFamilyIsConsistent)
+{
+    RunReport report;
+    report.makespan = 1;
+    for (int i = 1; i <= 100; ++i) {
+        report.requests.push_back(record(
+            0, secondsToTicks(static_cast<double>(i)),
+            secondsToTicks(200.0),
+            secondsToTicks(static_cast<double>(i) / 10.0), 1));
+    }
+    EXPECT_DOUBLE_EQ(report.p50TtftSeconds(), 50.0);
+    EXPECT_DOUBLE_EQ(report.p90TtftSeconds(), 90.0);
+    EXPECT_DOUBLE_EQ(report.p99TtftSeconds(), 99.0);
+    EXPECT_DOUBLE_EQ(report.p50MtpotSeconds(), 5.0);
+    EXPECT_DOUBLE_EQ(report.p90MtpotSeconds(), 9.0);
+    EXPECT_DOUBLE_EQ(report.p99MtpotSeconds(), 9.9);
+    EXPECT_LE(report.p50TtftSeconds(), report.p90TtftSeconds());
+    EXPECT_LE(report.p90TtftSeconds(), report.p99TtftSeconds());
+}
+
+TEST(RunReportTest, TtftAttainmentIgnoresMtpot)
+{
+    const auto sla = SlaSpec::small7b13b();
+    RunReport report;
+    // TTFT fine, MTPOT violated: attains TTFT, not the full SLA.
+    report.requests.push_back(record(0, secondsToTicks(1.0),
+                                     secondsToTicks(30.0),
+                                     secondsToTicks(9.0), 10));
+    // TTFT violated.
+    report.requests.push_back(record(0, secondsToTicks(11.0),
+                                     secondsToTicks(30.0),
+                                     secondsToTicks(0.1), 10));
+    EXPECT_DOUBLE_EQ(report.ttftAttainment(sla), 0.5);
+    EXPECT_DOUBLE_EQ(report.slaCompliantFraction(sla), 0.0);
+}
+
+TEST(RunReportTest, ShedRateOverOfferedRequests)
+{
+    RunReport report;
+    EXPECT_DOUBLE_EQ(report.shedRate(), 0.0);
+    report.offeredRequests = 200;
+    report.shedRequests = 50;
+    EXPECT_DOUBLE_EQ(report.shedRate(), 0.25);
+}
+
+TEST(RunReportTest, MergePreservesPercentilesAndFleetCounters)
+{
+    RunReport a;
+    a.numFinished = 1;
+    a.makespan = secondsToTicks(10.0);
+    a.shedRequests = 2;
+    a.offeredRequests = 10;
+    a.instanceSeconds = 30.0;
+    a.scaleUpEvents = 1;
+    a.peakInstances = 3;
+    a.requests.push_back(record(0, secondsToTicks(1.0),
+                                secondsToTicks(5.0),
+                                secondsToTicks(0.2), 10));
+    RunReport b;
+    b.numFinished = 1;
+    b.makespan = secondsToTicks(8.0);
+    b.shedRequests = 1;
+    b.offeredRequests = 5;
+    b.instanceSeconds = 12.5;
+    b.scaleDownEvents = 2;
+    b.peakInstances = 2;
+    b.requests.push_back(record(0, secondsToTicks(3.0),
+                                secondsToTicks(5.0),
+                                secondsToTicks(0.4), 10));
+
+    const auto merged = mergeReports({a, b}, "fleet");
+    // Percentiles come from the concatenated records, so cluster
+    // reports expose the same p50/p90 family as engines.
+    EXPECT_DOUBLE_EQ(merged.p50TtftSeconds(), 1.0);
+    EXPECT_DOUBLE_EQ(merged.p90TtftSeconds(), 3.0);
+    EXPECT_EQ(merged.shedRequests, 3);
+    EXPECT_EQ(merged.offeredRequests, 15);
+    EXPECT_DOUBLE_EQ(merged.instanceSeconds, 42.5);
+    EXPECT_EQ(merged.scaleUpEvents, 1);
+    EXPECT_EQ(merged.scaleDownEvents, 2);
+    EXPECT_EQ(merged.peakInstances, 3u);
+}
+
 TEST(RunReportTest, SummaryMentionsKeyNumbers)
 {
     auto report = twoRequestReport();

@@ -12,9 +12,12 @@
 
 #include "base/rng.hh"
 #include "stats/window_analysis.hh"
+#include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
 #include "workload/datasets.hh"
 #include "workload/length_sampler.hh"
+#include "workload/rate_schedule.hh"
+#include "workload/session_gen.hh"
 #include "workload/trace_gen.hh"
 #include "workload/trace_io.hh"
 
@@ -393,6 +396,221 @@ TEST(PoissonArrivalsTest, MonotoneAndRateMatched)
     // 4000 arrivals at 10 req/s: makespan near 400 s.
     EXPECT_NEAR(ticksToSeconds(sink.submissions.back().second),
                 400.0, 30.0);
+}
+
+TEST(DatasetIoTest, CsvRoundTripPreservesEverySpecField)
+{
+    // Session turns carry every RequestSpec field the shared-prefix
+    // subsystem added: segments, outputKey, sessionKey.
+    SessionWorkloadConfig config;
+    config.numSessions = 4;
+    config.turnsPerSession = 3;
+    config.seed = 7;
+    RecordingSink ignore;
+    SessionGenerator sessions(config, ignore);
+
+    Dataset dataset;
+    dataset.name = "sessions";
+    dataset.maxNewTokens = config.maxNewTokens;
+    for (std::size_t s = 0; s < config.numSessions; ++s) {
+        for (std::size_t t = 0; t < config.turnsPerSession; ++t)
+            dataset.requests.push_back(sessions.turnSpec(s, t));
+    }
+    dataset.requests[1].priority = 2;
+
+    std::stringstream buffer;
+    writeDatasetCsv(buffer, dataset);
+    const Dataset loaded = readDatasetCsv(buffer, "sessions");
+
+    ASSERT_EQ(loaded.requests.size(), dataset.requests.size());
+    EXPECT_EQ(loaded.maxNewTokens, dataset.maxNewTokens);
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+        const RequestSpec &expected = dataset.requests[i];
+        const RequestSpec &actual = loaded.requests[i];
+        EXPECT_EQ(actual.id, expected.id);
+        EXPECT_EQ(actual.inputLen, expected.inputLen);
+        EXPECT_EQ(actual.outputLen, expected.outputLen);
+        EXPECT_EQ(actual.maxNewTokens, expected.maxNewTokens);
+        EXPECT_EQ(actual.priority, expected.priority);
+        EXPECT_EQ(actual.sessionKey, expected.sessionKey);
+        EXPECT_EQ(actual.outputKey, expected.outputKey);
+        ASSERT_EQ(actual.segments.size(),
+                  expected.segments.size());
+        for (std::size_t j = 0; j < expected.segments.size();
+             ++j) {
+            EXPECT_EQ(actual.segments[j].key,
+                      expected.segments[j].key);
+            EXPECT_EQ(actual.segments[j].len,
+                      expected.segments[j].len);
+        }
+    }
+}
+
+TEST(DatasetIoTest, CsvRoundTripPlainDatasetAndFile)
+{
+    auto dataset = makeShareGpt(64, 11);
+    assignPriorityMix(dataset, std::vector<double>{0.7, 0.3}, 5);
+    const auto path = std::filesystem::temp_directory_path() /
+        "lightllm_dataset_test.csv";
+    writeDatasetCsvFile(path.string(), dataset);
+    const Dataset loaded = readDatasetCsvFile(path.string());
+    std::filesystem::remove(path);
+
+    ASSERT_EQ(loaded.requests.size(), dataset.requests.size());
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+        EXPECT_EQ(loaded.requests[i].inputLen,
+                  dataset.requests[i].inputLen);
+        EXPECT_EQ(loaded.requests[i].priority,
+                  dataset.requests[i].priority);
+        EXPECT_TRUE(loaded.requests[i].segments.empty());
+    }
+}
+
+TEST(DatasetIoDeathTest, MalformedDatasetRowsAreFatal)
+{
+    std::stringstream missing("1,2,3\n");
+    EXPECT_EXIT(readDatasetCsv(missing, "bad"),
+                ::testing::ExitedWithCode(1), "expected 8 fields");
+    std::stringstream segment(
+        "0,10,20,100,0,0,0,deadbeef-512\n");
+    EXPECT_EXIT(readDatasetCsv(segment, "bad"),
+                ::testing::ExitedWithCode(1), "segment");
+}
+
+TEST(RateScheduleTest, SpikeShapeAndRateAt)
+{
+    const auto schedule = RateSchedule::spike(4.0, 20.0, 30.0,
+                                              10.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(29.9), 4.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(30.0), 20.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(39.9), 20.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(40.0), 4.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(1e6), 4.0);
+    EXPECT_DOUBLE_EQ(schedule.maxRate(), 20.0);
+}
+
+TEST(RateScheduleTest, StepsGetImplicitOpenEndedTail)
+{
+    const auto schedule = RateSchedule::steps(
+        {RateSegment{2.0, 10.0}, RateSegment{6.0, 5.0}});
+    EXPECT_DOUBLE_EQ(schedule.rateAt(12.0), 6.0);
+    // The final closed segment's rate holds forever.
+    EXPECT_DOUBLE_EQ(schedule.rateAt(1e9), 6.0);
+    EXPECT_EQ(schedule.segments().size(), 3u);
+}
+
+TEST(RateScheduleTest, DiurnalClampsNegativeRates)
+{
+    const auto schedule =
+        RateSchedule::diurnal(1.0, 5.0, 100.0, 8, 2);
+    for (const RateSegment &segment : schedule.segments())
+        EXPECT_GE(segment.ratePerSecond, 0.0);
+    // 8 steps x 2 cycles + open-ended tail at base.
+    EXPECT_EQ(schedule.segments().size(), 17u);
+    EXPECT_DOUBLE_EQ(schedule.segments().back().ratePerSecond,
+                     1.0);
+}
+
+TEST(RateScheduleTest, ParseAllKindsAndErrors)
+{
+    RateSchedule schedule = RateSchedule::constant(1.0);
+    std::string error;
+    EXPECT_TRUE(parseRateSchedule("const:5.5", schedule, error));
+    EXPECT_DOUBLE_EQ(schedule.rateAt(0.0), 5.5);
+
+    EXPECT_TRUE(
+        parseRateSchedule("steps:4x30,20x10,4", schedule, error));
+    EXPECT_DOUBLE_EQ(schedule.rateAt(35.0), 20.0);
+    EXPECT_DOUBLE_EQ(schedule.rateAt(100.0), 4.0);
+
+    EXPECT_TRUE(
+        parseRateSchedule("spike:4,20,30,10", schedule, error));
+    EXPECT_DOUBLE_EQ(schedule.rateAt(31.0), 20.0);
+
+    EXPECT_TRUE(
+        parseRateSchedule("diurnal:2,1,60,12", schedule, error));
+    EXPECT_GT(schedule.rateAt(15.0), 2.0);  // first half peak
+
+    EXPECT_FALSE(parseRateSchedule("5", schedule, error));
+    EXPECT_FALSE(parseRateSchedule("const:0", schedule, error));
+    EXPECT_FALSE(parseRateSchedule("const:-3", schedule, error));
+    EXPECT_FALSE(
+        parseRateSchedule("steps:4,20x10", schedule, error));
+    EXPECT_FALSE(parseRateSchedule("spike:4,20,30", schedule,
+                                   error));
+    EXPECT_FALSE(parseRateSchedule("wave:1,2", schedule, error));
+    // A zero final rate (timed or open-ended) could never drain a
+    // finite dataset: clean parse error, not a panic or a hang.
+    EXPECT_FALSE(
+        parseRateSchedule("steps:5x10,0x10", schedule, error));
+    EXPECT_FALSE(parseRateSchedule("steps:5x10,0", schedule,
+                                   error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(RateScheduleTest, ConstantMatchesPoissonBitExactly)
+{
+    // submitPoissonArrivals is now a constant RateSchedule: the
+    // arrival ticks must be identical draw for draw.
+    const auto dataset = makeDistribution1(500, 33);
+    RecordingSink legacy;
+    submitPoissonArrivals(dataset, legacy, 7.5, 99);
+    RecordingSink scheduled;
+    submitScheduledArrivals(dataset, scheduled,
+                            RateSchedule::constant(7.5), 99);
+    ASSERT_EQ(legacy.submissions.size(),
+              scheduled.submissions.size());
+    for (std::size_t i = 0; i < legacy.submissions.size(); ++i)
+        EXPECT_EQ(legacy.submissions[i], scheduled.submissions[i]);
+}
+
+TEST(RateScheduleTest, SpikeConcentratesArrivals)
+{
+    const auto dataset = makeDistribution1(4000, 5);
+    RecordingSink sink;
+    submitScheduledArrivals(
+        dataset, sink, RateSchedule::spike(2.0, 40.0, 50.0, 50.0),
+        123);
+    ASSERT_EQ(sink.submissions.size(), 4000u);
+    std::size_t before = 0, during = 0;
+    Tick prev = -1;
+    for (const auto &[id, tick] : sink.submissions) {
+        EXPECT_GE(tick, prev);
+        prev = tick;
+        const double seconds = ticksToSeconds(tick);
+        if (seconds < 50.0)
+            ++before;
+        else if (seconds < 100.0)
+            ++during;
+    }
+    // ~100 arrivals in the 2/s prelude, ~2000 in the 40/s spike.
+    EXPECT_NEAR(static_cast<double>(before), 100.0, 40.0);
+    EXPECT_NEAR(static_cast<double>(during), 2000.0, 200.0);
+}
+
+TEST(RateScheduleTest, ZeroRateSegmentPausesArrivals)
+{
+    const auto dataset = makeDistribution1(200, 6);
+    RecordingSink sink;
+    submitScheduledArrivals(
+        dataset, sink,
+        RateSchedule::steps({RateSegment{5.0, 10.0},
+                             RateSegment{0.0, 20.0},
+                             RateSegment{5.0, 0.0}}),
+        7);
+    for (const auto &[id, tick] : sink.submissions) {
+        const double seconds = ticksToSeconds(tick);
+        EXPECT_FALSE(seconds >= 10.0 && seconds < 30.0)
+            << "arrival inside the dead window at " << seconds;
+    }
+}
+
+TEST(ArrivalsTest, StaggeredStartArithmetic)
+{
+    EXPECT_EQ(staggeredStart(100, 0, 7), 100);
+    EXPECT_EQ(staggeredStart(100, 3, 7), 121);
+    EXPECT_EQ(staggeredStart(0, 5, 0), 0);
 }
 
 } // namespace

@@ -11,10 +11,12 @@
 #include <utility>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/str_util.hh"
 #include "base/table.hh"
 #include "engine/serving_engine.hh"
 #include "metrics/report_io.hh"
+#include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
 #include "workload/trace_gen.hh"
 
@@ -272,7 +274,8 @@ makeEngineConfig(const CliOptions &options)
 }
 
 /** Flags taking no value. */
-constexpr const char *kBooleanFlags[] = {"--split-fuse", "--help"};
+constexpr const char *kBooleanFlags[] = {"--autoscale",
+                                         "--split-fuse", "--help"};
 
 /**
  * Bindings of every valued flag to its slot in `options`. Shared by
@@ -346,6 +349,15 @@ valuedFlagBindings(CliOptions &options)
     valued["--routing"] = bind_string(options.routing);
     valued["--platform-mix"] = bind_string(options.platformMix);
     valued["--drain-at"] = bind_double(options.drainAtSeconds);
+    valued["--min-instances"] = bind_size(options.minInstances);
+    valued["--max-instances"] = bind_size(options.maxInstances);
+    valued["--provision-delay"] =
+        bind_double(options.provisionDelaySeconds);
+    valued["--scale-policy"] = bind_string(options.scalePolicy);
+    valued["--scale-slo-target"] =
+        bind_double(options.scaleSloTarget);
+    valued["--shed-policy"] = bind_string(options.shedPolicy);
+    valued["--rate-schedule"] = bind_string(options.rateSchedule);
     valued["--ttft-limit"] = bind_double(options.ttftLimitSeconds);
     valued["--mtpot-limit"] = bind_double(options.mtpotLimitSeconds);
     valued["--block-size"] = [&options](const std::string &value) {
@@ -399,6 +411,10 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
             options.splitFuse = true;
             continue;
         }
+        if (arg == "--autoscale") {
+            options.autoscale = true;
+            continue;
+        }
 
         // Accept both "--flag value" and "--flag=value".
         std::string value;
@@ -431,13 +447,54 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
         if (options.poissonRate > 0.0)
             return "--rate is open-loop; the session workload is "
                    "closed-loop by construction";
+        if (!options.rateSchedule.empty())
+            return "--rate-schedule is open-loop; the session "
+                   "workload is closed-loop by construction";
         if (!options.priorityMix.empty())
             return "--priority-mix applies to dataset workloads, "
                    "not --sessions";
     }
+    if (!options.rateSchedule.empty() && options.poissonRate > 0.0)
+        return "--rate and --rate-schedule are exclusive (a "
+               "schedule already fixes the arrival process)";
+    if (options.autoscale) {
+        if (options.minInstances == 0)
+            return "--min-instances must be at least 1";
+        if (options.minInstances > options.maxInstances)
+            return "--min-instances exceeds --max-instances";
+        if (options.instances < options.minInstances ||
+            options.instances > options.maxInstances)
+            return "--instances must start inside "
+                   "[--min-instances, --max-instances]";
+        if (options.provisionDelaySeconds < 0.0)
+            return "--provision-delay must be non-negative";
+        if (options.scaleSloTarget <= 0.0 ||
+            options.scaleSloTarget > 1.0)
+            return "--scale-slo-target must be in (0, 1]";
+        if (options.maxFinishedRequests > 0 ||
+            options.maxSimSeconds > 0.0)
+            return "run limits (--max-requests/--max-seconds) are "
+                   "single-instance only; --autoscale runs a "
+                   "cluster";
+        if (options.drainAtSeconds > 0.0)
+            return "--drain-at composes with static fleets; "
+                   "--autoscale manages drains itself";
+        if (options.shedPolicy != "never" &&
+            options.poissonRate <= 0.0 &&
+            options.rateSchedule.empty()) {
+            return "--shed-policy overload needs open-loop load "
+                   "(--rate or --rate-schedule): a shed request "
+                   "gets no completion, so closed-loop clients "
+                   "and sessions would stall on it";
+        }
+    } else if (options.shedPolicy != "never") {
+        return "--shed-policy needs --autoscale (shedding guards "
+               "the fleet's max scale)";
+    }
     if (options.requests == 0)
         return "--requests must be positive";
-    if (options.clients == 0 && options.poissonRate <= 0.0)
+    if (options.clients == 0 && options.poissonRate <= 0.0 &&
+        options.rateSchedule.empty())
         return "--clients must be positive in closed-loop mode";
     if (options.thinkSeconds < 0.0)
         return "--think-time must be non-negative";
@@ -460,9 +517,11 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
     if (!options.platformMix.empty() && options.instances < 2)
         return "--platform-mix needs --instances >= 2 (use "
                "--hardware for a single instance)";
-    if (!options.routing.empty() && options.instances < 2)
-        return "--routing needs --instances >= 2 (a single "
-               "instance has nothing to route across)";
+    if (!options.routing.empty() && options.instances < 2 &&
+        !options.autoscale)
+        return "--routing needs --instances >= 2 or --autoscale "
+               "(a single static instance has nothing to route "
+               "across)";
     return "";
 }
 
@@ -481,6 +540,12 @@ printCliUsage(std::ostream &os)
         "  --clients N         closed-loop client count (default 32)\n"
         "  --rate R            open-loop Poisson arrivals/sec\n"
         "                      (overrides closed loop)\n"
+        "  --rate-schedule S   open-loop time-varying arrivals:\n"
+        "                      const:R | steps:RxS,... |\n"
+        "                      spike:BASE,PEAK,AT,DUR |\n"
+        "                      diurnal:BASE,AMP,PERIOD[,STEPS\n"
+        "                      [,CYCLES]] (seconds; exclusive\n"
+        "                      with --rate)\n"
         "  --think-time S      closed-loop (and per-turn session)\n"
         "                      think time, seconds\n"
         "\n"
@@ -523,6 +588,27 @@ printCliUsage(std::ostream &os)
         "  --drain-at S        drain instance 0 after S simulated\n"
         "                      seconds; its queued requests\n"
         "                      re-dispatch through the router\n"
+        "\n"
+        "Elastic autoscaling (SLA -> capacity control loop):\n"
+        "  --autoscale         close the loop: provision/retire\n"
+        "                      instances from SLO attainment and\n"
+        "                      fleet-wide future-memory forecasts\n"
+        "                      (works from --instances 1 up)\n"
+        "  --min-instances N   scale-down floor (default 1)\n"
+        "  --max-instances N   scale-up ceiling (default 8)\n"
+        "  --provision-delay S cold-start delay before a new\n"
+        "                      instance joins the router (10)\n"
+        "  --scale-policy P    reactive (threshold+hysteresis on\n"
+        "                      observed attainment) | predictive\n"
+        "                      (fleet-wide future-memory forecast,\n"
+        "                      the default)\n"
+        "  --scale-slo-target F attainment target in (0, 1]\n"
+        "                      (default 0.9)\n"
+        "  --shed-policy P     never (default) | overload: at max\n"
+        "                      scale, reject arrivals that would\n"
+        "                      push outstanding work past the\n"
+        "                      shed bound instead of queueing\n"
+        "                      without limit\n"
         "\n"
         "SLA (defaults follow the paper, by model size):\n"
         "  --ttft-limit S      TTFT limit, seconds\n"
@@ -626,7 +712,49 @@ assembleScenario(const CliOptions &options)
         {},
         cluster::RoutingPolicy::FutureMemory,
         0,
+        false,
+        workload::RateSchedule::constant(1.0),
+        false,
+        {},
+        {},
     };
+
+    if (!options.rateSchedule.empty()) {
+        std::string error;
+        if (!workload::parseRateSchedule(options.rateSchedule,
+                                         scenario.rateSchedule,
+                                         error)) {
+            throw std::invalid_argument("bad --rate-schedule: " +
+                                        error);
+        }
+        scenario.hasRateSchedule = true;
+    }
+
+    if (options.autoscale) {
+        scenario.autoscale = true;
+        autoscale::AutoscaleConfig &config =
+            scenario.autoscaleConfig;
+        config.minInstances = options.minInstances;
+        config.maxInstances = options.maxInstances;
+        config.provisionDelay =
+            secondsToTicks(options.provisionDelaySeconds);
+        config.sloTarget = options.scaleSloTarget;
+        config.sla = sla;
+        if (!autoscale::parseShedPolicy(options.shedPolicy,
+                                        config.shedPolicy)) {
+            throw std::invalid_argument("unknown shed policy: " +
+                                        options.shedPolicy);
+        }
+        // Validate the policy name here so a typo fails before the
+        // simulation, not inside it.
+        if (autoscale::makeScalePolicy(options.scalePolicy,
+                                       config.sloTarget) ==
+            nullptr) {
+            throw std::invalid_argument("unknown scale policy: " +
+                                        options.scalePolicy);
+        }
+        scenario.scalePolicyName = options.scalePolicy;
+    }
 
     if (!options.routing.empty() &&
         !cluster::parseRoutingPolicy(options.routing,
@@ -634,7 +762,7 @@ assembleScenario(const CliOptions &options)
         throw std::invalid_argument("unknown routing policy: " +
                                     options.routing);
     }
-    if (options.instances > 1) {
+    if (options.instances > 1 || options.autoscale) {
         // Guarded in parseCliArgs for the CLI; repeated here so
         // programmatic callers cannot assemble a fleet whose run
         // limits would be silently ignored.
@@ -689,6 +817,13 @@ runScenario(const Scenario &scenario)
             return engine.run(scenario.limits);
         }
 
+        if (scenario.hasRateSchedule) {
+            workload::submitScheduledArrivals(
+                scenario.dataset, engine, scenario.rateSchedule,
+                scenario.seed);
+            return engine.run(scenario.limits);
+        }
+
         if (scenario.poissonRate > 0.0) {
             workload::submitPoissonArrivals(scenario.dataset,
                                             engine,
@@ -723,6 +858,26 @@ runScenario(const Scenario &scenario)
     if (scenario.drainAt > 0)
         fleet.scheduleDrain(0, scenario.drainAt);
 
+    if (scenario.autoscale) {
+        // Provisioned instances are clones of the base platform
+        // (--hardware), sharing the scenario's scheduler + engine
+        // configuration.
+        fleet.setInstanceFactory([&scenario]() {
+            return std::make_unique<engine::ServingEngine>(
+                scenario.perf,
+                core::makeSchedulingPolicy(
+                    scenario.schedulerConfig),
+                scenario.engineConfig);
+        });
+        auto policy = autoscale::makeScalePolicy(
+            scenario.scalePolicyName,
+            scenario.autoscaleConfig.sloTarget);
+        LIGHTLLM_ASSERT(policy != nullptr,
+                        "scale policy validated at assembly");
+        fleet.enableAutoscale(scenario.autoscaleConfig,
+                              std::move(policy));
+    }
+
     if (scenario.sessionMode) {
         workload::SessionGenerator sessions(
             scenario.sessionConfig, fleet);
@@ -731,6 +886,13 @@ runScenario(const Scenario &scenario)
                 sessions.onRequestFinished(spec.id, tick);
             });
         sessions.start();
+        return fleet.run();
+    }
+
+    if (scenario.hasRateSchedule) {
+        workload::submitScheduledArrivals(scenario.dataset, fleet,
+                                          scenario.rateSchedule,
+                                          scenario.seed);
         return fleet.run();
     }
 
@@ -779,8 +941,16 @@ emitReport(std::ostream &os, const CliOptions &options,
                           report.slaCompliantFraction(sla))});
         table.addRow({"mean_ttft_s",
                       formatDouble(report.meanTtftSeconds(), 3)});
+        table.addRow({"p50_ttft_s",
+                      formatDouble(report.p50TtftSeconds(), 3)});
+        table.addRow({"p90_ttft_s",
+                      formatDouble(report.p90TtftSeconds(), 3)});
         table.addRow({"p99_ttft_s",
                       formatDouble(report.p99TtftSeconds(), 3)});
+        table.addRow({"p50_mtpot_s",
+                      formatDouble(report.p50MtpotSeconds(), 3)});
+        table.addRow({"p90_mtpot_s",
+                      formatDouble(report.p90MtpotSeconds(), 3)});
         table.addRow({"p99_mtpot_s",
                       formatDouble(report.p99MtpotSeconds(), 3)});
         table.addRow({"avg_batch_size",
@@ -794,6 +964,22 @@ emitReport(std::ostream &os, const CliOptions &options,
                           formatPercent(report.prefixHitRate())});
             table.addRow({"prefix_hit_tokens",
                           formatCount(report.prefixHitTokens)});
+        }
+        if (scenario.autoscale) {
+            table.addRow({"shed_requests",
+                          formatCount(report.shedRequests)});
+            table.addRow({"shed_rate",
+                          formatPercent(report.shedRate())});
+            table.addRow({"instance_seconds",
+                          formatDouble(report.instanceSeconds,
+                                       1)});
+            table.addRow({"peak_instances",
+                          formatCount(static_cast<std::int64_t>(
+                              report.peakInstances))});
+            table.addRow({"scale_up_events",
+                          formatCount(report.scaleUpEvents)});
+            table.addRow({"scale_down_events",
+                          formatCount(report.scaleDownEvents)});
         }
         table.print(os);
         os << report.summary(sla) << "\n";

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "autoscale/autoscaler.hh"
 #include "base/types.hh"
 #include "cluster/serving_cluster.hh"
 #include "core/scheduler_factory.hh"
@@ -26,6 +27,7 @@
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
 #include "workload/datasets.hh"
+#include "workload/rate_schedule.hh"
 #include "workload/session_gen.hh"
 
 namespace lightllm {
@@ -52,10 +54,16 @@ struct CliOptions
     std::string prefixCache = "off";
 
     // Load generation: closed-loop clients by default; a positive
-    // rate switches to open-loop Poisson arrivals.
+    // rate switches to open-loop Poisson arrivals, and a rate
+    // schedule to open-loop time-varying arrivals.
     std::size_t clients = 32;
     double poissonRate = 0.0;
     double thinkSeconds = 0.0;
+
+    /** Time-varying arrival schedule spec (see parseRateSchedule:
+     *  const:R | steps:... | spike:... | diurnal:...); empty keeps
+     *  the --rate / closed-loop behaviour. */
+    std::string rateSchedule;
 
     // Scheduler.
     std::string scheduler = "past_future";
@@ -92,6 +100,24 @@ struct CliOptions
     /** Drain instance 0 at this many simulated seconds (0 = never);
      *  its queued requests re-dispatch through the router. */
     double drainAtSeconds = 0.0;
+
+    // Elastic autoscaling (forces a cluster even at --instances 1).
+    bool autoscale = false;
+    std::size_t minInstances = 1;
+    std::size_t maxInstances = 8;
+
+    /** Cold-start delay of a provisioned instance, seconds. */
+    double provisionDelaySeconds = 10.0;
+
+    /** Scale policy name: "reactive" | "predictive". */
+    std::string scalePolicy = "predictive";
+
+    /** TTFT/MTPOT attainment target the controller defends. */
+    double scaleSloTarget = 0.9;
+
+    /** Overload admission control at max scale: "never" |
+     *  "overload" (see autoscale::ShedPolicy). */
+    std::string shedPolicy = "never";
 
     // SLA: 0 means "derive from model size" (paper defaults).
     double ttftLimitSeconds = 0.0;
@@ -164,6 +190,17 @@ struct Scenario
 
     /** Drain instance 0 at this tick (0 = never). */
     Tick drainAt = 0;
+
+    /** Open-loop time-varying arrivals when set. */
+    bool hasRateSchedule = false;
+    workload::RateSchedule rateSchedule =
+        workload::RateSchedule::constant(1.0);
+
+    /** Elastic autoscaling (cluster path, possibly from a fleet of
+     *  one). */
+    bool autoscale = false;
+    autoscale::AutoscaleConfig autoscaleConfig;
+    std::string scalePolicyName;
 };
 
 /**
