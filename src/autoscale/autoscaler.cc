@@ -1,6 +1,7 @@
 #include "autoscale/autoscaler.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "base/logging.hh"
@@ -89,6 +90,14 @@ bool
 AutoScaler::shouldShed(const FleetSnapshot &fleet,
                        TokenCount footprint) const
 {
+    return shouldShed(fleet, footprint, base::RequestClass{});
+}
+
+bool
+AutoScaler::shouldShed(const FleetSnapshot &fleet,
+                       TokenCount footprint,
+                       const base::RequestClass &cls) const
+{
     if (config_.shedPolicy != ShedPolicy::Overload)
         return false;
     // Shed only when no further capacity can possibly come: the
@@ -99,8 +108,65 @@ AutoScaler::shouldShed(const FleetSnapshot &fleet,
     }
     const double bound = config_.shedFactor *
         static_cast<double>(fleet.readyCapacityTokens());
-    return static_cast<double>(fleet.outstandingTokens() +
-                               footprint) > bound;
+    if (static_cast<double>(fleet.outstandingTokens() + footprint) <=
+        bound) {
+        return false;
+    }
+    if (config_.tenantShares.empty())
+        return true;  // tenant-blind legacy shedding
+
+    // Fairness-aware: reject only arrivals of tenants at or over
+    // their configured share of recent routed work, so the noisy
+    // neighbour absorbs the rejections while in-share tenants keep
+    // queueing. With no recorded usage yet there is no evidence of
+    // overuse — queue the arrival.
+    double total = 0.0;
+    for (const auto &[tenant, usage] : tenantUsage_)
+        total += decayedUsage(usage, fleet.now);
+    if (total <= 0.0)
+        return false;
+    const auto it = tenantUsage_.find(cls.tenant);
+    const double mine = it == tenantUsage_.end()
+        ? 0.0
+        : decayedUsage(it->second, fleet.now);
+    return mine / total >= tenantShare(cls.tenant);
+}
+
+void
+AutoScaler::noteRouted(const base::RequestClass &cls,
+                       TokenCount footprint, Tick now)
+{
+    TenantUsage &usage = tenantUsage_[cls.tenant];
+    usage.tokens = decayedUsage(usage, now) +
+        static_cast<double>(footprint);
+    usage.lastUpdate = now;
+}
+
+double
+AutoScaler::tenantShare(base::TenantId tenant) const
+{
+    const auto &shares = config_.tenantShares;
+    double total = 0.0;
+    for (double share : shares)
+        total += share;
+    if (total <= 0.0)
+        return 1.0;
+    if (tenant >= shares.size()) {
+        // Tenants beyond the vector get the mean share.
+        return 1.0 / static_cast<double>(shares.size());
+    }
+    return shares[tenant] / total;
+}
+
+double
+AutoScaler::decayedUsage(const TenantUsage &usage, Tick now) const
+{
+    if (now <= usage.lastUpdate)
+        return usage.tokens;
+    const double windows =
+        static_cast<double>(now - usage.lastUpdate) /
+        static_cast<double>(config_.monitorWindow);
+    return usage.tokens * std::exp(-windows);
 }
 
 } // namespace autoscale

@@ -25,9 +25,12 @@
 
 #include <memory>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "autoscale/scale_policy.hh"
 #include "autoscale/slo_monitor.hh"
+#include "base/request_class.hh"
 #include "base/types.hh"
 #include "metrics/sla.hh"
 
@@ -91,6 +94,26 @@ struct AutoscaleConfig
 
     /** Outstanding-to-capacity bound of ShedPolicy::Overload. */
     double shedFactor = 1.5;
+
+    /**
+     * Work stealing at provision-complete: a freshly warmed
+     * instance pulls up to this many queued (never-admitted)
+     * requests from the most-backlogged peer and re-routes them,
+     * so new capacity helps the existing backlog instead of only
+     * future arrivals. 0 = off (legacy).
+     */
+    std::size_t stealOnWarm = 0;
+
+    /**
+     * Per-tenant traffic shares (index = tenant id) making
+     * Overload shedding fairness-aware: under overload only
+     * arrivals from tenants at or over their share of recent
+     * routed work are rejected, so a noisy neighbour sheds first
+     * while in-share tenants keep queueing. Empty = tenant-blind
+     * legacy shedding. Tenants beyond the vector get the mean
+     * share.
+     */
+    std::vector<double> tenantShares;
 };
 
 /** Decision engine of the autoscaling control loop. */
@@ -114,10 +137,31 @@ class AutoScaler
 
     /**
      * Shed-or-queue decision for a new arrival whose predicted
-     * resident footprint is `footprint` tokens.
+     * resident footprint is `footprint` tokens. Tenant-blind:
+     * equivalent to the class-aware overload with a
+     * default-constructed RequestClass.
      */
     bool shouldShed(const FleetSnapshot &fleet,
                     TokenCount footprint) const;
+
+    /**
+     * Class-aware shed-or-queue decision. Under overload with
+     * configured tenantShares, only the tenants at or over their
+     * share of recent routed work are shed (most over share
+     * first); without shares every arrival sheds, the legacy
+     * behaviour.
+     */
+    bool shouldShed(const FleetSnapshot &fleet, TokenCount footprint,
+                    const base::RequestClass &cls) const;
+
+    /**
+     * Account `footprint` tokens of routed (non-shed) work for
+     * `cls`'s tenant — the recent-usage signal behind
+     * fairness-aware shedding. Usage decays exponentially with
+     * the monitor window as time constant.
+     */
+    void noteRouted(const base::RequestClass &cls,
+                    TokenCount footprint, Tick now);
 
     /** Windowed SLO summary ending at `now`. */
     SloStats sloStats(Tick now) { return monitor_.stats(now); }
@@ -127,10 +171,24 @@ class AutoScaler
     SloMonitor &monitor() { return monitor_; }
 
   private:
+    /** Exponentially decayed token usage of one tenant. */
+    struct TenantUsage
+    {
+        double tokens = 0.0;
+        Tick lastUpdate = 0;
+    };
+
+    /** Share of `tenant` under the configured tenantShares. */
+    double tenantShare(base::TenantId tenant) const;
+
+    /** `usage` decayed from its last update to `now`. */
+    double decayedUsage(const TenantUsage &usage, Tick now) const;
+
     AutoscaleConfig config_;
     std::unique_ptr<ScalePolicy> policy_;
     SloMonitor monitor_;
     Tick lastScaleDown_;
+    std::unordered_map<base::TenantId, TenantUsage> tenantUsage_;
 };
 
 } // namespace autoscale

@@ -7,13 +7,57 @@
 namespace lightllm {
 namespace core {
 
+namespace {
+
+/** Admission-order comparator behind every victim tie-break. */
 bool
-QueuePolicy::evictBefore(const RunningView &a, const RunningView &b,
-                         VictimOrder tie_break) const
+admitOrderEvictsBefore(const RunningView &a, const RunningView &b,
+                       VictimOrder tie_break)
 {
     return tie_break == VictimOrder::NewestFirst
         ? a.admitSeq > b.admitSeq
         : a.admitSeq < b.admitSeq;
+}
+
+/**
+ * Stable victim ranking over ctx.running: `before(a, b)` is the
+ * strict "evict a before b" relation. Stability keeps ties in
+ * batch order, so out.front() equals the first-minimal element a
+ * linear evictBefore scan would have picked.
+ */
+template <typename Before>
+void
+rankVictims(const SchedulerContext &ctx, Before before,
+            std::vector<RequestId> &out)
+{
+    std::vector<const RunningView *> ranked;
+    ranked.reserve(ctx.running.size());
+    for (const RunningView &view : ctx.running)
+        ranked.push_back(&view);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&before](const RunningView *a,
+                               const RunningView *b) {
+                         return before(*a, *b);
+                     });
+    out.clear();
+    out.reserve(ranked.size());
+    for (const RunningView *view : ranked)
+        out.push_back(view->id);
+}
+
+} // namespace
+
+void
+QueuePolicy::victimOrder(const SchedulerContext &ctx,
+                         VictimOrder tie_break,
+                         std::vector<RequestId> &out) const
+{
+    rankVictims(ctx,
+                [tie_break](const RunningView &a,
+                            const RunningView &b) {
+                    return admitOrderEvictsBefore(a, b, tie_break);
+                },
+                out);
 }
 
 void
@@ -163,7 +207,7 @@ class EdfQueuePolicy final : public QueuePolicy
     deadline(const WaitingView &view) const
     {
         const int shift =
-            std::clamp(view.priority, 0, kMaxBudgetShift);
+            std::clamp(view.cls.priority, 0, kMaxBudgetShift);
         return view.arrival + (ttftDeadline_ >> shift);
     }
 
@@ -189,19 +233,26 @@ class PriorityQueuePolicy final : public QueuePolicy
         identityOrder(ctx, out);
         std::stable_sort(out.begin(), out.end(),
                          [&ctx](std::size_t a, std::size_t b) {
-                             return ctx.waiting[a].priority >
-                                 ctx.waiting[b].priority;
+                             return ctx.waiting[a].cls.priority >
+                                 ctx.waiting[b].cls.priority;
                          });
     }
 
-    bool
-    evictBefore(const RunningView &a, const RunningView &b,
-                VictimOrder tie_break) const override
+    void
+    victimOrder(const SchedulerContext &ctx, VictimOrder tie_break,
+                std::vector<RequestId> &out) const override
     {
-        // Shield higher classes: evict the lowest priority first.
-        if (a.priority != b.priority)
-            return a.priority < b.priority;
-        return QueuePolicy::evictBefore(a, b, tie_break);
+        // Shield higher classes: evict the lowest priority first,
+        // admission order within a class.
+        rankVictims(ctx,
+                    [tie_break](const RunningView &a,
+                                const RunningView &b) {
+                        if (a.cls.priority != b.cls.priority)
+                            return a.cls.priority < b.cls.priority;
+                        return admitOrderEvictsBefore(a, b,
+                                                      tie_break);
+                    },
+                    out);
     }
 
     std::string

@@ -17,7 +17,7 @@
  *  - Priority: higher RequestSpec priority class first, FCFS within
  *    a class.
  *
- * A policy may also rank eviction victims (evictBefore); the
+ * A policy may also rank eviction victims (victimOrder); the
  * default reproduces the engine's admission-order LIFO/FIFO scan,
  * and the priority policy shields higher classes from eviction.
  */
@@ -94,13 +94,17 @@ class QueuePolicy
                        std::vector<std::size_t> &out) = 0;
 
     /**
-     * True when `a` should be evicted before `b` under memory
-     * pressure. The default ranks by admission order per
-     * `tie_break`; the priority policy ranks lower classes first.
+     * Fill `out` with the ids of ctx.running ranked most-evictable
+     * first (callers pass only evictable, i.e. non-prefilling,
+     * entries). The default ranks purely by admission order per
+     * `tie_break`; the priority policy shields higher classes.
+     * Ranking is stable over ctx.running order, so the front
+     * element is exactly the victim the historical first-minimal
+     * scan selected.
      */
-    virtual bool evictBefore(const RunningView &a,
-                             const RunningView &b,
-                             VictimOrder tie_break) const;
+    virtual void victimOrder(const SchedulerContext &ctx,
+                             VictimOrder tie_break,
+                             std::vector<RequestId> &out) const;
 
     /** Completion feed (the predicted-SJF past window). */
     virtual void onRequestFinished(RequestId id,

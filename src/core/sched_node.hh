@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Composable scheduler-node tree over the waiting queue.
+ *
+ * The flat pipeline orders ctx.waiting with one QueuePolicy; this
+ * tree composes orderings hierarchically, the mechanism ClickHouse
+ * uses for workload isolation (FairPolicy / UnifiedSchedulerNode).
+ * Inner nodes are disciplines, leaves hold requests:
+ *
+ *  - fair: weighted fair queueing over children by vruntime — each
+ *    pop charges the chosen child cost / weight, and the child with
+ *    the smallest virtual time runs next, so long-run service
+ *    shares converge to the weights under saturation;
+ *  - priority: strict ordering — a child is served only when every
+ *    higher-priority sibling has nothing eligible;
+ *  - throttler: token-bucket rate limit over the sim clock (credit
+ *    accrues at tokensPerSecond up to burstTokens; a candidate is
+ *    eligible only when credit covers its cost, and decode usage is
+ *    post-paid through accountUsage, driving credit negative);
+ *  - semaphore: at most maxInFlight admitted-but-unfinished
+ *    requests in the subtree;
+ *  - leaf: wraps a QueuePolicy, so fcfs / predicted-sjf / edf still
+ *    order requests *within* a tenant.
+ *
+ * A round is: beginRound(ctx), route each waiting index to its
+ * leaf (enqueue), then alternate peek / pop until the admission
+ * policy rejects. Cross-round accounting (finish tokens, in-flight
+ * release) is keyed by tenant and routed down the serving subtree.
+ */
+
+#ifndef LIGHTLLM_CORE_SCHED_NODE_HH
+#define LIGHTLLM_CORE_SCHED_NODE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/request_class.hh"
+#include "base/types.hh"
+#include "core/queue_policy.hh"
+#include "core/scheduler.hh"
+
+namespace lightllm {
+namespace core {
+
+/** Declarative description of one node (and its subtree). */
+struct SchedNodeConfig
+{
+    enum class Kind
+    {
+        Fair,
+        Priority,
+        Throttler,
+        Semaphore,
+        Leaf,
+    };
+
+    Kind kind = Kind::Leaf;
+
+    /** Report / debug label. */
+    std::string name = "node";
+
+    /** Service share under a fair parent (> 0). */
+    double weight = 1.0;
+
+    /** Rank under a priority parent (higher = served first). */
+    int priority = 0;
+
+    /** Throttler: sustained token rate (tokens/sec; must be > 0
+     *  for a throttler node). */
+    double tokensPerSecond = 0.0;
+
+    /** Throttler: bucket capacity (burst credit), tokens. */
+    TokenCount burstTokens = 0;
+
+    /** Semaphore: max admitted-but-unfinished requests (> 0). */
+    std::size_t maxInFlight = 0;
+
+    /** Leaf: the in-tenant ordering. */
+    QueuePolicyConfig queue;
+
+    /** Leaf: tenants routed to this leaf. Empty = catch-all. */
+    std::vector<base::TenantId> tenants;
+
+    /** Inner nodes: subtrees (leaves must have none). */
+    std::vector<SchedNodeConfig> children;
+};
+
+class LeafSchedNode;
+
+/** One node of the scheduler tree. */
+class SchedNode
+{
+  public:
+    explicit SchedNode(std::string name) : name_(std::move(name)) {}
+    virtual ~SchedNode() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Reset per-round state down the subtree. The context stays
+     *  alive for the whole round. */
+    virtual void beginRound(const SchedulerContext &ctx) = 0;
+
+    /**
+     * Report the next candidate of the subtree as an index into
+     * the round's ctx.waiting.
+     *
+     * @param force Ignore throttler credit and semaphore limits —
+     *        the idle force-admit backstop, which must always find
+     *        a candidate when any leaf is non-empty.
+     * @return false when the subtree is empty or gated.
+     */
+    virtual bool peek(Tick now, bool force, std::size_t &index) = 0;
+
+    /**
+     * Pop the candidate the immediately preceding peek() reported,
+     * charging `cost` tokens (its prefill footprint) to fair
+     * vruntimes and throttler buckets on the path.
+     */
+    virtual void pop(Tick now, TokenCount cost) = 0;
+
+    /** True when `tenant` routes into this subtree. */
+    virtual bool servesTenant(base::TenantId tenant) const = 0;
+
+    /**
+     * Charge `tokens` of completed service (decode output) for
+     * `tenant`: fair nodes advance the serving child's vruntime,
+     * throttlers post-pay the bucket (credit may go negative).
+     */
+    virtual void accountUsage(base::TenantId tenant,
+                              TokenCount tokens) = 0;
+
+    /** A request of `tenant` was admitted (semaphore acquire). */
+    virtual void onAdmitted(base::TenantId tenant) = 0;
+
+    /** A request of `tenant` finished or was evicted (release). */
+    virtual void onReleased(base::TenantId tenant) = 0;
+
+    /** Completion feed for leaf queue policies (SJF predictors). */
+    virtual void onRequestFinished(base::TenantId tenant,
+                                   RequestId id,
+                                   TokenCount output_len) = 0;
+
+    /** Collect the subtree's leaves in declaration order. */
+    virtual void collectLeaves(std::vector<LeafSchedNode *> &out) = 0;
+
+  private:
+    std::string name_;
+};
+
+/** Leaf: request holder ordered by a wrapped QueuePolicy. */
+class LeafSchedNode final : public SchedNode
+{
+  public:
+    LeafSchedNode(std::string name, const QueuePolicyConfig &queue,
+                  std::vector<base::TenantId> tenants);
+
+    /** Route one ctx.waiting index here for the current round. */
+    void enqueue(std::size_t index);
+
+    const std::vector<base::TenantId> &tenants() const
+    {
+        return tenants_;
+    }
+
+    void beginRound(const SchedulerContext &ctx) override;
+    bool peek(Tick now, bool force, std::size_t &index) override;
+    void pop(Tick now, TokenCount cost) override;
+    bool servesTenant(base::TenantId tenant) const override;
+    void accountUsage(base::TenantId tenant,
+                      TokenCount tokens) override;
+    void onAdmitted(base::TenantId tenant) override;
+    void onReleased(base::TenantId tenant) override;
+    void onRequestFinished(base::TenantId tenant, RequestId id,
+                           TokenCount output_len) override;
+    void collectLeaves(std::vector<LeafSchedNode *> &out) override;
+
+  private:
+    /** Order pending_ with the queue policy (lazy, per round). */
+    void seal();
+
+    std::unique_ptr<QueuePolicy> queue_;
+    std::vector<base::TenantId> tenants_;
+
+    const SchedulerContext *ctx_ = nullptr;
+    std::vector<std::size_t> pending_;
+    std::vector<std::size_t> ordered_;
+    std::size_t cursor_ = 0;
+    bool sealed_ = false;
+
+    /** Scratch for the leaf-local ordering context. */
+    std::vector<WaitingView> viewScratch_;
+    std::vector<std::size_t> orderScratch_;
+};
+
+/**
+ * Build a node tree from its declarative description.
+ *
+ * Fatal on malformed configs (inner node without children, leaf
+ * with children, non-positive fair weight or throttle rate).
+ */
+std::unique_ptr<SchedNode>
+makeSchedNode(const SchedNodeConfig &config);
+
+/** Canonical per-tenant subtree shape for the fair tenant tree. */
+struct TenantTreeSpec
+{
+    /** Per-tenant fair weights; index = tenant id. Tenants beyond
+     *  the vector (or an empty vector) get weight 1.0. */
+    std::vector<double> weights;
+
+    /** Number of tenant subtrees (>= 1). When weights is larger,
+     *  its size wins. */
+    std::size_t numTenants = 1;
+
+    /** Per-tenant token-rate budget (0 = no throttler node). */
+    double tokensPerSecond = 0.0;
+
+    /** Throttler burst credit (defaults to one second of rate). */
+    TokenCount burstTokens = 0;
+
+    /** Per-tenant in-flight cap (0 = no semaphore node). */
+    std::size_t maxInFlight = 0;
+};
+
+/**
+ * Fair root over one subtree per tenant: fair(weight_t) →
+ * [throttler] → [semaphore] → leaf(queue). The canonical tree the
+ * --tenant-tree CLI path builds.
+ */
+SchedNodeConfig tenantFairTree(const TenantTreeSpec &spec,
+                               const QueuePolicyConfig &queue);
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_SCHED_NODE_HH

@@ -21,6 +21,7 @@
 #include <span>
 #include <string>
 
+#include "base/request_class.hh"
 #include "base/types.hh"
 
 namespace lightllm {
@@ -50,8 +51,8 @@ struct RunningView
      *  policies: largest = most recently admitted). */
     std::uint64_t admitSeq = 0;
 
-    /** Priority class (higher = more urgent). */
-    int priority = 0;
+    /** Scheduling class (tenant, priority, SLO tier). */
+    base::RequestClass cls;
 
     /** Admitted but still prefilling — holds KV and will generate,
      *  but is not an eligible eviction victim. */
@@ -90,8 +91,8 @@ struct WaitingView
     /** Ground-truth output length; oracle use only. */
     TokenCount trueOutputLen = 0;
 
-    /** Priority class (higher = more urgent). */
-    int priority = 0;
+    /** Scheduling class (tenant, priority, SLO tier). */
+    base::RequestClass cls;
 
     /**
      * Prompt tokens the prefix cache would cover if this request

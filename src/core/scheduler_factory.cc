@@ -4,6 +4,7 @@
 #include "core/aggressive_scheduler.hh"
 #include "core/conservative_scheduler.hh"
 #include "core/oracle_scheduler.hh"
+#include "core/tenant_tree_policy.hh"
 
 namespace lightllm {
 namespace core {
@@ -65,6 +66,11 @@ makeScheduler(const SchedulerConfig &config)
 std::unique_ptr<SchedulingPolicy>
 makeSchedulingPolicy(const SchedulerConfig &config)
 {
+    if (config.tenantTree) {
+        return std::make_unique<TreeSchedulingPolicy>(
+            makeScheduler(config),
+            tenantFairTree(config.tenantSpec, config.queue));
+    }
     return std::make_unique<SchedulingPolicy>(
         makeScheduler(config), makeQueuePolicy(config.queue));
 }

@@ -11,6 +11,7 @@
 
 #include "core/past_future_scheduler.hh"
 #include "core/queue_policy.hh"
+#include "core/sched_node.hh"
 #include "core/scheduler.hh"
 #include "core/scheduling_policy.hh"
 
@@ -42,6 +43,14 @@ struct SchedulerConfig
 
     /** Queue-ordering policy (FCFS reproduces the seed pipeline). */
     QueuePolicyConfig queue;
+
+    /** Route the queue through a per-tenant scheduler-node tree
+     *  (fair root built from `tenantSpec`, `queue` ordering inside
+     *  each tenant). Off reproduces the flat pipeline bit-exactly. */
+    bool tenantTree = false;
+
+    /** Shape of the tenant tree when tenantTree is set. */
+    TenantTreeSpec tenantSpec;
 
     // Convenience named constructors for the paper's configurations.
     static SchedulerConfig conservative(double overcommit = 1.0);

@@ -46,19 +46,16 @@ SchedulingPolicy::decide(const SchedulerContext &ctx)
     return decision;
 }
 
-RequestId
-SchedulingPolicy::selectVictim(const SchedulerContext &ctx,
-                               VictimOrder tie_break)
+void
+SchedulingPolicy::victimOrder(const SchedulerContext &ctx,
+                              VictimOrder tie_break,
+                              std::vector<RequestId> &out)
 {
     LIGHTLLM_ASSERT(!ctx.running.empty(),
-                    "victim selection over an empty batch");
-    const RunningView *victim = &ctx.running.front();
-    for (std::size_t i = 1; i < ctx.running.size(); ++i) {
-        const RunningView &candidate = ctx.running[i];
-        if (queue_->evictBefore(candidate, *victim, tie_break))
-            victim = &candidate;
-    }
-    return victim->id;
+                    "victim ranking over an empty batch");
+    queue_->victimOrder(ctx, tie_break, out);
+    LIGHTLLM_ASSERT(out.size() == ctx.running.size(),
+                    "victim ranking must cover the whole batch");
 }
 
 void

@@ -58,13 +58,16 @@ class SchedulingPolicy
     virtual SchedulingDecision decide(const SchedulerContext &ctx);
 
     /**
-     * Reactive eviction: pick the victim among ctx.running (all
-     * entries must be evictable, i.e. not prefilling) when a decode
-     * step cannot allocate. Ranking is the queue policy's
-     * evictBefore over the engine-configured tie-break order.
+     * Reactive eviction: fill `out` with ctx.running (all entries
+     * must be evictable, i.e. not prefilling) ranked most-evictable
+     * first. The engine evicts from the front until the step fits,
+     * so flat and tree policies share one eviction code path. The
+     * flat ranking is the queue policy's victimOrder, whose front
+     * is bit-exact with the historical first-minimal scan.
      */
-    virtual RequestId selectVictim(const SchedulerContext &ctx,
-                                   VictimOrder tie_break);
+    virtual void victimOrder(const SchedulerContext &ctx,
+                             VictimOrder tie_break,
+                             std::vector<RequestId> &out);
 
     /** Completion feed (admission history + SJF predictor). */
     virtual void onRequestFinished(RequestId id,

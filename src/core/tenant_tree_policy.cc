@@ -1,0 +1,175 @@
+#include "core/tenant_tree_policy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace core {
+
+namespace {
+
+/** Map each tenant to the fair weight of the subtree serving it:
+ *  the weight of the child under the nearest fair ancestor. */
+void
+collectWeights(const SchedNodeConfig &config, double inherited,
+               std::unordered_map<base::TenantId, double> &out)
+{
+    if (config.kind == SchedNodeConfig::Kind::Leaf) {
+        for (base::TenantId tenant : config.tenants)
+            out.emplace(tenant, inherited);
+        return;
+    }
+    const bool fair = config.kind == SchedNodeConfig::Kind::Fair;
+    for (const SchedNodeConfig &child : config.children)
+        collectWeights(child, fair ? child.weight : inherited, out);
+}
+
+} // namespace
+
+TreeSchedulingPolicy::TreeSchedulingPolicy(
+    std::unique_ptr<Scheduler> admission,
+    const SchedNodeConfig &tree)
+    : SchedulingPolicy(std::move(admission)),
+      root_(makeSchedNode(tree))
+{
+    root_->collectLeaves(leaves_);
+    LIGHTLLM_ASSERT(!leaves_.empty(), "tenant tree has no leaves");
+    for (LeafSchedNode *leaf : leaves_) {
+        if (leaf->tenants().empty() && catchAll_ == nullptr)
+            catchAll_ = leaf;
+        for (base::TenantId tenant : leaf->tenants())
+            leafOf_.emplace(tenant, leaf);
+    }
+    collectWeights(tree, 1.0, weightOf_);
+}
+
+LeafSchedNode *
+TreeSchedulingPolicy::leafFor(base::TenantId tenant) const
+{
+    auto it = leafOf_.find(tenant);
+    if (it != leafOf_.end())
+        return it->second;
+    if (catchAll_ != nullptr)
+        return catchAll_;
+    // Unknown tenant and no catch-all: deterministic spill so a
+    // misconfigured workload still schedules.
+    return leaves_[tenant % leaves_.size()];
+}
+
+double
+TreeSchedulingPolicy::tenantWeight(base::TenantId tenant) const
+{
+    auto it = weightOf_.find(tenant);
+    return it != weightOf_.end() ? it->second : 1.0;
+}
+
+void
+TreeSchedulingPolicy::commitAdmit(const SchedulerContext &ctx,
+                                  std::size_t index,
+                                  SchedulingDecision &decision)
+{
+    const WaitingView &candidate = ctx.waiting[index];
+    // The pop charge is the candidate's prefill footprint; decode
+    // output is post-paid through accountUsage on finish.
+    root_->pop(ctx.now, candidate.promptLen + candidate.generatedLen);
+    root_->onAdmitted(candidate.cls.tenant);
+    tenantOf_[candidate.id] = candidate.cls.tenant;
+    decision.admit.push_back(candidate.id);
+}
+
+SchedulingDecision
+TreeSchedulingPolicy::decide(const SchedulerContext &ctx)
+{
+    SchedulingDecision decision;
+    if (ctx.waiting.empty())
+        return decision;
+
+    root_->beginRound(ctx);
+    for (std::size_t i = 0; i < ctx.waiting.size(); ++i)
+        leafFor(ctx.waiting[i].cls.tenant)->enqueue(i);
+
+    admission().beginAdmissionRound(ctx);
+    std::size_t index = 0;
+    while (root_->peek(ctx.now, /*force=*/false, index)) {
+        if (!admission().tryAdmit(ctx.waiting[index]))
+            break;
+        commitAdmit(ctx, index, decision);
+    }
+
+    if (decision.admit.empty() && ctx.running.empty()) {
+        // Idle backstop, as on the flat path — but through the
+        // tree (force ignores throttler credit and semaphore
+        // limits) so the tree's accounting still sees the admit.
+        const bool found =
+            root_->peek(ctx.now, /*force=*/true, index);
+        LIGHTLLM_ASSERT(found,
+                        "tree lost the queue's requests");
+        commitAdmit(ctx, index, decision);
+    }
+    return decision;
+}
+
+void
+TreeSchedulingPolicy::victimOrder(const SchedulerContext &ctx,
+                                  VictimOrder tie_break,
+                                  std::vector<RequestId> &out)
+{
+    // Flat ranking first: within a tenant, victims keep the queue
+    // policy's order (and its tie-break bit-exactness).
+    SchedulingPolicy::victimOrder(ctx, tie_break, out);
+
+    // Weight-normalised resident KV per tenant; the most
+    // over-share tenant loses requests first.
+    std::unordered_map<base::TenantId, double> normalized;
+    std::unordered_map<RequestId, base::TenantId> tenantOfId;
+    for (const RunningView &view : ctx.running) {
+        const auto resident = static_cast<double>(
+            view.promptLen + view.generatedLen);
+        normalized[view.cls.tenant] +=
+            resident / tenantWeight(view.cls.tenant);
+        tenantOfId.emplace(view.id, view.cls.tenant);
+    }
+    std::stable_sort(
+        out.begin(), out.end(),
+        [&](RequestId a, RequestId b) {
+            return normalized[tenantOfId[a]] >
+                normalized[tenantOfId[b]];
+        });
+}
+
+void
+TreeSchedulingPolicy::onRequestFinished(RequestId id,
+                                        TokenCount output_len)
+{
+    SchedulingPolicy::onRequestFinished(id, output_len);
+    auto it = tenantOf_.find(id);
+    if (it == tenantOf_.end())
+        return;
+    const base::TenantId tenant = it->second;
+    root_->accountUsage(tenant, output_len);
+    root_->onReleased(tenant);
+    root_->onRequestFinished(tenant, id, output_len);
+    tenantOf_.erase(it);
+}
+
+void
+TreeSchedulingPolicy::onRequestEvicted(RequestId id)
+{
+    SchedulingPolicy::onRequestEvicted(id);
+    auto it = tenantOf_.find(id);
+    if (it == tenantOf_.end())
+        return;
+    // Release the in-flight slot; the entry stays so a request
+    // evicted and re-admitted re-acquires under the same tenant.
+    root_->onReleased(it->second);
+}
+
+std::string
+TreeSchedulingPolicy::name() const
+{
+    return SchedulingPolicy::name() + "+tenant-tree";
+}
+
+} // namespace core
+} // namespace lightllm

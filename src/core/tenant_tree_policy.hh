@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Scheduling pipeline backed by a scheduler-node tree.
+ *
+ * TreeSchedulingPolicy replaces the flat "order the whole queue
+ * with one QueuePolicy" step with a SchedNode tree: each waiting
+ * request is routed to its tenant's leaf, and the admission loop
+ * alternates peek / tryAdmit / pop against the tree, so fair
+ * weights, token-rate budgets and in-flight caps gate which tenant
+ * supplies the next candidate. Admission feasibility itself is
+ * unchanged — the same Scheduler policies (conservative,
+ * aggressive, past-future, oracle) test each candidate.
+ *
+ * Eviction stays on the shared victimOrder path, refined to be
+ * fairness-aware: victims are ranked by their tenant's
+ * weight-normalised resident KV usage (most over its share first),
+ * with the flat queue-policy ranking as the within-tenant order.
+ */
+
+#ifndef LIGHTLLM_CORE_TENANT_TREE_POLICY_HH
+#define LIGHTLLM_CORE_TENANT_TREE_POLICY_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sched_node.hh"
+#include "core/scheduling_policy.hh"
+
+namespace lightllm {
+namespace core {
+
+/** SchedulingPolicy whose queue is a scheduler-node tree. */
+class TreeSchedulingPolicy final : public SchedulingPolicy
+{
+  public:
+    /**
+     * @param admission Memory-feasibility policy (owned).
+     * @param tree Declarative node tree; leaves carry the
+     *        per-tenant queue orderings.
+     */
+    TreeSchedulingPolicy(std::unique_ptr<Scheduler> admission,
+                         const SchedNodeConfig &tree);
+
+    SchedulingDecision decide(const SchedulerContext &ctx) override;
+    void victimOrder(const SchedulerContext &ctx,
+                     VictimOrder tie_break,
+                     std::vector<RequestId> &out) override;
+    void onRequestFinished(RequestId id,
+                           TokenCount output_len) override;
+    void onRequestEvicted(RequestId id) override;
+    std::string name() const override;
+
+    /** Fair weight of `tenant` (for shedding / reports). */
+    double tenantWeight(base::TenantId tenant) const;
+
+  private:
+    LeafSchedNode *leafFor(base::TenantId tenant) const;
+
+    /** Admit `index`, updating tree + tenant bookkeeping. */
+    void commitAdmit(const SchedulerContext &ctx, std::size_t index,
+                     SchedulingDecision &decision);
+
+    std::unique_ptr<SchedNode> root_;
+    std::vector<LeafSchedNode *> leaves_;
+    LeafSchedNode *catchAll_ = nullptr;
+    std::unordered_map<base::TenantId, LeafSchedNode *> leafOf_;
+    std::unordered_map<base::TenantId, double> weightOf_;
+
+    /** Tenant of every request the tree has admitted (finish and
+     *  eviction notifications only carry the request id). */
+    std::unordered_map<RequestId, base::TenantId> tenantOf_;
+
+    /** Scratch reused across rounds. */
+    std::vector<RequestId> victimScratch_;
+};
+
+} // namespace core
+} // namespace lightllm
+
+#endif // LIGHTLLM_CORE_TENANT_TREE_POLICY_HH

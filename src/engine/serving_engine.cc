@@ -191,7 +191,7 @@ ServingEngine::runningViewOf(const EngineRequest &request,
         request.spec.id,      request.spec.inputLen,
         request.generated,    request.spec.maxNewTokens,
         request.spec.outputLen, request.admitSeq,
-        request.spec.priority, prefilling,
+        request.spec.cls, prefilling,
         request.cachedPrefix};
 }
 
@@ -284,7 +284,7 @@ ServingEngine::buildContext()
             request->spec.id, request->spec.inputLen,
             request->generated, request->spec.maxNewTokens,
             request->arrival, request->spec.outputLen,
-            request->spec.priority, peekCachedPrefix(*request)});
+            request->spec.cls, peekCachedPrefix(*request)});
     }
 
     core::SchedulerContext ctx;
@@ -420,6 +420,7 @@ ServingEngine::finishRequest(EngineRequest *request)
 {
     metrics::RequestRecord record;
     record.id = request->spec.id;
+    record.cls = request->spec.cls;
     record.inputLen = request->spec.inputLen;
     record.outputTokens = request->generated;
     record.arrival = request->arrival;
@@ -492,7 +493,8 @@ ServingEngine::evictOne()
         config_.evictionPolicy == EvictionPolicy::Lifo
         ? core::VictimOrder::NewestFirst
         : core::VictimOrder::OldestFirst;
-    return evictRequest(policy_->selectVictim(ctx, order));
+    policy_->victimOrder(ctx, order, victimScratch_);
+    return evictRequest(victimScratch_.front());
 }
 
 Tick
@@ -861,6 +863,56 @@ ServingEngine::drainQueued()
     }
     pendingArrivals_.clear();
     return redispatch;
+}
+
+std::vector<ServingEngine::DrainedRequest>
+ServingEngine::stealQueued(std::size_t max_requests)
+{
+    LIGHTLLM_ASSERT(shared_,
+                    "stealQueued requires a shared SimContext");
+    LIGHTLLM_ASSERT(!draining_,
+                    "cannot steal from a draining engine");
+
+    std::vector<DrainedRequest> stolen;
+    if (max_requests == 0 || waiting_.empty())
+        return stolen;
+
+    // Tail-to-head scan: the thief takes the freshest backlog so
+    // the queue head (and its TTFT clock) stays put. Requests with
+    // engine history stay regardless, as in drainQueued().
+    std::vector<EngineRequest *> take;
+    for (auto it = waiting_.rbegin();
+         it != waiting_.rend() && take.size() < max_requests; ++it) {
+        EngineRequest *request = *it;
+        if (request->generated > 0 || request->evictions > 0 ||
+            request->swappedOut) {
+            continue;
+        }
+        take.push_back(request);
+    }
+    if (take.empty())
+        return stolen;
+
+    std::deque<EngineRequest *> keep;
+    for (EngineRequest *request : waiting_) {
+        if (std::find(take.begin(), take.end(), request) !=
+            take.end()) {
+            continue;
+        }
+        keep.push_back(request);
+    }
+    waiting_ = std::move(keep);
+
+    // Queue order (oldest first) for deterministic re-dispatch.
+    std::reverse(take.begin(), take.end());
+    const Tick steal_tick = context_->now();
+    stolen.reserve(take.size());
+    for (EngineRequest *request : take) {
+        stolen.push_back(DrainedRequest{request->spec, steal_tick,
+                                        request->arrival});
+        requests_.erase(request->spec.id);
+    }
+    return stolen;
 }
 
 metrics::RunReport

@@ -171,6 +171,17 @@ class ServingEngine : public workload::RequestSink
      */
     std::vector<DrainedRequest> drainQueued();
 
+    /**
+     * Hand back up to `max_requests` never-admitted requests from
+     * the *tail* of the waiting queue for re-dispatch elsewhere
+     * (work stealing onto a freshly warmed instance). The queue
+     * head keeps its position here, so head-of-line semantics and
+     * TTFT of the oldest work are unaffected; requests holding
+     * engine state (admitted, evicted-with-history, swapped out)
+     * never move. The engine keeps running. Actor mode only.
+     */
+    std::vector<DrainedRequest> stealQueued(std::size_t max_requests);
+
     /** True once drainQueued() was called. */
     bool draining() const { return draining_; }
 
@@ -410,6 +421,7 @@ class ServingEngine : public workload::RequestSink
     std::vector<core::RunningView> runningViews_;
     std::vector<core::WaitingView> waitingViews_;
     std::vector<RequestId> runningIds_;
+    std::vector<RequestId> victimScratch_;
     mutable std::vector<core::BatchEntry> scratchEntries_;
     std::vector<memory::BlockId> matchScratch_;
     std::vector<PromptSegment> streamScratch_;

@@ -17,6 +17,7 @@
 #ifndef LIGHTLLM_METRICS_SLA_HH
 #define LIGHTLLM_METRICS_SLA_HH
 
+#include "base/request_class.hh"
 #include "base/types.hh"
 
 namespace lightllm {
@@ -26,6 +27,10 @@ namespace metrics {
 struct RequestRecord
 {
     RequestId id = kInvalidRequestId;
+
+    /** Scheduling class (tenant, priority, SLO tier). */
+    base::RequestClass cls;
+
     TokenCount inputLen = 0;
 
     /** Output tokens actually generated. */

@@ -192,7 +192,7 @@ assignPriorityMix(Dataset &dataset, std::span<const double> shares,
                 break;
             }
         }
-        spec.priority = priority;
+        spec.cls.priority = priority;
     }
 }
 

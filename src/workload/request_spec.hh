@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/request_class.hh"
 #include "base/token_stream.hh"
 #include "base/types.hh"
 
@@ -37,11 +38,11 @@ struct RequestSpec
     TokenCount maxNewTokens = 0;
 
     /**
-     * Priority class (higher = more urgent; 0 = normal). Consumed
-     * by the priority queue policy (admission order and eviction
-     * shielding) and by EDF's per-class deadline budgets.
+     * Scheduling class: tenant identity, in-tenant priority
+     * (consumed by the priority queue policy and EDF's per-class
+     * deadline budgets), and SLO tier for per-tenant reporting.
      */
-    int priority = 0;
+    base::RequestClass cls;
 
     /**
      * Content identity of the prompt as a concatenation of

@@ -57,7 +57,7 @@ SessionGenerator::SessionGenerator(
                 s * config_.turnsPerSession + t);
             spec.maxNewTokens = config_.maxNewTokens;
             spec.outputLen = output_len;
-            spec.priority = 0;
+            spec.cls = base::RequestClass{};
             spec.sessionKey =
                 deriveContentKey(config_.seed ^ 0x5e551ull, s, 0);
             spec.outputKey = deriveContentKey(

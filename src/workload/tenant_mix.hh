@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-tenant traffic composition.
+ *
+ * Serving clusters front many tenants whose traffic shares are
+ * heavily skewed — a few tenants dominate, a long tail trickles.
+ * TenantMix models that with a Zipf-distributed share per tenant:
+ * tenant t (0-based) gets weight 1 / (t + 1)^s, so s = 0 is
+ * uniform and s ~ 1 reproduces the classic power-law skew. Each
+ * request draws its tenant i.i.d. from those shares,
+ * deterministically in the seed; SLO tiers cycle over the tenant
+ * id so every tier is populated. The same shares feed the tenant
+ * tree's fair weights (see tenantTreeWeights) so "fair" means
+ * proportional to the configured share, not uniform.
+ */
+
+#ifndef LIGHTLLM_WORKLOAD_TENANT_MIX_HH
+#define LIGHTLLM_WORKLOAD_TENANT_MIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/datasets.hh"
+
+namespace lightllm {
+namespace workload {
+
+/** Declarative multi-tenant traffic composition. */
+struct TenantMix
+{
+    /** Number of tenants (>= 1); ids are 0 .. numTenants-1. */
+    std::size_t numTenants = 1;
+
+    /** Zipf exponent for traffic shares (0 = uniform). */
+    double zipfExponent = 0.0;
+
+    /**
+     * Explicit per-tenant shares; overrides the Zipf shape when
+     * non-empty (size must then equal numTenants). Normalised over
+     * their sum.
+     */
+    std::vector<double> weights;
+
+    /** Number of SLO tiers cycled over tenant ids (tier =
+     *  tenant % sloTiers; 1 = everyone tier 0). */
+    std::size_t sloTiers = 1;
+
+    /** Effective (possibly Zipf-derived) share per tenant. */
+    std::vector<double> shares() const;
+};
+
+/**
+ * Assign tenants (and SLO tiers) to a dataset's requests: an
+ * i.i.d. per-request draw from the mix's shares, deterministic in
+ * `seed` — the workload knob behind --tenants / --tenant-zipf /
+ * --tenant-weights.
+ */
+void assignTenantMix(Dataset &dataset, const TenantMix &mix,
+                     std::uint64_t seed);
+
+/**
+ * The mix's shares scaled for use as fair-tree weights (max share
+ * = 1.0, so weights stay well-conditioned for vruntime
+ * arithmetic).
+ */
+std::vector<double> tenantTreeWeights(const TenantMix &mix);
+
+} // namespace workload
+} // namespace lightllm
+
+#endif // LIGHTLLM_WORKLOAD_TENANT_MIX_HH

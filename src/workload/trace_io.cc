@@ -84,13 +84,14 @@ void
 writeDatasetCsv(std::ostream &os, const Dataset &dataset)
 {
     os << "id,input_len,output_len,max_new_tokens,priority,"
-          "session_key,output_key,segments\n";
+          "tenant,slo_tier,session_key,output_key,segments\n";
     os << std::hex;
     for (const auto &spec : dataset.requests) {
         os << std::dec << spec.id << ',' << spec.inputLen << ','
            << spec.outputLen << ',' << spec.maxNewTokens << ','
-           << spec.priority << ',' << std::hex << spec.sessionKey
-           << ',' << spec.outputKey << ',';
+           << spec.cls.priority << ',' << spec.cls.tenant << ','
+           << spec.cls.sloTier << ',' << std::hex
+           << spec.sessionKey << ',' << spec.outputKey << ',';
         for (std::size_t i = 0; i < spec.segments.size(); ++i) {
             if (i > 0)
                 os << '|';
@@ -168,10 +169,14 @@ readDatasetCsv(std::istream &is, const std::string &name)
             continue;  // header
         }
         const auto fields = splitString(trimmed, ',');
-        if (fields.size() != 8) {
+        // 10 fields since the tenant/slo_tier columns; 8 accepts
+        // the pre-tenant schema (both classes default to 0).
+        if (fields.size() != 10 && fields.size() != 8) {
             fatal("dataset ", name, " line ", line_number,
-                  ": expected 8 fields, got ", fields.size());
+                  ": expected 10 (or legacy 8) fields, got ",
+                  fields.size());
         }
+        const bool legacy = fields.size() == 8;
         RequestSpec spec;
         spec.id = parseIntField(fields[0], name, line_number);
         spec.inputLen = parseIntField(fields[1], name, line_number);
@@ -179,19 +184,27 @@ readDatasetCsv(std::istream &is, const std::string &name)
             parseIntField(fields[2], name, line_number);
         spec.maxNewTokens =
             parseIntField(fields[3], name, line_number);
-        spec.priority = static_cast<int>(
+        spec.cls.priority = static_cast<int>(
             parseIntField(fields[4], name, line_number));
+        std::size_t next = 5;
+        if (!legacy) {
+            spec.cls.tenant = static_cast<base::TenantId>(
+                parseIntField(fields[next++], name, line_number));
+            spec.cls.sloTier = static_cast<int>(
+                parseIntField(fields[next++], name, line_number));
+        }
         spec.sessionKey =
-            parseHexField(fields[5], name, line_number);
-        spec.outputKey = parseHexField(fields[6], name, line_number);
+            parseHexField(fields[next++], name, line_number);
+        spec.outputKey =
+            parseHexField(fields[next++], name, line_number);
         if (spec.inputLen < 0 || spec.outputLen < 0 ||
             spec.maxNewTokens < 0) {
             fatal("dataset ", name, " line ", line_number,
                   ": negative length");
         }
-        if (!fields[7].empty()) {
+        if (!fields[next].empty()) {
             for (const std::string &entry :
-                 splitString(fields[7], '|')) {
+                 splitString(fields[next], '|')) {
                 const auto colon = entry.find(':');
                 if (colon == std::string::npos) {
                     fatal("dataset ", name, " line ", line_number,

@@ -22,6 +22,7 @@
 #include "test_fixtures.hh"
 #include "workload/arrivals.hh"
 #include "workload/datasets.hh"
+#include "workload/rate_schedule.hh"
 
 namespace lightllm {
 namespace {
@@ -273,6 +274,38 @@ TEST(AutoScalerTest, ShedsOnlyAtMaxScaleWithNothingWarming)
     EXPECT_FALSE(scaler.shouldShed(warming, 100));
 }
 
+TEST(AutoScalerTest, FairnessAwareSheddingTargetsOverShareTenants)
+{
+    auto config = testConfig(1, 2);
+    config.shedPolicy = autoscale::ShedPolicy::Overload;
+    config.shedFactor = 1.0;
+    config.tenantShares = {1.0, 1.0};
+    autoscale::AutoScaler scaler(config,
+                                 std::make_unique<FixedPolicy>(0));
+
+    const auto fleet = fleetOf(2, 10'000, 25'000, 0);
+    base::RequestClass noisy;
+    noisy.tenant = 0;
+    base::RequestClass victim;
+    victim.tenant = 1;
+
+    // Overloaded, but no usage evidence yet: queue, don't shed.
+    EXPECT_FALSE(scaler.shouldShed(fleet, 100, noisy));
+
+    // Tenant 0 produced 90% of recent routed work against a 50%
+    // share: its overload arrivals shed, the in-share tenant's
+    // keep queueing.
+    scaler.noteRouted(noisy, 9'000, fleet.now);
+    scaler.noteRouted(victim, 1'000, fleet.now);
+    EXPECT_TRUE(scaler.shouldShed(fleet, 100, noisy));
+    EXPECT_FALSE(scaler.shouldShed(fleet, 100, victim));
+
+    // The overload gate itself is unchanged: under the bound
+    // nobody sheds, over-share or not.
+    EXPECT_FALSE(scaler.shouldShed(fleetOf(2, 10'000, 5'000, 0),
+                                   100, noisy));
+}
+
 TEST(AutoScalerTest, NeverPolicyNeverSheds)
 {
     autoscale::AutoScaler scaler(testConfig(1, 1),
@@ -387,6 +420,70 @@ TEST(ClusterLifecycleTest, WarmupGatesRouting)
     EXPECT_EQ(report.numFinished, 100u);
     ASSERT_EQ(fleet.numInstances(), 2u);
     EXPECT_EQ(fleet.routedCounts()[1], 0u);
+}
+
+/**
+ * A memory-bound engine slow enough that a one-second spike leaves
+ * a waiting-queue backlog for several simulated seconds — tinyPerf
+ * hardware would drain the whole spike before warm-up completes.
+ */
+std::unique_ptr<engine::ServingEngine>
+slowEngine()
+{
+    const model::PerfModel perf = tinyPerf(8.0);
+    model::HardwareSpec hw = perf.hardwareSpec();
+    hw.flopsPerDevice = 3e9;
+    hw.memBandwidthPerDevice = 1e9;
+    return std::make_unique<engine::ServingEngine>(
+        model::PerfModel(perf.modelSpec(), hw),
+        core::makeScheduler(core::SchedulerConfig::oracle()));
+}
+
+/**
+ * Runs the noisy spike schedule once and reports how many requests
+ * the elastically provisioned second instance ended up serving.
+ */
+std::size_t
+spikeRoutedToWarmInstance(std::size_t steal_budget)
+{
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    engines.push_back(slowEngine());
+    cluster::ServingCluster fleet(
+        std::move(engines),
+        cluster::RoutingPolicy::LeastOutstandingTokens);
+    fleet.setInstanceFactory(slowEngine);
+    auto config = testConfig(1, 2);
+    // Warm-up completes only after the spike has fully arrived, so
+    // without stealing the new instance sees at most the straggler
+    // tail of the schedule.
+    config.provisionDelay = secondsToTicks(2.0);
+    config.stealOnWarm = steal_budget;
+    fleet.enableAutoscale(config,
+                          std::make_unique<FixedPolicy>(1));
+
+    const auto dataset = tinyDataset(400, 200, 8);
+    const auto schedule =
+        workload::RateSchedule::spike(1.0, 400.0, 0.0, 1.0);
+    workload::submitScheduledArrivals(dataset, fleet, schedule, 13);
+    const auto report = fleet.run();
+
+    EXPECT_EQ(report.numFinished, 400u);
+    EXPECT_EQ(fleet.numInstances(), 2u);
+    return fleet.routedCounts()[1];
+}
+
+TEST(ClusterLifecycleTest, StealOnWarmRedispatchesSpikeBacklog)
+{
+    // Regression for work-stealing at provision-complete: the same
+    // spike with stealing enabled must move strictly more of the
+    // backlog onto the freshly warmed instance than the gated
+    // baseline, which only sees post-warm arrivals.
+    const std::size_t without = spikeRoutedToWarmInstance(0);
+    const std::size_t with = spikeRoutedToWarmInstance(32);
+    EXPECT_GT(with, without);
+    // The steal itself lands: at least one whole budget beyond
+    // whatever trickles in after warm-up.
+    EXPECT_GE(with, without + 32);
 }
 
 TEST(ClusterLifecycleTest, ScaleDownNeverDropsBelowMinInstances)

@@ -91,6 +91,8 @@ TEST(CliParse, UsageDocumentsEveryRegisteredFlag)
         "--eviction-mode", "--sessions",
         "--turns",         "--system-prompt-tokens",
         "--prefix-cache",  "--split-fuse",
+        "--tenant-tree",   "--tenants",
+        "--tenant-zipf",   "--tenant-weights",
     };
     const auto names = cli::cliFlagNames();
     for (const char *flag : expected) {
@@ -298,15 +300,77 @@ TEST(CliAssemble, QueuePolicyAndPriorityMixWireThrough)
     // Both classes must actually occur, deterministically in seed.
     std::size_t high = 0;
     for (const auto &spec : scenario.dataset.requests)
-        high += spec.priority == 1 ? 1 : 0;
+        high += spec.cls.priority == 1 ? 1 : 0;
     EXPECT_GT(high, 0u);
     EXPECT_LT(high, scenario.dataset.requests.size());
     const cli::Scenario again = cli::assembleScenario(options);
     for (std::size_t i = 0; i < scenario.dataset.requests.size();
          ++i) {
-        EXPECT_EQ(scenario.dataset.requests[i].priority,
-                  again.dataset.requests[i].priority);
+        EXPECT_EQ(scenario.dataset.requests[i].cls.priority,
+                  again.dataset.requests[i].cls.priority);
     }
+}
+
+TEST(CliParse, TenantFlagValidation)
+{
+    cli::CliOptions options;
+    EXPECT_EQ(parse({"--tenants", "8", "--tenant-zipf", "1.1",
+                     "--tenant-tree"},
+                    options),
+              "");
+    EXPECT_EQ(options.tenants, 8u);
+    EXPECT_DOUBLE_EQ(options.tenantZipf, 1.1);
+    EXPECT_TRUE(options.tenantTree);
+
+    // Every tenant knob needs --tenants.
+    cli::CliOptions bad;
+    EXPECT_NE(parse({"--tenant-tree"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--tenant-zipf", "1.0"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--tenant-weights", "1,2"}, bad), "");
+    bad = {};
+    EXPECT_NE(parse({"--tenants", "2", "--tenant-zipf", "1.0",
+                     "--tenant-weights", "1,2"},
+                    bad),
+              "");
+    bad = {};
+    EXPECT_NE(parse({"--sessions", "4", "--tenants", "2"}, bad),
+              "");
+}
+
+TEST(CliAssemble, TenantMixAndTreeWireThrough)
+{
+    cli::CliOptions options;
+    ASSERT_EQ(parse({"--tenants", "3", "--tenant-weights", "8,1,1",
+                     "--tenant-tree", "--requests", "128"},
+                    options),
+              "");
+    const cli::Scenario scenario = cli::assembleScenario(options);
+    EXPECT_TRUE(scenario.schedulerConfig.tenantTree);
+    EXPECT_EQ(scenario.schedulerConfig.tenantSpec.numTenants, 3u);
+    ASSERT_EQ(scenario.schedulerConfig.tenantSpec.weights.size(),
+              3u);
+    EXPECT_DOUBLE_EQ(
+        scenario.schedulerConfig.tenantSpec.weights[0], 1.0);
+    EXPECT_DOUBLE_EQ(
+        scenario.schedulerConfig.tenantSpec.weights[1], 0.125);
+    EXPECT_EQ(scenario.tenants, 3u);
+
+    // Every tenant must actually occur, deterministically in seed.
+    std::size_t tenantOne = 0;
+    for (const auto &spec : scenario.dataset.requests)
+        tenantOne += spec.cls.tenant == 1 ? 1 : 0;
+    EXPECT_GT(tenantOne, 0u);
+    EXPECT_LT(tenantOne, scenario.dataset.requests.size());
+
+    // A weight count that disagrees with --tenants fails assembly.
+    cli::CliOptions bad;
+    ASSERT_EQ(parse({"--tenants", "3", "--tenant-weights", "1,1"},
+                    bad),
+              "");
+    EXPECT_THROW(cli::assembleScenario(bad),
+                 std::invalid_argument);
 }
 
 TEST(CliParse, AutoscaleFlagValidation)

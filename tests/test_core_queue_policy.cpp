@@ -42,7 +42,7 @@ struct ContextBuilder
         view.maxNewTokens = max_new;
         view.trueOutputLen = max_new;
         view.admitSeq = admit_seq;
-        view.priority = priority;
+        view.cls.priority = priority;
         view.prefilling = prefilling;
         running.push_back(view);
         used += prompt + generated;
@@ -61,7 +61,7 @@ struct ContextBuilder
         view.maxNewTokens = max_new;
         view.arrival = arrival;
         view.trueOutputLen = max_new;
-        view.priority = priority;
+        view.cls.priority = priority;
         waiting.push_back(view);
         return *this;
     }
@@ -429,7 +429,16 @@ TEST(SchedulingPolicyTest, EmptyQueueYieldsEmptyDecision)
     EXPECT_TRUE(pipeline->decide(builder.context()).empty());
 }
 
-TEST(SchedulingPolicyTest, VictimSelectionHonoursTieBreakOrder)
+std::vector<RequestId>
+victimsOf(SchedulingPolicy &pipeline, const SchedulerContext &ctx,
+          VictimOrder tie_break)
+{
+    std::vector<RequestId> out;
+    pipeline.victimOrder(ctx, tie_break, out);
+    return out;
+}
+
+TEST(SchedulingPolicyTest, VictimOrderHonoursTieBreakOrder)
 {
     auto pipeline = makePipeline(QueuePolicyKind::Fcfs);
     ContextBuilder builder;
@@ -437,10 +446,12 @@ TEST(SchedulingPolicyTest, VictimSelectionHonoursTieBreakOrder)
     builder.addRunning(11, 100, 5, 200, /*admit_seq=*/7);
     builder.addRunning(12, 100, 5, 200, /*admit_seq=*/5);
     const SchedulerContext ctx = builder.context();
-    EXPECT_EQ(pipeline->selectVictim(ctx, VictimOrder::NewestFirst),
-              11);
-    EXPECT_EQ(pipeline->selectVictim(ctx, VictimOrder::OldestFirst),
-              10);
+    // Full ranking, not just the front: the engine evicts from the
+    // front until the step fits.
+    EXPECT_EQ(victimsOf(*pipeline, ctx, VictimOrder::NewestFirst),
+              (std::vector<RequestId>{11, 12, 10}));
+    EXPECT_EQ(victimsOf(*pipeline, ctx, VictimOrder::OldestFirst),
+              (std::vector<RequestId>{10, 12, 11}));
 }
 
 TEST(SchedulingPolicyTest, PriorityPolicyShieldsHighClasses)
@@ -453,15 +464,15 @@ TEST(SchedulingPolicyTest, PriorityPolicyShieldsHighClasses)
     builder.addRunning(11, 100, 5, 200, 2, /*priority=*/0);
     builder.addRunning(12, 100, 5, 200, 3, /*priority=*/2);
     const SchedulerContext ctx = builder.context();
-    EXPECT_EQ(pipeline->selectVictim(ctx, VictimOrder::NewestFirst),
-              11);
+    EXPECT_EQ(victimsOf(*pipeline, ctx, VictimOrder::NewestFirst),
+              (std::vector<RequestId>{11, 12, 10}));
     // Within a class the tie-break order still applies.
     ContextBuilder same_class;
     same_class.addRunning(20, 100, 5, 200, 1, 1);
     same_class.addRunning(21, 100, 5, 200, 2, 1);
-    EXPECT_EQ(pipeline->selectVictim(same_class.context(),
-                                     VictimOrder::NewestFirst),
-              21);
+    EXPECT_EQ(victimsOf(*pipeline, same_class.context(),
+                        VictimOrder::NewestFirst),
+              (std::vector<RequestId>{21, 20}));
 }
 
 TEST(SchedulingPolicyTest, NameSuffixesNonFcfsQueue)

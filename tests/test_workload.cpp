@@ -416,7 +416,9 @@ TEST(DatasetIoTest, CsvRoundTripPreservesEverySpecField)
         for (std::size_t t = 0; t < config.turnsPerSession; ++t)
             dataset.requests.push_back(sessions.turnSpec(s, t));
     }
-    dataset.requests[1].priority = 2;
+    dataset.requests[1].cls.priority = 2;
+    dataset.requests[2].cls.tenant = 17;
+    dataset.requests[2].cls.sloTier = 1;
 
     std::stringstream buffer;
     writeDatasetCsv(buffer, dataset);
@@ -431,7 +433,7 @@ TEST(DatasetIoTest, CsvRoundTripPreservesEverySpecField)
         EXPECT_EQ(actual.inputLen, expected.inputLen);
         EXPECT_EQ(actual.outputLen, expected.outputLen);
         EXPECT_EQ(actual.maxNewTokens, expected.maxNewTokens);
-        EXPECT_EQ(actual.priority, expected.priority);
+        EXPECT_EQ(actual.cls, expected.cls);
         EXPECT_EQ(actual.sessionKey, expected.sessionKey);
         EXPECT_EQ(actual.outputKey, expected.outputKey);
         ASSERT_EQ(actual.segments.size(),
@@ -460,19 +462,37 @@ TEST(DatasetIoTest, CsvRoundTripPlainDatasetAndFile)
     for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
         EXPECT_EQ(loaded.requests[i].inputLen,
                   dataset.requests[i].inputLen);
-        EXPECT_EQ(loaded.requests[i].priority,
-                  dataset.requests[i].priority);
+        EXPECT_EQ(loaded.requests[i].cls.priority,
+                  dataset.requests[i].cls.priority);
         EXPECT_TRUE(loaded.requests[i].segments.empty());
     }
+}
+
+TEST(DatasetIoTest, LegacyEightFieldRowsStillParse)
+{
+    // Pre-tenant CSVs lack the tenant/slo_tier columns; both
+    // default to 0 and the remaining fields keep their meaning.
+    std::stringstream legacy(
+        "id,input_len,output_len,max_new_tokens,priority,"
+        "session_key,output_key,segments\n"
+        "0,10,20,100,2,ab,cd,\n");
+    const Dataset loaded = readDatasetCsv(legacy, "legacy");
+    ASSERT_EQ(loaded.requests.size(), 1u);
+    EXPECT_EQ(loaded.requests[0].cls.priority, 2);
+    EXPECT_EQ(loaded.requests[0].cls.tenant, 0u);
+    EXPECT_EQ(loaded.requests[0].cls.sloTier, 0);
+    EXPECT_EQ(loaded.requests[0].sessionKey, 0xabu);
+    EXPECT_EQ(loaded.requests[0].outputKey, 0xcdu);
 }
 
 TEST(DatasetIoDeathTest, MalformedDatasetRowsAreFatal)
 {
     std::stringstream missing("1,2,3\n");
     EXPECT_EXIT(readDatasetCsv(missing, "bad"),
-                ::testing::ExitedWithCode(1), "expected 8 fields");
+                ::testing::ExitedWithCode(1),
+                "expected 10 \\(or legacy 8\\) fields");
     std::stringstream segment(
-        "0,10,20,100,0,0,0,deadbeef-512\n");
+        "0,10,20,100,0,3,1,0,0,deadbeef-512\n");
     EXPECT_EXIT(readDatasetCsv(segment, "bad"),
                 ::testing::ExitedWithCode(1), "segment");
 }

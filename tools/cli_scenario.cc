@@ -1,5 +1,6 @@
 #include "cli_scenario.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 #include "metrics/report_io.hh"
 #include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
+#include "workload/tenant_mix.hh"
 #include "workload/trace_gen.hh"
 
 namespace lightllm {
@@ -197,6 +199,37 @@ parsePriorityMix(const std::string &text)
     return shares;
 }
 
+/** Build the tenant mix from --tenants/--tenant-zipf/
+ *  --tenant-weights (weights validated against the tenant count). */
+workload::TenantMix
+makeTenantMix(const CliOptions &options)
+{
+    workload::TenantMix mix;
+    mix.numTenants = options.tenants;
+    mix.zipfExponent = options.tenantZipf;
+    if (!options.tenantWeights.empty()) {
+        for (const std::string &field :
+             splitString(options.tenantWeights, ',')) {
+            double weight = 0.0;
+            if (!parseDouble(std::string(trimString(field)),
+                             weight) ||
+                weight <= 0.0) {
+                throw std::invalid_argument(
+                    "bad tenant weights: " + options.tenantWeights);
+            }
+            mix.weights.push_back(weight);
+        }
+        if (mix.weights.size() != options.tenants) {
+            throw std::invalid_argument(
+                "tenant weights name " +
+                std::to_string(mix.weights.size()) +
+                " tenants but --tenants is " +
+                std::to_string(options.tenants));
+        }
+    }
+    return mix;
+}
+
 /**
  * Expand "--platform-mix a100-80g:2,a30:2" into one hardware name
  * per instance (a bare name counts once).
@@ -275,7 +308,8 @@ makeEngineConfig(const CliOptions &options)
 
 /** Flags taking no value. */
 constexpr const char *kBooleanFlags[] = {"--autoscale",
-                                         "--split-fuse", "--help"};
+                                         "--split-fuse",
+                                         "--tenant-tree", "--help"};
 
 /**
  * Bindings of every valued flag to its slot in `options`. Shared by
@@ -336,6 +370,9 @@ valuedFlagBindings(CliOptions &options)
     valued["--window-size"] = bind_size(options.windowSize);
     valued["--queue-policy"] = bind_string(options.queuePolicy);
     valued["--priority-mix"] = bind_string(options.priorityMix);
+    valued["--tenants"] = bind_size(options.tenants);
+    valued["--tenant-zipf"] = bind_double(options.tenantZipf);
+    valued["--tenant-weights"] = bind_string(options.tenantWeights);
     valued["--model"] = bind_string(options.model);
     valued["--hardware"] = bind_string(options.hardware);
     valued["--tp"] = [&options](const std::string &value) {
@@ -415,6 +452,10 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
             options.autoscale = true;
             continue;
         }
+        if (arg == "--tenant-tree") {
+            options.tenantTree = true;
+            continue;
+        }
 
         // Accept both "--flag value" and "--flag=value".
         std::string value;
@@ -453,7 +494,23 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
         if (!options.priorityMix.empty())
             return "--priority-mix applies to dataset workloads, "
                    "not --sessions";
+        if (options.tenants > 0)
+            return "--tenants applies to dataset workloads, not "
+                   "--sessions";
     }
+    if (options.tenants == 0) {
+        if (options.tenantTree)
+            return "--tenant-tree needs --tenants";
+        if (options.tenantZipf != 0.0)
+            return "--tenant-zipf needs --tenants";
+        if (!options.tenantWeights.empty())
+            return "--tenant-weights needs --tenants";
+    }
+    if (options.tenantZipf < 0.0)
+        return "--tenant-zipf must be non-negative";
+    if (options.tenantZipf > 0.0 && !options.tenantWeights.empty())
+        return "--tenant-zipf and --tenant-weights are exclusive "
+               "(explicit weights already fix the shares)";
     if (!options.rateSchedule.empty() && options.poissonRate > 0.0)
         return "--rate and --rate-schedule are exclusive (a "
                "schedule already fixes the arrival process)";
@@ -569,6 +626,22 @@ printCliUsage(std::ostream &os)
         "  --priority-mix L    class shares, lowest first, e.g.\n"
         "                      0.8,0.2 = 20% priority-1 requests\n"
         "\n"
+        "Multi-tenant isolation:\n"
+        "  --tenants N         tenants drawing the workload's\n"
+        "                      requests, ids 0..N-1 (default 0 =\n"
+        "                      single tenant)\n"
+        "  --tenant-zipf S     Zipf exponent of the tenant traffic\n"
+        "                      shares (default 0 = uniform)\n"
+        "  --tenant-weights L  explicit tenant shares, e.g. 8,1,1\n"
+        "                      (count = --tenants; exclusive with\n"
+        "                      --tenant-zipf)\n"
+        "  --tenant-tree       schedule through the per-tenant\n"
+        "                      fair tree (weighted fair queueing\n"
+        "                      over tenants, --queue-policy within\n"
+        "                      one; also makes overload shedding\n"
+        "                      fairness-aware). Off = flat\n"
+        "                      bit-exact pipeline\n"
+        "\n"
         "Platform:\n"
         "  --model NAME        llama2-7b | llama2-13b | llama2-70b |\n"
         "                      qwen-vl-chat | llava15-7b | llava15-13b\n"
@@ -671,6 +744,14 @@ assembleScenario(const CliOptions &options)
                 dataset, parsePriorityMix(options.priorityMix),
                 options.seed ^ 0x9e3779b97f4a7c15ull);
         }
+
+        if (options.tenants > 0) {
+            // A distinct seed stream so the tenant draw composes
+            // with (not perturbs) the priority draw.
+            workload::assignTenantMix(
+                dataset, makeTenantMix(options),
+                options.seed ^ 0x517cc1b727220a95ull);
+        }
     }
 
     const metrics::SlaSpec sla = makeSla(options);
@@ -688,6 +769,15 @@ assembleScenario(const CliOptions &options)
     scheduler_config.queue.seedOutputLen = dataset.maxNewTokens;
     // EDF deadlines follow the scenario's TTFT SLA.
     scheduler_config.queue.ttftDeadline = sla.ttftLimit;
+
+    if (options.tenantTree) {
+        // Fair weights follow the configured traffic shares, so
+        // "fair" means proportional to each tenant's entitlement.
+        scheduler_config.tenantTree = true;
+        scheduler_config.tenantSpec.numTenants = options.tenants;
+        scheduler_config.tenantSpec.weights =
+            workload::tenantTreeWeights(makeTenantMix(options));
+    }
 
     engine::RunLimits limits;
     limits.maxFinishedRequests = options.maxFinishedRequests;
@@ -745,6 +835,11 @@ assembleScenario(const CliOptions &options)
             throw std::invalid_argument("unknown shed policy: " +
                                         options.shedPolicy);
         }
+        if (options.tenants > 0) {
+            // Fairness-aware shedding: under overload the tenants
+            // over their traffic share absorb the rejections.
+            config.tenantShares = makeTenantMix(options).shares();
+        }
         // Validate the policy name here so a typo fails before the
         // simulation, not inside it.
         if (autoscale::makeScalePolicy(options.scalePolicy,
@@ -791,6 +886,7 @@ assembleScenario(const CliOptions &options)
                 1, secondsToTicks(options.drainAtSeconds));
         }
     }
+    scenario.tenants = options.tenants;
     return scenario;
 }
 
@@ -980,6 +1076,35 @@ emitReport(std::ostream &os, const CliOptions &options,
                           formatCount(report.scaleUpEvents)});
             table.addRow({"scale_down_events",
                           formatCount(report.scaleDownEvents)});
+        }
+        if (scenario.tenants > 0) {
+            // Per-tenant breakdown keyed by the records' scheduling
+            // class; tenants with no finished requests print 0.
+            std::vector<std::vector<double>> ttfts(
+                scenario.tenants);
+            for (const metrics::RequestRecord &record :
+                 report.requests) {
+                if (record.cls.tenant < scenario.tenants) {
+                    ttfts[record.cls.tenant].push_back(
+                        ticksToSeconds(record.ttft()));
+                }
+            }
+            for (std::size_t t = 0; t < scenario.tenants; ++t) {
+                auto &samples = ttfts[t];
+                std::sort(samples.begin(), samples.end());
+                const double p99 = samples.empty()
+                    ? 0.0
+                    : samples[std::min(samples.size() - 1,
+                                       (samples.size() * 99) /
+                                           100)];
+                const std::string prefix =
+                    "tenant" + std::to_string(t);
+                table.addRow({prefix + "_finished",
+                              formatCount(static_cast<std::int64_t>(
+                                  samples.size()))});
+                table.addRow({prefix + "_p99_ttft_s",
+                              formatDouble(p99, 3)});
+            }
         }
         table.print(os);
         os << report.summary(sla) << "\n";

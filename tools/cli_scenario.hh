@@ -80,6 +80,24 @@ struct CliOptions
      *  every request at priority 0. */
     std::string priorityMix;
 
+    // Multi-tenant composition and the tenant scheduler tree.
+
+    /** Number of tenants drawing the workload's requests (0 =
+     *  single-tenant legacy; ids are 0..N-1). */
+    std::size_t tenants = 0;
+
+    /** Zipf exponent of the tenant traffic shares (0 = uniform). */
+    double tenantZipf = 0.0;
+
+    /** Explicit comma-separated tenant shares (overrides the Zipf
+     *  shape; count must equal --tenants). */
+    std::string tenantWeights;
+
+    /** Route scheduling through the per-tenant fair tree (weights
+     *  follow the traffic shares); off keeps the flat bit-exact
+     *  pipeline. */
+    bool tenantTree = false;
+
     // Model / hardware.
     std::string model = "llama2-7b";
     std::string hardware = "a100-80g";
@@ -201,6 +219,10 @@ struct Scenario
     bool autoscale = false;
     autoscale::AutoscaleConfig autoscaleConfig;
     std::string scalePolicyName;
+
+    /** Tenant count of the workload (0 = single tenant); gates the
+     *  per-tenant report breakdown. */
+    std::size_t tenants = 0;
 };
 
 /**
