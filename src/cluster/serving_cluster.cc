@@ -20,6 +20,8 @@ routingPolicyName(RoutingPolicy policy)
         return "future-memory";
       case RoutingPolicy::PrefixAffinity:
         return "prefix-affinity";
+      case RoutingPolicy::PrefillLoad:
+        return "prefill-load";
     }
     return "unknown";
 }
@@ -31,7 +33,8 @@ parseRoutingPolicy(std::string_view name, RoutingPolicy &out)
          {RoutingPolicy::RoundRobin,
           RoutingPolicy::LeastOutstandingTokens,
           RoutingPolicy::FutureMemory,
-          RoutingPolicy::PrefixAffinity}) {
+          RoutingPolicy::PrefixAffinity,
+          RoutingPolicy::PrefillLoad}) {
         if (name == routingPolicyName(policy)) {
             out = policy;
             return true;
@@ -43,7 +46,21 @@ parseRoutingPolicy(std::string_view name, RoutingPolicy &out)
 ServingCluster::ServingCluster(
     std::vector<std::unique_ptr<engine::ServingEngine>> instances,
     RoutingPolicy policy)
-    : policy_(policy), routingPredictor_(1000)
+    : ownedContext_(std::make_unique<sim::SimContext>()),
+      context_(ownedContext_.get()), policy_(policy),
+      routingPredictor_(1000)
+{
+    LIGHTLLM_ASSERT(!instances.empty(),
+                    "cluster needs at least one instance");
+    for (auto &instance : instances)
+        adoptInstance(std::move(instance));
+    peakInstances_ = instances_.size();
+}
+
+ServingCluster::ServingCluster(
+    std::vector<std::unique_ptr<engine::ServingEngine>> instances,
+    RoutingPolicy policy, sim::SimContext &context)
+    : context_(&context), policy_(policy), routingPredictor_(1000)
 {
     LIGHTLLM_ASSERT(!instances.empty(),
                     "cluster needs at least one instance");
@@ -57,7 +74,9 @@ ServingCluster::adoptInstance(
     std::unique_ptr<engine::ServingEngine> engine)
 {
     const std::size_t index = instances_.size();
-    engine->attachContext(context_);
+    engine->attachContext(*context_);
+    costRate_.push_back(
+        engine->perfModel().hardwareSpec().dollarsPerSecond);
     engine->setOnFinish(
         [this, index](const workload::RequestSpec &spec,
                       Tick tick) {
@@ -75,7 +94,7 @@ ServingCluster::adoptInstance(
     routedTokens_.push_back(0);
     predictedLoad_.push_back(0);
     inFlight_.push_back(0);
-    provisionedAt_.push_back(context_.now());
+    provisionedAt_.push_back(context_->now());
     retiredAt_.push_back(-1);
 }
 
@@ -127,7 +146,7 @@ ServingCluster::provisionInstance(Tick warmup_delay)
     // Warm-up completion: the instance joins the router only after
     // the cold-start delay, even though its cost clock (and event
     // loop) started now.
-    context_.schedule(context_.now() + warmup_delay,
+    context_->schedule(context_->now() + warmup_delay,
                       [this, index](Tick) {
                           warming_[index] = false;
                           stealWork(index);
@@ -249,7 +268,7 @@ autoscale::FleetSnapshot
 ServingCluster::snapshot()
 {
     autoscale::FleetSnapshot snap;
-    snap.now = context_.now();
+    snap.now = context_->now();
     snap.instances.reserve(instances_.size());
     for (std::size_t i = 0; i < instances_.size(); ++i) {
         autoscale::InstanceSnapshot instance;
@@ -272,8 +291,10 @@ ServingCluster::snapshot()
 }
 
 void
-ServingCluster::controlTick(Tick when)
+ServingCluster::controlOnce(Tick)
 {
+    LIGHTLLM_ASSERT(autoscaler_ != nullptr,
+                    "controlOnce requires autoscaling");
     const autoscale::FleetSnapshot snap = snapshot();
     const int delta = autoscaler_->evaluate(snap);
     if (delta > 0) {
@@ -288,6 +309,12 @@ ServingCluster::controlTick(Tick when)
     } else if (delta < 0) {
         retireInstance(autoscaler_->config().minInstances);
     }
+}
+
+void
+ServingCluster::controlTick(Tick when)
+{
+    controlOnce(when);
 
     // Keep ticking while anything can still happen. The fleet is
     // quiescent once every offered request finished (or was shed)
@@ -304,8 +331,8 @@ ServingCluster::controlTick(Tick when)
     const bool quiescent = !busy &&
         shedRequests_ + static_cast<std::int64_t>(finished) ==
             offeredRequests_;
-    if (!context_.empty() && !quiescent) {
-        context_.schedule(
+    if (!context_->empty() && !quiescent) {
+        context_->schedule(
             when + autoscaler_->config().controlInterval,
             [this](Tick tick) { controlTick(tick); });
     }
@@ -445,6 +472,14 @@ ServingCluster::pickInstance(TokenCount footprint,
             sessionHome_[session_key] = index;
         return index;
       }
+      case RoutingPolicy::PrefillLoad:
+        // Prefill-pool placement: queueing delay there is set by
+        // the prompt tokens still to prefill, not by resident
+        // memory (prefill-side requests release KV quickly).
+        return leastLoaded([this](std::size_t i) {
+            return static_cast<double>(
+                instances_[i]->pendingPrefillTokens());
+        });
     }
     panic("unknown routing policy");
 }
@@ -453,7 +488,7 @@ void
 ServingCluster::submitAt(const workload::RequestSpec &spec,
                          Tick arrival)
 {
-    const Tick when = std::max(arrival, context_.now());
+    const Tick when = std::max(arrival, context_->now());
     ++offeredRequests_;
     if (!autoscaler_) {
         // Legacy path (bit-exact): route at submission time.
@@ -465,7 +500,7 @@ ServingCluster::submitAt(const workload::RequestSpec &spec,
     // instances provisioned meanwhile — and so the shed-or-queue
     // check judges the actual load at arrival, not at submission
     // (open-loop workloads pre-schedule everything up front).
-    context_.schedule(when, [this, spec](Tick tick) {
+    context_->schedule(when, [this, spec](Tick tick) {
         // Snapshot + footprint are per-arrival costs; pay them
         // only when a shed policy can actually use them. A shed
         // request gets no completion callback — shedding models an
@@ -511,7 +546,7 @@ ServingCluster::routeSubmission(const workload::RequestSpec &spec,
         // Mirror the engine's arrival clamp so the log records the
         // tick the arrival event actually fires.
         submissionLog_.push_back(RoutedSubmission{
-            index, spec, std::max(deliver, context_.now()), stamp});
+            index, spec, std::max(deliver, context_->now()), stamp});
     }
     instances_[index]->submitStamped(spec, deliver, stamp);
 }
@@ -521,7 +556,7 @@ ServingCluster::scheduleDrain(std::size_t index, Tick when)
 {
     LIGHTLLM_ASSERT(index < instances_.size(), "bad instance index");
     LIGHTLLM_ASSERT(!ran_, "scheduleDrain must precede run()");
-    context_.schedule(when,
+    context_->schedule(when,
                       [this, index](Tick) { drainNow(index); });
 }
 
@@ -568,7 +603,7 @@ ServingCluster::drainNow(std::size_t index)
     }
     if (inFlight_[index] == 0 && retiredAt_[index] < 0) {
         // Nothing left running: the instance is idle from here on.
-        retiredAt_[index] = context_.now();
+        retiredAt_[index] = context_->now();
     }
 }
 
@@ -580,7 +615,7 @@ ServingCluster::run()
 
     // Start the autoscale control loop one interval in.
     if (autoscaler_) {
-        context_.schedule(
+        context_->schedule(
             autoscaler_->config().controlInterval,
             [this](Tick tick) { controlTick(tick); });
     }
@@ -589,7 +624,15 @@ ServingCluster::run()
     // completion, and drain fires in global (tick, class, FIFO)
     // order on the shared context. Engines schedule their own next
     // iterations, so running the queue dry runs the fleet dry.
-    context_.runToCompletion();
+    context_->runToCompletion();
+    return finalizeReport();
+}
+
+metrics::RunReport
+ServingCluster::finalizeReport(Tick end_of_service)
+{
+    if (end_of_service < 0)
+        end_of_service = lastFinishTick_;
 
     // Merge per-instance reports.
     std::vector<metrics::RunReport> reports;
@@ -607,16 +650,20 @@ ServingCluster::run()
     // completion anywhere) because per-instance makespans are
     // measurement-relative under --warmup.
     instanceSecondsTotal_ = 0.0;
+    instanceCostTotal_ = 0.0;
     for (std::size_t i = 0; i < instances_.size(); ++i) {
         const Tick end = retiredAt_[i] >= 0 ? retiredAt_[i]
-                                            : lastFinishTick_;
-        instanceSecondsTotal_ += ticksToSeconds(
+                                            : end_of_service;
+        const double alive = ticksToSeconds(
             std::max<Tick>(0, end - provisionedAt_[i]));
+        instanceSecondsTotal_ += alive;
+        instanceCostTotal_ += alive * costRate_[i];
     }
 
     merged.shedRequests = shedRequests_;
     merged.offeredRequests = offeredRequests_;
     merged.instanceSeconds = instanceSecondsTotal_;
+    merged.instanceCost = instanceCostTotal_;
     merged.scaleUpEvents = scaleUpEvents_;
     merged.scaleDownEvents = scaleDownEvents_;
     merged.peakInstances = peakInstances_;

@@ -84,6 +84,15 @@ enum class RoutingPolicy
      * A drained home instance is re-picked and remembered.
      */
     PrefixAffinity,
+
+    /**
+     * Disaggregated prefill pool: join the instance with the least
+     * prefill work still ahead of it (in-flight arrivals, queued
+     * prompts, admitted-but-unprefilled remainders) — the signal
+     * that predicts prefill queueing delay rather than memory
+     * pressure.
+     */
+    PrefillLoad,
 };
 
 /** Human-readable policy label. */
@@ -126,6 +135,17 @@ class ServingCluster : public workload::RequestSink
     ServingCluster(
         std::vector<std::unique_ptr<engine::ServingEngine>> instances,
         RoutingPolicy policy);
+
+    /**
+     * Same, but co-simulating on an externally owned context —
+     * several clusters (e.g. the prefill and decode pools of a
+     * disagg::DisaggCluster) share one clock and event queue. The
+     * caller drives the event loop and calls finalizeReport()
+     * itself instead of run().
+     */
+    ServingCluster(
+        std::vector<std::unique_ptr<engine::ServingEngine>> instances,
+        RoutingPolicy policy, sim::SimContext &context);
 
     /** Route a request to an instance per the policy. */
     void submitAt(const workload::RequestSpec &spec,
@@ -227,6 +247,11 @@ class ServingCluster : public workload::RequestSink
         return instanceSecondsTotal_;
     }
 
+    /** Dollar cost of those instance-seconds at each instance's
+     *  platform rate (HardwareSpec::dollarsPerSecond); valid after
+     *  run() / finalizeReport(). */
+    double instanceCost() const { return instanceCostTotal_; }
+
     std::int64_t scaleUpEvents() const { return scaleUpEvents_; }
     std::int64_t scaleDownEvents() const
     {
@@ -241,6 +266,29 @@ class ServingCluster : public workload::RequestSink
      * report (per-instance reports remain available).
      */
     metrics::RunReport run();
+
+    /**
+     * One autoscale control decision at `when`: snapshot the fleet,
+     * evaluate the scale policy, and execute the resulting
+     * provisions / retirement. Unlike the internal control loop
+     * this never reschedules itself — an external driver (the
+     * disaggregated cluster, which runs one loop per pool) owns the
+     * cadence and the termination condition. Requires autoscaling
+     * to be enabled.
+     */
+    void controlOnce(Tick when);
+
+    /**
+     * Merge the per-instance reports and settle the cost ledgers
+     * (instance-seconds, instance-cost, shed/offered counters).
+     * run() calls this after the event loop drains; external-
+     * context callers call it directly once the shared loop is dry.
+     *
+     * @param end_of_service Absolute tick at which still-alive
+     *        instances stop costing; -1 = the last completion seen
+     *        by this cluster.
+     */
+    metrics::RunReport finalizeReport(Tick end_of_service = -1);
 
     std::size_t numInstances() const { return instances_.size(); }
 
@@ -283,7 +331,7 @@ class ServingCluster : public workload::RequestSink
     }
 
     /** The shared simulation context (tests / instrumentation). */
-    sim::SimContext &context() { return context_; }
+    sim::SimContext &context() { return *context_; }
 
     /**
      * Imbalance of routed output tokens across instances:
@@ -336,8 +384,11 @@ class ServingCluster : public workload::RequestSink
     /** Drain-event body for instance `index`. */
     void drainNow(std::size_t index);
 
-    /** Shared clock + queue all instances are attached to. */
-    sim::SimContext context_;
+    /** Clock + queue all instances are attached to: owned in the
+     *  standalone case, borrowed when co-simulating with sibling
+     *  clusters on one context. */
+    std::unique_ptr<sim::SimContext> ownedContext_;
+    sim::SimContext *context_;
 
     std::vector<std::unique_ptr<engine::ServingEngine>> instances_;
     RoutingPolicy policy_;
@@ -374,6 +425,11 @@ class ServingCluster : public workload::RequestSink
     std::int64_t scaleDownEvents_ = 0;
     std::size_t peakInstances_ = 0;
     double instanceSecondsTotal_ = 0.0;
+    double instanceCostTotal_ = 0.0;
+
+    /** Per-instance platform price in dollars/second (from each
+     *  engine's HardwareSpec at adoption). */
+    std::vector<double> costRate_;
 
     // FutureMemory routing state: the router's own "past" (the same
     // LengthPredictor component the Past-Future scheduler and the

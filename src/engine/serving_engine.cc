@@ -280,11 +280,18 @@ ServingEngine::buildContext()
 
     waitingViews_.clear();
     for (EngineRequest *request : waiting_) {
+        // Migrated KV counts as a resident prefix: the dispatch
+        // gate of the handoff queue already reserved its memory on
+        // this instance, so the schedulers must not charge it
+        // again (and there is no prefill compute to budget for).
+        const TokenCount resident =
+            std::max(peekCachedPrefix(*request),
+                     migratedResidentTokens(*request));
         waitingViews_.push_back(core::WaitingView{
             request->spec.id, request->spec.inputLen,
             request->generated, request->spec.maxNewTokens,
             request->arrival, request->spec.outputLen,
-            request->spec.cls, peekCachedPrefix(*request)});
+            request->spec.cls, resident});
     }
 
     core::SchedulerContext ctx;
@@ -310,6 +317,19 @@ ServingEngine::admitOne(EngineRequest *request)
             return false;
         request->admitSeq = nextAdmitSeq_++;
         request->remainingPrompt = 0;
+        prefillPending_.push_back(request);
+        return true;
+    }
+    if (migratedResidentTokens(*request) > 0) {
+        // Disaggregated handoff: the KV of the whole prompt arrived
+        // over the interconnect. Allocate it as private resident
+        // memory; no prefill compute and no emission (the first
+        // token was produced by the prefill pool).
+        if (!kv_.allocate(request->spec.id, request->spec.inputLen))
+            return false;
+        request->admitSeq = nextAdmitSeq_++;
+        request->remainingPrompt = 0;
+        request->migratedAdmit = true;
         prefillPending_.push_back(request);
         return true;
     }
@@ -567,6 +587,14 @@ ServingEngine::runPrefillPhase()
                 request->spec.inputLen + request->generated,
                 duration);
             request->swappedOut = false;
+            running_.push_back(request);
+            continue;
+        }
+        if (request->migratedAdmit) {
+            // Migrated KV is already resident: straight to the
+            // decode batch. The transfer cost was paid on the
+            // interconnect before dispatch.
+            request->migratedAdmit = false;
             running_.push_back(request);
             continue;
         }
@@ -942,6 +970,31 @@ ServingEngine::predictedLoadTokens()
 {
     const core::SchedulerContext ctx = buildContext();
     return policy_->estimateLoad(ctx) + undeliveredTokens_;
+}
+
+TokenCount
+ServingEngine::migratedResidentTokens(const EngineRequest &request)
+{
+    if (request.spec.migratedPrefix > 0 && request.generated == 0 &&
+        request.evictions == 0 && !request.swappedOut) {
+        return request.spec.migratedPrefix;
+    }
+    return 0;
+}
+
+TokenCount
+ServingEngine::pendingPrefillTokens() const
+{
+    // In-flight arrivals are conservatively counted as full
+    // prompts (their migration status is unknown until delivery).
+    TokenCount total = undeliveredTokens_;
+    for (const EngineRequest *request : waiting_) {
+        total += request->spec.inputLen + request->generated -
+            migratedResidentTokens(*request);
+    }
+    for (const EngineRequest *request : prefillPending_)
+        total += request->remainingPrompt;
+    return total;
 }
 
 } // namespace engine

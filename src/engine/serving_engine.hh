@@ -215,6 +215,15 @@ class ServingEngine : public workload::RequestSink
      */
     TokenCount predictedLoadTokens();
 
+    /**
+     * Prefill work still ahead of this engine, in prompt tokens:
+     * undelivered arrivals, queued prompts, and admitted-but-
+     * unprefilled remainders. Migrated prompts (resident KV, no
+     * prefill compute) do not count. The routing signal for the
+     * disaggregated prefill pool.
+     */
+    TokenCount pendingPrefillTokens() const;
+
     Tick now() const { return now_; }
     std::size_t runningSize() const { return running_.size(); }
     std::size_t waitingSize() const { return waiting_.size(); }
@@ -256,6 +265,11 @@ class ServingEngine : public workload::RequestSink
          *  (0 unless admitted through a cache match). */
         TokenCount cachedPrefix = 0;
 
+        /** Admitted this iteration with migrated KV: the prefill
+         *  phase moves it straight to running (no compute, no
+         *  emission — the first token came from the prefill pool). */
+        bool migratedAdmit = false;
+
         /** Memoised prompt block-hash chain (prefix-cache mode)
          *  and the token cap it was computed for (-1 = none). */
         std::vector<PrefixHash> hashes;
@@ -294,6 +308,16 @@ class ServingEngine : public workload::RequestSink
     /** Admit one request: allocate KV (reusing any cached prefix)
      *  and queue its prefill over the uncached suffix. */
     bool admitOne(EngineRequest *request);
+
+    /**
+     * Prompt tokens of `request` whose KV is resident via
+     * disaggregated migration: `spec.migratedPrefix` on the first
+     * admission attempt, 0 once any local history exists (an
+     * eviction or swap drops the migrated copy, so the prompt must
+     * recompute locally).
+     */
+    static TokenCount migratedResidentTokens(
+        const EngineRequest &request);
 
     /**
      * The request's prompt block-hash chain, capped one token short

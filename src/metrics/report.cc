@@ -151,6 +151,7 @@ mergeReports(const std::vector<RunReport> &reports, std::string name)
         merged.shedRequests += report.shedRequests;
         merged.offeredRequests += report.offeredRequests;
         merged.instanceSeconds += report.instanceSeconds;
+        merged.instanceCost += report.instanceCost;
         merged.scaleUpEvents += report.scaleUpEvents;
         merged.scaleDownEvents += report.scaleDownEvents;
         merged.peakInstances =

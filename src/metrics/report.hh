@@ -102,9 +102,43 @@ struct RunReport
     std::int64_t scaleUpEvents = 0;
     std::int64_t scaleDownEvents = 0;
 
+    /** Instance-seconds priced at each instance's platform rate
+     *  (HardwareSpec::dollarsPerSecond), in dollars. */
+    double instanceCost = 0.0;
+
     /** Largest concurrently provisioned fleet size (0 unless the
      *  run autoscaled). */
     std::size_t peakInstances = 0;
+
+    // --- Disaggregated prefill/decode outcome (set only by a
+    // disagg::DisaggCluster run) --------------------------------------
+
+    /** Per-pool latency summary of a disaggregated run. */
+    struct PoolStats
+    {
+        std::size_t finished = 0;
+        double p99TtftSeconds = 0.0;
+        double p99MtpotSeconds = 0.0;
+    };
+
+    /** True when this report came from a disaggregated run. */
+    bool disaggregated = false;
+
+    PoolStats prefillPool;
+    PoolStats decodePool;
+
+    /** p99 wait in the migration handoff queue (transfer complete
+     *  to decode-pool dispatch), seconds. */
+    double handoffQueueP99Seconds = 0.0;
+
+    /** KV bytes migrated prefill → decode over the interconnect. */
+    std::int64_t migratedKvBytes = 0;
+
+    /** Requests whose KV migrated (finished-at-prefill excluded). */
+    std::int64_t migratedRequests = 0;
+
+    /** Requests dropped because the handoff queue was full. */
+    std::int64_t handoffShedRequests = 0;
 
     /** Per-request latency records. */
     std::vector<RequestRecord> requests;

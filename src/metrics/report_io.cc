@@ -89,11 +89,40 @@ writeSummaryJson(std::ostream &os, const RunReport &report,
        << formatDouble(report.shedRate(), 4) << ",\n"
        << "  \"instance_seconds\": "
        << formatDouble(report.instanceSeconds, 1) << ",\n"
+       << "  \"instance_cost\": "
+       << formatDouble(report.instanceCost, 4) << ",\n"
        << "  \"scale_up_events\": " << report.scaleUpEvents << ",\n"
        << "  \"scale_down_events\": " << report.scaleDownEvents
        << ",\n"
-       << "  \"peak_instances\": " << report.peakInstances << ",\n"
-       << "  \"avg_consumed_memory\": "
+       << "  \"peak_instances\": " << report.peakInstances << ",\n";
+    if (report.disaggregated) {
+        os << "  \"prefill_pool_finished\": "
+           << report.prefillPool.finished << ",\n"
+           << "  \"prefill_pool_p99_ttft_s\": "
+           << formatDouble(report.prefillPool.p99TtftSeconds, 3)
+           << ",\n"
+           << "  \"prefill_pool_p99_mtpot_s\": "
+           << formatDouble(report.prefillPool.p99MtpotSeconds, 3)
+           << ",\n"
+           << "  \"decode_pool_finished\": "
+           << report.decodePool.finished << ",\n"
+           << "  \"decode_pool_p99_ttft_s\": "
+           << formatDouble(report.decodePool.p99TtftSeconds, 3)
+           << ",\n"
+           << "  \"decode_pool_p99_mtpot_s\": "
+           << formatDouble(report.decodePool.p99MtpotSeconds, 3)
+           << ",\n"
+           << "  \"handoff_queue_p99_s\": "
+           << formatDouble(report.handoffQueueP99Seconds, 4)
+           << ",\n"
+           << "  \"migrated_kv_bytes\": " << report.migratedKvBytes
+           << ",\n"
+           << "  \"migrated_requests\": " << report.migratedRequests
+           << ",\n"
+           << "  \"handoff_shed_requests\": "
+           << report.handoffShedRequests << ",\n";
+    }
+    os << "  \"avg_consumed_memory\": "
        << formatDouble(report.avgConsumedMemory, 4) << ",\n"
        << "  \"avg_future_required\": "
        << formatDouble(report.avgFutureRequired, 4) << ",\n"

@@ -33,6 +33,7 @@ HardwareSpec::withTensorParallel(int n) const
     LIGHTLLM_ASSERT(n >= 1, "tensor parallel degree must be >= 1");
     HardwareSpec spec = *this;
     spec.numDevices = n;
+    spec.dollarsPerSecond = dollarsPerSecond * n;
     if (n > 1)
         spec.name += " x" + std::to_string(n);
     return spec;
@@ -47,6 +48,9 @@ HardwareSpec::a100_80g()
     spec.memBandwidthPerDevice = 2.039e12;
     spec.flopsPerDevice = 312e12;
     spec.tpEfficiency = 0.88;  // NVLink
+    spec.interconnectBandwidth = 25e9;   // NVLink pair / 200G IB
+    spec.interconnectLatency = 0.002;
+    spec.dollarsPerSecond = 4.10 / 3600.0;  // on-demand $/hr
     return spec;
 }
 
@@ -59,6 +63,9 @@ HardwareSpec::h800()
     spec.memBandwidthPerDevice = 3.35e12;
     spec.flopsPerDevice = 990e12;
     spec.tpEfficiency = 0.85;  // reduced NVLink vs H100
+    spec.interconnectBandwidth = 50e9;   // 400G IB fabric
+    spec.interconnectLatency = 0.002;
+    spec.dollarsPerSecond = 4.90 / 3600.0;
     return spec;
 }
 
@@ -71,6 +78,9 @@ HardwareSpec::rtx4090()
     spec.memBandwidthPerDevice = 1.008e12;
     spec.flopsPerDevice = 165e12;
     spec.tpEfficiency = 0.72;  // PCIe interconnect
+    spec.interconnectBandwidth = 8e9;    // PCIe 4.0-class NIC path
+    spec.interconnectLatency = 0.003;
+    spec.dollarsPerSecond = 0.74 / 3600.0;
     return spec;
 }
 
@@ -83,6 +93,9 @@ HardwareSpec::a30()
     spec.memBandwidthPerDevice = 933e9;
     spec.flopsPerDevice = 165e12;
     spec.tpEfficiency = 0.8;
+    spec.interconnectBandwidth = 8e9;
+    spec.interconnectLatency = 0.002;
+    spec.dollarsPerSecond = 1.10 / 3600.0;
     return spec;
 }
 

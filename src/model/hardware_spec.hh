@@ -42,6 +42,20 @@ struct HardwareSpec
      *  by swap-based eviction (KV offload to host memory). */
     double hostLinkBandwidth = 25e9;
 
+    /** Inter-instance interconnect bandwidth in bytes/second, used
+     *  by disaggregated serving to migrate KV caches between the
+     *  prefill and decode pools (NVLink/IB on datacenter parts,
+     *  PCIe-class on workstation cards). */
+    double interconnectBandwidth = 25e9;
+
+    /** Fixed per-transfer latency of the interconnect in seconds
+     *  (connection setup, descriptor posting, sync). */
+    double interconnectLatency = 0.002;
+
+    /** On-demand price of the platform in dollars per second (all
+     *  tensor-parallel devices included), for cost-axis reporting. */
+    double dollarsPerSecond = 0.0;
+
     /** Total memory across devices. */
     ByteCount totalMemBytes() const;
 

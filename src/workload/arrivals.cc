@@ -86,5 +86,17 @@ submitScheduledArrivals(const Dataset &dataset, RequestSink &sink,
     }
 }
 
+void
+submitTraceArrivals(const Dataset &dataset, RequestSink &sink,
+                    Tick start)
+{
+    for (const auto &spec : dataset.requests) {
+        LIGHTLLM_ASSERT(spec.arrivalTick >= 0,
+                        "trace replay needs an arrival timestamp "
+                        "on every request (arrival_us column)");
+        sink.submitAt(spec, start + spec.arrivalTick);
+    }
+}
+
 } // namespace workload
 } // namespace lightllm

@@ -57,6 +57,17 @@ void submitScheduledArrivals(const Dataset &dataset,
                              const RateSchedule &schedule,
                              std::uint64_t seed, Tick start = 0);
 
+/**
+ * Open-loop trace replay: every request is submitted at exactly
+ * `start + spec.arrivalTick` — the measured timestamps a dataset
+ * CSV round-trips through its `arrival_us` column
+ * (BurstGPT/Mooncake-style traces). Every request must carry an
+ * arrival (arrivalTick >= 0); order within a tick follows the
+ * dataset.
+ */
+void submitTraceArrivals(const Dataset &dataset, RequestSink &sink,
+                         Tick start = 0);
+
 } // namespace workload
 } // namespace lightllm
 

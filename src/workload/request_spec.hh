@@ -69,6 +69,24 @@ struct RequestSpec
      */
     std::uint64_t sessionKey = 0;
 
+    /**
+     * Tokens of KV cache migrated with this request from a prefill
+     * pool (0 = not migrated). Covers the first `migratedPrefix`
+     * prompt tokens: admission allocates them without prefill
+     * compute and the schedulers discount them like a cached
+     * prefix. Set only on decode-side sub-requests built by
+     * `disagg::DisaggCluster`.
+     */
+    TokenCount migratedPrefix = 0;
+
+    /**
+     * Measured arrival tick for trace replay (-1 = none). Round-
+     * trips through the dataset CSV as `arrival_us`;
+     * `submitTraceArrivals` submits the request at exactly this
+     * offset from the replay start.
+     */
+    Tick arrivalTick = -1;
+
     /** Number of output tokens generation will actually produce. */
     TokenCount
     effectiveOutputLen() const

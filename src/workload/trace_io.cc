@@ -83,8 +83,19 @@ readTraceCsvFile(const std::string &path)
 void
 writeDatasetCsv(std::ostream &os, const Dataset &dataset)
 {
+    // The arrival column appears only when some request carries a
+    // measured arrival, so datasets without timestamps round-trip
+    // byte-identically through the pre-trace-replay schema.
+    const bool arrivals = std::any_of(
+        dataset.requests.begin(), dataset.requests.end(),
+        [](const RequestSpec &spec) {
+            return spec.arrivalTick >= 0;
+        });
     os << "id,input_len,output_len,max_new_tokens,priority,"
-          "tenant,slo_tier,session_key,output_key,segments\n";
+          "tenant,slo_tier,session_key,output_key,segments";
+    if (arrivals)
+        os << ",arrival_us";
+    os << '\n';
     os << std::hex;
     for (const auto &spec : dataset.requests) {
         os << std::dec << spec.id << ',' << spec.inputLen << ','
@@ -98,6 +109,8 @@ writeDatasetCsv(std::ostream &os, const Dataset &dataset)
             os << spec.segments[i].key << ':' << std::dec
                << spec.segments[i].len << std::hex;
         }
+        if (arrivals)
+            os << std::dec << ',' << spec.arrivalTick << std::hex;
         os << '\n';
     }
     os << std::dec;
@@ -169,14 +182,17 @@ readDatasetCsv(std::istream &is, const std::string &name)
             continue;  // header
         }
         const auto fields = splitString(trimmed, ',');
-        // 10 fields since the tenant/slo_tier columns; 8 accepts
-        // the pre-tenant schema (both classes default to 0).
-        if (fields.size() != 10 && fields.size() != 8) {
+        // 11 fields with the arrival_us trace-replay column, 10
+        // since the tenant/slo_tier columns; 8 accepts the
+        // pre-tenant schema (both classes default to 0).
+        if (fields.size() != 11 && fields.size() != 10 &&
+            fields.size() != 8) {
             fatal("dataset ", name, " line ", line_number,
-                  ": expected 10 (or legacy 8) fields, got ",
+                  ": expected 11, 10, or legacy 8 fields, got ",
                   fields.size());
         }
         const bool legacy = fields.size() == 8;
+        const bool arrivals = fields.size() == 11;
         RequestSpec spec;
         spec.id = parseIntField(fields[0], name, line_number);
         spec.inputLen = parseIntField(fields[1], name, line_number);
@@ -201,6 +217,14 @@ readDatasetCsv(std::istream &is, const std::string &name)
             spec.maxNewTokens < 0) {
             fatal("dataset ", name, " line ", line_number,
                   ": negative length");
+        }
+        if (arrivals) {
+            spec.arrivalTick = parseIntField(fields[next + 1], name,
+                                             line_number);
+            if (spec.arrivalTick < -1) {
+                fatal("dataset ", name, " line ", line_number,
+                      ": bad arrival_us (use -1 for none)");
+            }
         }
         if (!fields[next].empty()) {
             for (const std::string &entry :

@@ -490,11 +490,75 @@ TEST(DatasetIoDeathTest, MalformedDatasetRowsAreFatal)
     std::stringstream missing("1,2,3\n");
     EXPECT_EXIT(readDatasetCsv(missing, "bad"),
                 ::testing::ExitedWithCode(1),
-                "expected 10 \\(or legacy 8\\) fields");
+                "expected 11, 10, or legacy 8 fields");
     std::stringstream segment(
         "0,10,20,100,0,3,1,0,0,deadbeef-512\n");
     EXPECT_EXIT(readDatasetCsv(segment, "bad"),
                 ::testing::ExitedWithCode(1), "segment");
+}
+
+TEST(DatasetIoTest, ArrivalColumnRoundTripsWhenPresent)
+{
+    auto dataset = makeShareGpt(8, 13);
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+        dataset.requests[i].arrivalTick =
+            static_cast<Tick>(i) * secondsToTicks(0.25);
+    }
+
+    std::stringstream buffer;
+    writeDatasetCsv(buffer, dataset);
+    EXPECT_NE(buffer.str().find("arrival_us"), std::string::npos);
+
+    const Dataset loaded = readDatasetCsv(buffer, "trace");
+    ASSERT_EQ(loaded.requests.size(), dataset.requests.size());
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+        EXPECT_EQ(loaded.requests[i].arrivalTick,
+                  dataset.requests[i].arrivalTick);
+    }
+}
+
+TEST(DatasetIoTest, NoArrivalsKeepsLegacySchema)
+{
+    // A dataset without measured arrivals must serialize exactly as
+    // before the trace-replay column existed, so goldens pinned on
+    // the 10-field schema stay byte-identical.
+    const auto dataset = makeShareGpt(4, 13);
+    std::stringstream buffer;
+    writeDatasetCsv(buffer, dataset);
+    EXPECT_EQ(buffer.str().find("arrival_us"), std::string::npos);
+
+    const Dataset loaded = readDatasetCsv(buffer, "plain");
+    ASSERT_EQ(loaded.requests.size(), dataset.requests.size());
+    for (const RequestSpec &spec : loaded.requests)
+        EXPECT_EQ(spec.arrivalTick, -1);
+}
+
+TEST(TraceArrivalsTest, ReplaySubmitsAtRecordedTicks)
+{
+    auto dataset = makeDistribution1(6, 31);
+    // Deliberately non-monotone: replay must honor the recorded
+    // ticks, not re-sort or re-space them.
+    const Tick ticks[] = {500, 100, 100, 9000, 0, 2500};
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i)
+        dataset.requests[i].arrivalTick = ticks[i];
+
+    RecordingSink sink;
+    submitTraceArrivals(dataset, sink, 1000);
+    ASSERT_EQ(sink.submissions.size(), dataset.requests.size());
+    for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+        EXPECT_EQ(sink.submissions[i].first,
+                  dataset.requests[i].id);
+        EXPECT_EQ(sink.submissions[i].second, 1000 + ticks[i]);
+    }
+}
+
+TEST(TraceArrivalsDeathTest, MissingTimestampIsFatal)
+{
+    auto dataset = makeDistribution1(2, 31);
+    dataset.requests[0].arrivalTick = 10;  // [1] stays unset (-1)
+    RecordingSink sink;
+    EXPECT_DEATH(submitTraceArrivals(dataset, sink),
+                 "arrival timestamp");
 }
 
 TEST(RateScheduleTest, SpikeShapeAndRateAt)

@@ -21,6 +21,7 @@
 #include "workload/client_pool.hh"
 #include "workload/tenant_mix.hh"
 #include "workload/trace_gen.hh"
+#include "workload/trace_io.hh"
 
 namespace lightllm {
 namespace cli {
@@ -56,26 +57,7 @@ parseDouble(const std::string &text, double &out)
     }
 }
 
-/** Wrap a Trace as a Dataset so trace workloads are servable. */
-workload::Dataset
-traceToDataset(const workload::Trace &trace,
-               TokenCount max_new_tokens)
-{
-    workload::Dataset dataset;
-    dataset.name = trace.name;
-    dataset.maxNewTokens = max_new_tokens;
-    dataset.requests.reserve(trace.records.size());
-    RequestId next_id = 0;
-    for (const auto &record : trace.records) {
-        workload::RequestSpec spec;
-        spec.id = next_id++;
-        spec.inputLen = record.inputLen;
-        spec.outputLen = record.outputLen;
-        spec.maxNewTokens = max_new_tokens;
-        dataset.requests.push_back(spec);
-    }
-    return dataset;
-}
+using workload::traceToDataset;
 
 workload::Dataset
 makeWorkload(const std::string &name, std::size_t n,
@@ -307,7 +289,7 @@ makeEngineConfig(const CliOptions &options)
 }
 
 /** Flags taking no value. */
-constexpr const char *kBooleanFlags[] = {"--autoscale",
+constexpr const char *kBooleanFlags[] = {"--autoscale", "--disagg",
                                          "--split-fuse",
                                          "--tenant-tree", "--help"};
 
@@ -383,6 +365,15 @@ valuedFlagBindings(CliOptions &options)
         return true;
     };
     valued["--instances"] = bind_size(options.instances);
+    valued["--prefill-instances"] =
+        bind_size(options.prefillInstances);
+    valued["--decode-instances"] =
+        bind_size(options.decodeInstances);
+    valued["--handoff-depth"] = bind_size(options.handoffDepth);
+    valued["--link-gbps"] = bind_double(options.linkGbps);
+    valued["--link-latency"] =
+        bind_double(options.linkLatencySeconds);
+    valued["--trace-replay"] = bind_string(options.traceReplay);
     valued["--routing"] = bind_string(options.routing);
     valued["--platform-mix"] = bind_string(options.platformMix);
     valued["--drain-at"] = bind_double(options.drainAtSeconds);
@@ -452,6 +443,10 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
             options.autoscale = true;
             continue;
         }
+        if (arg == "--disagg") {
+            options.disagg = true;
+            continue;
+        }
         if (arg == "--tenant-tree") {
             options.tenantTree = true;
             continue;
@@ -498,6 +493,53 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
             return "--tenants applies to dataset workloads, not "
                    "--sessions";
     }
+    if (!options.traceReplay.empty()) {
+        if (options.sessions > 0)
+            return "--trace-replay replays a recorded dataset; "
+                   "exclusive with --sessions";
+        if (options.poissonRate > 0.0)
+            return "--trace-replay replays measured arrivals; "
+                   "exclusive with --rate";
+        if (!options.rateSchedule.empty())
+            return "--trace-replay replays measured arrivals; "
+                   "exclusive with --rate-schedule";
+    }
+    if (options.disagg) {
+        if (options.sessions > 0)
+            return "--disagg serves dataset workloads; --sessions "
+                   "is not supported";
+        if (options.instances > 1)
+            return "--disagg sizes the fleet with "
+                   "--prefill-instances/--decode-instances, not "
+                   "--instances";
+        if (!options.routing.empty())
+            return "--disagg fixes routing (prefill-load into the "
+                   "prefill pool, future-memory into the decode "
+                   "pool)";
+        if (!options.platformMix.empty())
+            return "--platform-mix is colocated-fleet only; "
+                   "--disagg pools share --hardware";
+        if (options.drainAtSeconds > 0.0)
+            return "--drain-at composes with colocated fleets; "
+                   "drain a disagg pool programmatically";
+        if (options.maxFinishedRequests > 0 ||
+            options.maxSimSeconds > 0.0)
+            return "run limits (--max-requests/--max-seconds) are "
+                   "single-instance only; --disagg runs two pools";
+        if (options.linkGbps < 0.0)
+            return "--link-gbps must be non-negative";
+    } else {
+        if (options.prefillInstances > 0)
+            return "--prefill-instances needs --disagg";
+        if (options.decodeInstances > 0)
+            return "--decode-instances needs --disagg";
+        if (options.handoffDepth > 0)
+            return "--handoff-depth needs --disagg";
+        if (options.linkGbps != 0.0)
+            return "--link-gbps needs --disagg";
+        if (options.linkLatencySeconds >= 0.0)
+            return "--link-latency needs --disagg";
+    }
     if (options.tenants == 0) {
         if (options.tenantTree)
             return "--tenant-tree needs --tenants";
@@ -519,10 +561,25 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
             return "--min-instances must be at least 1";
         if (options.minInstances > options.maxInstances)
             return "--min-instances exceeds --max-instances";
-        if (options.instances < options.minInstances ||
-            options.instances > options.maxInstances)
+        if (options.disagg) {
+            const std::size_t prefill =
+                options.prefillInstances == 0
+                ? 1 : options.prefillInstances;
+            const std::size_t decode =
+                options.decodeInstances == 0
+                ? 1 : options.decodeInstances;
+            if (prefill < options.minInstances ||
+                prefill > options.maxInstances ||
+                decode < options.minInstances ||
+                decode > options.maxInstances)
+                return "--prefill-instances/--decode-instances "
+                       "must start inside [--min-instances, "
+                       "--max-instances]";
+        } else if (options.instances < options.minInstances ||
+                   options.instances > options.maxInstances) {
             return "--instances must start inside "
                    "[--min-instances, --max-instances]";
+        }
         if (options.provisionDelaySeconds < 0.0)
             return "--provision-delay must be non-negative";
         if (options.scaleSloTarget <= 0.0 ||
@@ -538,11 +595,13 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
                    "--autoscale manages drains itself";
         if (options.shedPolicy != "never" &&
             options.poissonRate <= 0.0 &&
-            options.rateSchedule.empty()) {
+            options.rateSchedule.empty() &&
+            options.traceReplay.empty()) {
             return "--shed-policy overload needs open-loop load "
-                   "(--rate or --rate-schedule): a shed request "
-                   "gets no completion, so closed-loop clients "
-                   "and sessions would stall on it";
+                   "(--rate, --rate-schedule, or --trace-replay): "
+                   "a shed request gets no completion, so "
+                   "closed-loop clients and sessions would stall "
+                   "on it";
         }
     } else if (options.shedPolicy != "never") {
         return "--shed-policy needs --autoscale (shedding guards "
@@ -551,7 +610,7 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
     if (options.requests == 0)
         return "--requests must be positive";
     if (options.clients == 0 && options.poissonRate <= 0.0 &&
-        options.rateSchedule.empty())
+        options.rateSchedule.empty() && options.traceReplay.empty())
         return "--clients must be positive in closed-loop mode";
     if (options.thinkSeconds < 0.0)
         return "--think-time must be non-negative";
@@ -605,6 +664,10 @@ printCliUsage(std::ostream &os)
         "                      with --rate)\n"
         "  --think-time S      closed-loop (and per-turn session)\n"
         "                      think time, seconds\n"
+        "  --trace-replay PATH replay a dataset CSV carrying an\n"
+        "                      arrival_us column at its recorded\n"
+        "                      timestamps (replaces --workload /\n"
+        "                      --requests and the load generators)\n"
         "\n"
         "Multi-turn sessions (replaces --workload when set):\n"
         "  --sessions N        concurrent conversations (0 = off);\n"
@@ -662,7 +725,27 @@ printCliUsage(std::ostream &os)
         "                      seconds; its queued requests\n"
         "                      re-dispatch through the router\n"
         "\n"
-        "Elastic autoscaling (SLA -> capacity control loop):\n"
+        "Disaggregated prefill/decode (KV migration over a modeled\n"
+        "interconnect; exclusive with --instances/--routing):\n"
+        "  --disagg            split the fleet into a prefill pool\n"
+        "                      (routed by pending prefill load) and\n"
+        "                      a decode pool (future-memory);\n"
+        "                      finished prefill KV migrates through\n"
+        "                      a bounded handoff queue\n"
+        "  --prefill-instances N\n"
+        "                      prefill pool size (default 1)\n"
+        "  --decode-instances N\n"
+        "                      decode pool size (default 1)\n"
+        "  --handoff-depth N   handoff queue bound; a transfer\n"
+        "                      finding it full is shed (default 64)\n"
+        "  --link-gbps G       interconnect bandwidth, GB/s\n"
+        "                      (default: the hardware's\n"
+        "                      interconnect profile)\n"
+        "  --link-latency S    fixed per-transfer latency, seconds\n"
+        "                      (default: hardware profile)\n"
+        "\n"
+        "Elastic autoscaling (SLA -> capacity control loop;\n"
+        "with --disagg, one independent loop per pool):\n"
         "  --autoscale         close the loop: provision/retire\n"
         "                      instances from SLO attainment and\n"
         "                      fleet-wide future-memory forecasts\n"
@@ -736,8 +819,24 @@ assembleScenario(const CliOptions &options)
         const TokenCount image_tokens =
             model_spec.imageTokens > 0 ? model_spec.imageTokens
                                        : 576;
-        dataset = makeWorkload(options.workload, options.requests,
-                               options.seed, image_tokens);
+        if (!options.traceReplay.empty()) {
+            dataset =
+                workload::readDatasetCsvFile(options.traceReplay);
+            for (const workload::RequestSpec &spec :
+                 dataset.requests) {
+                if (spec.arrivalTick < 0) {
+                    throw std::invalid_argument(
+                        "--trace-replay dataset " +
+                        options.traceReplay + ": request " +
+                        std::to_string(spec.id) +
+                        " has no arrival_us timestamp");
+                }
+            }
+        } else {
+            dataset = makeWorkload(options.workload,
+                                   options.requests, options.seed,
+                                   image_tokens);
+        }
 
         if (!options.priorityMix.empty()) {
             workload::assignPriorityMix(
@@ -857,7 +956,8 @@ assembleScenario(const CliOptions &options)
         throw std::invalid_argument("unknown routing policy: " +
                                     options.routing);
     }
-    if (options.instances > 1 || options.autoscale) {
+    if ((options.instances > 1 || options.autoscale) &&
+        !options.disagg) {
         // Guarded in parseCliArgs for the CLI; repeated here so
         // programmatic callers cannot assemble a fleet whose run
         // limits would be silently ignored.
@@ -887,12 +987,115 @@ assembleScenario(const CliOptions &options)
         }
     }
     scenario.tenants = options.tenants;
+    scenario.traceReplay = !options.traceReplay.empty();
+
+    if (options.disagg) {
+        scenario.disagg = true;
+        scenario.prefillInstances = options.prefillInstances == 0
+            ? 1 : options.prefillInstances;
+        scenario.decodeInstances = options.decodeInstances == 0
+            ? 1 : options.decodeInstances;
+        disagg::DisaggConfig &config = scenario.disaggConfig;
+        config.kvBytesPerToken = model_spec.kvBytesPerToken();
+        config.blockSize = scenario.engineConfig.blockSize;
+        const model::HardwareSpec &hardware =
+            scenario.perf.hardwareSpec();
+        config.linkBandwidth = options.linkGbps > 0.0
+            ? options.linkGbps * 1e9
+            : hardware.interconnectBandwidth;
+        config.transferLatency = secondsToTicks(
+            options.linkLatencySeconds >= 0.0
+            ? options.linkLatencySeconds
+            : hardware.interconnectLatency);
+        if (options.handoffDepth > 0)
+            config.handoffDepth = options.handoffDepth;
+    }
     return scenario;
 }
 
 metrics::RunReport
 runScenario(const Scenario &scenario)
 {
+    if (scenario.disagg) {
+        // Disaggregated fleet: both pools clone the base platform
+        // (--hardware) and the scenario's scheduler + engine
+        // configuration; the pools differ only in routing and in
+        // the work the DisaggCluster hands them.
+        const auto make_engine = [&scenario]() {
+            return std::make_unique<engine::ServingEngine>(
+                scenario.perf,
+                core::makeSchedulingPolicy(
+                    scenario.schedulerConfig),
+                scenario.engineConfig);
+        };
+        std::vector<std::unique_ptr<engine::ServingEngine>> prefill;
+        prefill.reserve(scenario.prefillInstances);
+        for (std::size_t i = 0; i < scenario.prefillInstances; ++i)
+            prefill.push_back(make_engine());
+        std::vector<std::unique_ptr<engine::ServingEngine>> decode;
+        decode.reserve(scenario.decodeInstances);
+        for (std::size_t i = 0; i < scenario.decodeInstances; ++i)
+            decode.push_back(make_engine());
+
+        disagg::DisaggCluster cluster(std::move(prefill),
+                                      std::move(decode),
+                                      scenario.disaggConfig);
+        if (scenario.autoscale) {
+            // Two independent control loops. The decode pool never
+            // sheds at admission: the bounded handoff queue is the
+            // pipeline's only rejection point, so a request that
+            // paid for prefill and migration is served.
+            const auto enable =
+                [&](cluster::ServingCluster &pool,
+                    autoscale::ShedPolicy shed) {
+                    pool.setInstanceFactory(make_engine);
+                    autoscale::AutoscaleConfig config =
+                        scenario.autoscaleConfig;
+                    config.shedPolicy = shed;
+                    auto policy = autoscale::makeScalePolicy(
+                        scenario.scalePolicyName,
+                        config.sloTarget);
+                    LIGHTLLM_ASSERT(
+                        policy != nullptr,
+                        "scale policy validated at assembly");
+                    pool.enableAutoscale(config,
+                                         std::move(policy));
+                };
+            enable(cluster.prefillPool(),
+                   scenario.autoscaleConfig.shedPolicy);
+            enable(cluster.decodePool(),
+                   autoscale::ShedPolicy::Never);
+        }
+
+        if (scenario.traceReplay) {
+            workload::submitTraceArrivals(scenario.dataset,
+                                          cluster);
+            return cluster.run();
+        }
+        if (scenario.hasRateSchedule) {
+            workload::submitScheduledArrivals(
+                scenario.dataset, cluster, scenario.rateSchedule,
+                scenario.seed);
+            return cluster.run();
+        }
+        if (scenario.poissonRate > 0.0) {
+            workload::submitPoissonArrivals(scenario.dataset,
+                                            cluster,
+                                            scenario.poissonRate,
+                                            scenario.seed);
+            return cluster.run();
+        }
+        workload::ClosedLoopClientPool clients(
+            scenario.clients, scenario.dataset, cluster,
+            scenario.thinkTime);
+        cluster.setOnFinish(
+            [&](const workload::RequestSpec &spec, Tick tick) {
+                clients.onRequestFinished(spec.id, tick);
+            });
+        clients.start();
+        return cluster.run();
+    }
+
     if (scenario.fleetPerfs.empty()) {
         // Single instance: the self-clocked engine path, kept
         // bit-identical through the SimContext refactor (golden
@@ -910,6 +1113,12 @@ runScenario(const Scenario &scenario)
                     sessions.onRequestFinished(spec.id, tick);
                 });
             sessions.start();
+            return engine.run(scenario.limits);
+        }
+
+        if (scenario.traceReplay) {
+            workload::submitTraceArrivals(scenario.dataset,
+                                          engine);
             return engine.run(scenario.limits);
         }
 
@@ -982,6 +1191,11 @@ runScenario(const Scenario &scenario)
                 sessions.onRequestFinished(spec.id, tick);
             });
         sessions.start();
+        return fleet.run();
+    }
+
+    if (scenario.traceReplay) {
+        workload::submitTraceArrivals(scenario.dataset, fleet);
         return fleet.run();
     }
 
@@ -1069,6 +1283,8 @@ emitReport(std::ostream &os, const CliOptions &options,
             table.addRow({"instance_seconds",
                           formatDouble(report.instanceSeconds,
                                        1)});
+            table.addRow({"instance_cost",
+                          formatDouble(report.instanceCost, 4)});
             table.addRow({"peak_instances",
                           formatCount(static_cast<std::int64_t>(
                               report.peakInstances))});
@@ -1076,6 +1292,47 @@ emitReport(std::ostream &os, const CliOptions &options,
                           formatCount(report.scaleUpEvents)});
             table.addRow({"scale_down_events",
                           formatCount(report.scaleDownEvents)});
+        }
+        if (report.disaggregated) {
+            if (!scenario.autoscale) {
+                table.addRow({"instance_seconds",
+                              formatDouble(report.instanceSeconds,
+                                           1)});
+                table.addRow({"instance_cost",
+                              formatDouble(report.instanceCost,
+                                           4)});
+            }
+            table.addRow({"prefill_pool_finished",
+                          formatCount(static_cast<std::int64_t>(
+                              report.prefillPool.finished))});
+            table.addRow({"prefill_pool_p99_ttft_s",
+                          formatDouble(
+                              report.prefillPool.p99TtftSeconds,
+                              3)});
+            table.addRow({"prefill_pool_p99_mtpot_s",
+                          formatDouble(
+                              report.prefillPool.p99MtpotSeconds,
+                              3)});
+            table.addRow({"decode_pool_finished",
+                          formatCount(static_cast<std::int64_t>(
+                              report.decodePool.finished))});
+            table.addRow({"decode_pool_p99_ttft_s",
+                          formatDouble(
+                              report.decodePool.p99TtftSeconds,
+                              3)});
+            table.addRow({"decode_pool_p99_mtpot_s",
+                          formatDouble(
+                              report.decodePool.p99MtpotSeconds,
+                              3)});
+            table.addRow({"handoff_queue_p99_s",
+                          formatDouble(
+                              report.handoffQueueP99Seconds, 3)});
+            table.addRow({"migrated_kv_bytes",
+                          formatCount(report.migratedKvBytes)});
+            table.addRow({"migrated_requests",
+                          formatCount(report.migratedRequests)});
+            table.addRow({"handoff_shed_requests",
+                          formatCount(report.handoffShedRequests)});
         }
         if (scenario.tenants > 0) {
             // Per-tenant breakdown keyed by the records' scheduling

@@ -22,6 +22,7 @@
 #include "base/types.hh"
 #include "cluster/serving_cluster.hh"
 #include "core/scheduler_factory.hh"
+#include "disagg/disagg_cluster.hh"
 #include "engine/engine_config.hh"
 #include "metrics/report.hh"
 #include "metrics/sla.hh"
@@ -103,8 +104,24 @@ struct CliOptions
     std::string hardware = "a100-80g";
     int tensorParallel = 1;
 
+    /** Dataset CSV (with an arrival_us column) replayed at its
+     *  recorded timestamps; replaces --workload/--requests and the
+     *  synthetic load generators. */
+    std::string traceReplay;
+
     // Fleet (cluster co-simulation when instances > 1).
     std::size_t instances = 1;
+
+    // Disaggregated prefill/decode serving (src/disagg). The knobs
+    // use 0 / -1 sentinels so "needs --disagg" is diagnosable: with
+    // --disagg they resolve to one instance per pool, a 64-deep
+    // handoff queue, and the hardware interconnect profile.
+    bool disagg = false;
+    std::size_t prefillInstances = 0;
+    std::size_t decodeInstances = 0;
+    std::size_t handoffDepth = 0;
+    double linkGbps = 0.0;
+    double linkLatencySeconds = -1.0;
 
     /** Routing policy name (see cluster::parseRoutingPolicy);
      *  empty = future-memory. Only meaningful with instances > 1. */
@@ -223,6 +240,17 @@ struct Scenario
     /** Tenant count of the workload (0 = single tenant); gates the
      *  per-tenant report breakdown. */
     std::size_t tenants = 0;
+
+    /** Open-loop replay of the dataset's recorded arrival ticks. */
+    bool traceReplay = false;
+
+    /** Disaggregated prefill/decode fleet (src/disagg); the config
+     *  arrives fully resolved (hardware interconnect profile +
+     *  overrides applied at assembly). */
+    bool disagg = false;
+    std::size_t prefillInstances = 1;
+    std::size_t decodeInstances = 1;
+    disagg::DisaggConfig disaggConfig;
 };
 
 /**
