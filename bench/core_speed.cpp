@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Event-core speed suite: how many events per wall-clock second the
+ * simulation core sustains, from the bare queue up to a full fleet.
+ *
+ * Not a paper figure: this is the repo's perf gate for the hot path
+ * rebuilt in DESIGN.md §8 (slot-arena event records, flat handle
+ * index, zero-alloc schedule/fire). Three cases, coarse to fine:
+ *
+ *   queue_churn    pure EventQueue schedule/fire/cancel/reschedule
+ *                  churn over a self-perpetuating population — no
+ *                  engine, no model, just the arena and the heap.
+ *   single_engine  one ServingEngine under closed-loop load; events
+ *                  = decode steps + prefill iterations + 2 per
+ *                  finished request (arrival + completion delivery).
+ *   fleet_128      128 Past-Future instances behind the
+ *                  future-memory router on one shared queue.
+ *
+ * Results land in BENCH_core_speed.json. When the
+ * PFS_BENCH_ENFORCE_FLOOR environment variable is set (CI does this
+ * for Release builds only — Debug codegen is not a perf statement),
+ * the queue_churn case is checked against a pinned floor and the
+ * bench exits non-zero on a >30% regression.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "base/str_util.hh"
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "cluster/serving_cluster.hh"
+#include "core/scheduler_factory.hh"
+#include "engine/serving_engine.hh"
+#include "model/perf_model.hh"
+#include "sim/event_queue.hh"
+#include "workload/client_pool.hh"
+#include "workload/datasets.hh"
+
+using namespace lightllm;
+
+namespace {
+
+/**
+ * Pinned regression floor for queue_churn, in events/sec. The
+ * rebuilt arena core sustains ~11M events/sec on a Release dev-box
+ * build; the pre-arena core measured ~2.1M on the same machine. The
+ * floor sits well under the rebuilt number so slower shared CI
+ * runners pass, but above anything the old core could reach — a
+ * regression to pre-arena behaviour trips the gate even after the
+ * 30% slack below.
+ */
+constexpr double kChurnFloorEventsPerSec = 3.0e6;
+
+/** Gate fails below this fraction of the pinned floor. */
+constexpr double kFloorSlack = 0.7;
+
+struct CaseResult
+{
+    const char *name;
+    double events;
+    double wallMillis;
+    double eventsPerSec;
+    bench::JsonRow row;
+};
+
+double
+rate(double events, double wall_ms)
+{
+    return wall_ms > 0.0 ? events / (wall_ms / 1e3) : 0.0;
+}
+
+// --- Case 1: pure queue churn -------------------------------------------
+
+/**
+ * A self-perpetuating event population: every fire schedules its
+ * replacement at a pseudo-random delay until the fire budget is
+ * spent, so the queue holds ~`population` pending events for the
+ * whole run. Every 16th drained tick adds handle churn — a burst of
+ * side events of which half are cancelled and half rescheduled —
+ * exercising the slot free list and the heap index maintenance, not
+ * just push/pop.
+ */
+struct ChurnState
+{
+    sim::EventQueue queue;
+    std::size_t fired = 0;
+    std::size_t target = 0;
+    std::uint64_t mix = 0x9e3779b97f4a7c15ull;
+
+    Tick
+    nextDelay()
+    {
+        mix = mix * 6364136223846793005ull + 1442695040888963407ull;
+        return 1 + static_cast<Tick>((mix >> 33) % 64);
+    }
+
+    void
+    fire(Tick now)
+    {
+        ++fired;
+        if (fired + queue.size() < target) {
+            queue.schedule(now + nextDelay(),
+                           [this](Tick when) { fire(when); });
+        }
+    }
+};
+
+CaseResult
+runQueueChurn()
+{
+    const std::size_t population = 4096;
+    const std::size_t totalFires =
+        bench::smokeSize(8'000'000, 400'000);
+
+    ChurnState state;
+    state.target = totalFires;
+    std::vector<sim::EventId> handles(64, sim::kInvalidEventId);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < population; ++i) {
+        state.queue.schedule(
+            state.nextDelay(),
+            [&state](Tick when) { state.fire(when); });
+    }
+    std::size_t rounds = 0;
+    while (!state.queue.empty()) {
+        state.queue.runUntil(state.queue.nextTick());
+        if (++rounds % 16 == 0 && !state.queue.empty()) {
+            for (std::size_t i = 0; i < handles.size(); ++i) {
+                handles[i] = state.queue.schedule(
+                    state.queue.nextTick() + 100 +
+                        static_cast<Tick>(i),
+                    [](Tick) {});
+            }
+            for (std::size_t i = 0; i < handles.size(); i += 2)
+                state.queue.cancel(handles[i]);
+            for (std::size_t i = 1; i < handles.size(); i += 2) {
+                state.queue.reschedule(
+                    handles[i], state.queue.nextTick() + 5);
+            }
+        }
+    }
+    const auto wall = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+
+    // Only self-perpetuating fires count (the churn side events are
+    // free riders), matching how the pre-rebuild baseline was
+    // measured so the floor comparison stays apples-to-apples.
+    CaseResult result;
+    result.name = "queue_churn";
+    result.events = static_cast<double>(state.fired);
+    result.wallMillis = wall.count();
+    result.eventsPerSec = rate(result.events, result.wallMillis);
+    result.row = bench::JsonRow{
+        {"case", "queue_churn"},
+        {"events", result.events},
+        {"wall_ms", result.wallMillis},
+        {"events_per_sec", result.eventsPerSec},
+        {"floor_events_per_sec", kChurnFloorEventsPerSec},
+    };
+    return result;
+}
+
+// --- Cases 2 and 3: engine and fleet ------------------------------------
+
+/** Fired-event count of a completed serving run (see fleet_scale). */
+double
+servedEvents(const metrics::RunReport &report)
+{
+    return static_cast<double>(report.decodeSteps) +
+        static_cast<double>(report.prefillIterations) +
+        2.0 * static_cast<double>(report.numFinished);
+}
+
+CaseResult
+runSingleEngine()
+{
+    const std::size_t requests = bench::smokeSize(4096, 256);
+    const auto dataset = workload::makeShareGpt(requests, 42);
+
+    auto config = core::SchedulerConfig::pastFutureDefault(0.05);
+    config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+
+    const model::PerfModel perf(model::ModelSpec::llama2_7b(),
+                                model::HardwareSpec::a100_80g());
+    bench::ServeOptions options;
+    options.numClients = bench::smokeSize(64, 24);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto report =
+        bench::runClosedLoop(perf, config, dataset, options);
+    const auto wall = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+
+    CaseResult result;
+    result.name = "single_engine";
+    result.events = servedEvents(report);
+    result.wallMillis = wall.count();
+    result.eventsPerSec = rate(result.events, result.wallMillis);
+    result.row = bench::JsonRow{
+        {"case", "single_engine"},
+        {"requests", static_cast<double>(requests)},
+        {"finished", static_cast<double>(report.numFinished)},
+        {"events", result.events},
+        {"wall_ms", result.wallMillis},
+        {"events_per_sec", result.eventsPerSec},
+    };
+    return result;
+}
+
+CaseResult
+runFleet()
+{
+    // Smoke keeps the shape (a routed fleet on one shared queue) at
+    // a size a CI smoke pass can afford; the full run is the
+    // 128-instance configuration the acceptance target names.
+    const std::size_t instances = bench::smokeSize(128, 8);
+    const std::size_t requests = 96 * instances;
+    const std::size_t clients = 24 * instances;
+    const auto dataset = workload::makeShareGpt(requests, 42);
+
+    auto config = core::SchedulerConfig::pastFutureDefault(0.05);
+    config.pastFuture.seedOutputLen = dataset.maxNewTokens;
+
+    const model::PerfModel perf(model::ModelSpec::llama2_7b(),
+                                model::HardwareSpec::a100_80g());
+    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+    engines.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i) {
+        engines.push_back(std::make_unique<engine::ServingEngine>(
+            perf, core::makeScheduler(config)));
+    }
+    cluster::ServingCluster fleet(
+        std::move(engines), cluster::RoutingPolicy::FutureMemory);
+
+    workload::ClosedLoopClientPool pool(clients, dataset, fleet);
+    fleet.setOnFinish(
+        [&](const workload::RequestSpec &spec, Tick tick) {
+            pool.onRequestFinished(spec.id, tick);
+        });
+
+    const auto start = std::chrono::steady_clock::now();
+    pool.start();
+    const auto report = fleet.run();
+    const auto wall = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+
+    CaseResult result;
+    result.name = "fleet_128";
+    result.events = servedEvents(report);
+    result.wallMillis = wall.count();
+    result.eventsPerSec = rate(result.events, result.wallMillis);
+    result.row = bench::JsonRow{
+        {"case", "fleet_128"},
+        {"instances", static_cast<double>(instances)},
+        {"requests", static_cast<double>(requests)},
+        {"finished", static_cast<double>(report.numFinished)},
+        {"events", result.events},
+        {"wall_ms", result.wallMillis},
+        {"events_per_sec", result.eventsPerSec},
+    };
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "# Core speed: events/sec from bare queue to "
+                 "128-instance fleet\n\n";
+
+    const std::vector<CaseResult> results = {
+        runQueueChurn(),
+        runSingleEngine(),
+        runFleet(),
+    };
+
+    TextTable table({"case", "events", "wall_ms", "events_per_s"});
+    std::vector<bench::JsonRow> rows;
+    for (const CaseResult &result : results) {
+        table.addRow({
+            result.name,
+            formatDouble(result.events, 0),
+            formatDouble(result.wallMillis, 1),
+            formatDouble(result.eventsPerSec, 0),
+        });
+        rows.push_back(result.row);
+    }
+    table.print(std::cout);
+
+    bench::writeJson("BENCH_core_speed.json", "core_speed", rows);
+    std::cout << "\nWrote BENCH_core_speed.json ("
+              << (bench::smokeMode() ? "smoke" : "full")
+              << " mode).\n";
+
+    const char *enforce = std::getenv("PFS_BENCH_ENFORCE_FLOOR");
+    if (enforce != nullptr && *enforce != '\0') {
+        const double threshold =
+            kChurnFloorEventsPerSec * kFloorSlack;
+        const double measured = results.front().eventsPerSec;
+        if (measured < threshold) {
+            std::cout << "FLOOR CHECK FAILED: queue_churn "
+                      << formatDouble(measured, 0)
+                      << " events/sec is below "
+                      << formatDouble(threshold, 0) << " (70% of the "
+                      << formatDouble(kChurnFloorEventsPerSec, 0)
+                      << " pinned floor)\n";
+            return 1;
+        }
+        std::cout << "Floor check passed: queue_churn "
+                  << formatDouble(measured, 0)
+                  << " events/sec >= "
+                  << formatDouble(threshold, 0) << "\n";
+    }
+    return 0;
+}

@@ -5,13 +5,17 @@
  * Not a paper figure: this seeds the repo's performance trajectory.
  * The co-simulation is one shared event queue, so its cost per
  * simulated second must stay near-flat as the fleet grows — this
- * bench sweeps 1 → 32 Past-Future instances behind the
+ * bench sweeps 1 → 128 Past-Future instances behind the
  * future-memory router under proportional closed-loop load and
- * reports wall-clock simulated-requests/sec and events/sec.
- * Results land in BENCH_fleet_scale.json (bench::writeJson) so CI
- * can archive every run and regressions show up as a drop in
- * sim_req_per_sec at the same fleet size.
+ * reports wall-clock simulated-requests/sec, events/sec, and the
+ * process peak RSS after each point (memory must scale with the
+ * fleet, not blow up with it). Results land in
+ * BENCH_fleet_scale.json (bench::writeJson) so CI can archive every
+ * run and regressions show up as a drop in sim_req_per_sec at the
+ * same fleet size.
  */
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <iostream>
@@ -41,7 +45,24 @@ struct ScalePoint
     double wallMillis;
     double simReqPerSec;
     double eventsPerSec;
+    double peakRssMb;
 };
+
+/**
+ * Process high-water resident set in MiB. ru_maxrss is monotone over
+ * the process lifetime, so within the sweep each point reports the
+ * peak up to and including that fleet size — the 128-instance row is
+ * the number that matters.
+ */
+double
+peakRssMb()
+{
+    struct rusage usage
+    {
+    };
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 ScalePoint
 runFleet(std::size_t instances)
@@ -100,6 +121,7 @@ runFleet(std::size_t instances)
         : 0.0;
     point.eventsPerSec =
         wall.count() > 0.0 ? events / (wall.count() / 1e3) : 0.0;
+    point.peakRssMb = peakRssMb();
     return point;
 }
 
@@ -109,14 +131,14 @@ int
 main()
 {
     std::cout << "# Fleet scale: event-driven co-simulation "
-                 "throughput, 1 -> 32 instances\n\n";
+                 "throughput, 1 -> 128 instances\n\n";
 
     const std::vector<std::size_t> sweep = bench::smokeTruncate(
-        std::vector<std::size_t>{1, 2, 4, 8, 16, 32}, 3);
+        std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128}, 3);
 
     TextTable table({"instances", "requests", "makespan_s",
                      "wall_ms", "sim_req_per_s",
-                     "approx_events_per_s"});
+                     "approx_events_per_s", "peak_rss_mb"});
     std::vector<bench::JsonRow> rows;
     for (std::size_t instances : sweep) {
         const ScalePoint point = runFleet(instances);
@@ -127,6 +149,7 @@ main()
             formatDouble(point.wallMillis, 1),
             formatDouble(point.simReqPerSec, 1),
             formatDouble(point.eventsPerSec, 0),
+            formatDouble(point.peakRssMb, 1),
         });
         rows.push_back(bench::JsonRow{
             {"instances", static_cast<double>(point.instances)},
@@ -136,6 +159,7 @@ main()
             {"wall_ms", point.wallMillis},
             {"sim_req_per_sec", point.simReqPerSec},
             {"events_per_sec", point.eventsPerSec},
+            {"peak_rss_mb", point.peakRssMb},
         });
     }
     table.print(std::cout);
@@ -147,6 +171,7 @@ main()
                  "simulation throughput; it should decay roughly "
                  "linearly with fleet size (total work grows with "
                  "instances) while events_per_sec stays flat if the "
-                 "shared event core scales.\n";
+                 "shared event core scales; peak_rss_mb should grow "
+                 "linearly with the fleet.\n";
     return 0;
 }

@@ -29,23 +29,31 @@ HistoryWindow::seed(TokenCount value, std::size_t count)
     seedsRemaining_ = count;
 }
 
-void
+HistoryWindow::PushDelta
 HistoryWindow::push(TokenCount output_len)
 {
     LIGHTLLM_ASSERT(output_len >= 0, "negative output length");
+    PushDelta delta;
     if (seedsRemaining_ > 0) {
         // Replace cold-start placeholders first so the seed washes
         // out as soon as real completions exist.
         const std::size_t slot = seedCount_ - seedsRemaining_;
+        delta.removed = ring_[slot];
+        delta.hasRemoved = true;
         ring_[slot] = output_len;
         --seedsRemaining_;
         ++version_;
-        return;
+        return delta;
+    }
+    if (size_ == ring_.size()) {
+        delta.removed = ring_[head_];
+        delta.hasRemoved = true;
     }
     ring_[head_] = output_len;
     head_ = (head_ + 1) % ring_.size();
     size_ = std::min(size_ + 1, ring_.size());
     ++version_;
+    return delta;
 }
 
 std::vector<TokenCount>

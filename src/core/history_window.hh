@@ -42,8 +42,23 @@ class HistoryWindow
      */
     void seed(TokenCount value, std::size_t count);
 
-    /** Record the output length of a finished request. */
-    void push(TokenCount output_len);
+    /** What a push displaced (drives incremental consumers). */
+    struct PushDelta
+    {
+        /** Value overwritten by this push (a seed placeholder or
+         *  the evicted oldest entry); meaningless otherwise. */
+        TokenCount removed = 0;
+        /** False while the window is still growing (nothing left). */
+        bool hasRemoved = false;
+    };
+
+    /**
+     * Record the output length of a finished request. Returns which
+     * value (if any) the push displaced, so consumers that mirror
+     * the window contents (the predictor's sorted distribution) can
+     * update in O(log w) instead of rebuilding.
+     */
+    PushDelta push(TokenCount output_len);
 
     /** Number of recorded lengths (<= capacity). */
     std::size_t size() const { return size_; }

@@ -12,12 +12,43 @@ LengthDistribution::LengthDistribution(std::vector<TokenCount> lengths)
     : sorted_(std::move(lengths))
 {
     std::sort(sorted_.begin(), sorted_.end());
+    sumsDirty_ = true;
+    ensureSums();
+}
+
+void
+LengthDistribution::insertValue(TokenCount value)
+{
+    sorted_.insert(
+        std::upper_bound(sorted_.begin(), sorted_.end(), value),
+        value);
+    sumsDirty_ = true;
+}
+
+void
+LengthDistribution::eraseValue(TokenCount value)
+{
+    const auto it =
+        std::lower_bound(sorted_.begin(), sorted_.end(), value);
+    LIGHTLLM_ASSERT(it != sorted_.end() && *it == value,
+                    "erase of unrecorded length ", value);
+    sorted_.erase(it);
+    sumsDirty_ = true;
+}
+
+void
+LengthDistribution::ensureSums() const
+{
+    if (!sumsDirty_)
+        return;
+    prefixSums_.clear();
     prefixSums_.reserve(sorted_.size() + 1);
     prefixSums_.push_back(0.0);
     for (TokenCount value : sorted_) {
         prefixSums_.push_back(prefixSums_.back() +
                               static_cast<double>(value));
     }
+    sumsDirty_ = false;
 }
 
 TokenCount
@@ -83,6 +114,7 @@ LengthDistribution::tailMean(TokenCount greater_than,
                                         greater_than);
     if (first == sorted_.end())
         return fallback;
+    ensureSums();
     const auto lo = static_cast<std::size_t>(
         std::distance(sorted_.begin(), first));
     const double sum = prefixSums_.back() - prefixSums_[lo];

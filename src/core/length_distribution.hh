@@ -34,6 +34,18 @@ class LengthDistribution
     /** Build from raw (unsorted) observed lengths. */
     explicit LengthDistribution(std::vector<TokenCount> lengths);
 
+    /**
+     * Insert one observation, keeping sorted order. Together with
+     * eraseValue this yields exactly the distribution a full
+     * rebuild would produce (the sorted vector and the prefix sums
+     * depend only on the multiset of values), without the O(w log w)
+     * snapshot-and-sort per finished request.
+     */
+    void insertValue(TokenCount value);
+
+    /** Remove one occurrence of `value` (which must be present). */
+    void eraseValue(TokenCount value);
+
     bool empty() const { return sorted_.empty(); }
     std::size_t size() const { return sorted_.size(); }
 
@@ -90,10 +102,19 @@ class LengthDistribution
     double meanLength() const;
 
   private:
+    /** Recompute prefixSums_ if a mutation invalidated them. The
+     *  rebuild is the same left-to-right summation the constructor
+     *  performs, so lazily refreshed sums are bit-identical to a
+     *  from-scratch build. */
+    void ensureSums() const;
+
     std::vector<TokenCount> sorted_;
 
-    /** Prefix sums of sorted_ for O(log n) tail means. */
-    std::vector<double> prefixSums_;
+    /** Prefix sums of sorted_ for O(log n) tail means; rebuilt
+     *  lazily after insertValue/eraseValue (mean queries are far
+     *  rarer than observations on the serving hot path). */
+    mutable std::vector<double> prefixSums_;
+    mutable bool sumsDirty_ = false;
 };
 
 } // namespace core

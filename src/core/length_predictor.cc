@@ -14,27 +14,33 @@ void
 LengthPredictor::seed(TokenCount value, std::size_t count)
 {
     window_.seed(value, count);
+    distributionValid_ = false;
 }
 
 void
 LengthPredictor::observe(TokenCount output_len)
 {
-    window_.push(output_len);
+    const HistoryWindow::PushDelta delta = window_.push(output_len);
+    if (distributionValid_) {
+        if (delta.hasRemoved)
+            distribution_.eraseValue(delta.removed);
+        distribution_.insertValue(output_len);
+    }
 }
 
 void
 LengthPredictor::warm(std::span<const TokenCount> lengths)
 {
     for (TokenCount length : lengths)
-        window_.push(length);
+        observe(length);
 }
 
 const LengthDistribution &
 LengthPredictor::distribution()
 {
-    if (cachedVersion_ != window_.version()) {
+    if (!distributionValid_) {
         distribution_ = LengthDistribution(window_.snapshot());
-        cachedVersion_ = window_.version();
+        distributionValid_ = true;
     }
     return distribution_;
 }

@@ -12,6 +12,13 @@
  * policies need. Sampling consumers (the Past-Future scheduler's
  * sticky/per-step draws) reach through distribution() for the full
  * LengthDistribution API.
+ *
+ * Once materialised, the distribution is maintained incrementally:
+ * each observation removes the displaced window entry and inserts
+ * the new one in sorted position (O(w) memmove, no sort, no
+ * allocation), which is bit-identical to a full rebuild because the
+ * sorted vector and its prefix sums depend only on the multiset of
+ * window values.
  */
 
 #ifndef LIGHTLLM_CORE_LENGTH_PREDICTOR_HH
@@ -45,8 +52,8 @@ class LengthPredictor
     const HistoryWindow &window() const { return window_; }
 
     /**
-     * The distribution over the current window contents, rebuilt
-     * only when the window changed since the last call.
+     * The distribution over the current window contents, built on
+     * first use and kept in sync incrementally by observe().
      */
     const LengthDistribution &distribution();
 
@@ -69,7 +76,9 @@ class LengthPredictor
   private:
     HistoryWindow window_;
     LengthDistribution distribution_;
-    std::uint64_t cachedVersion_ = ~0ull;
+    /** distribution_ mirrors the window (false until first query
+     *  and after seed(), which must rebuild from a snapshot). */
+    bool distributionValid_ = false;
 };
 
 } // namespace core

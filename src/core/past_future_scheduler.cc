@@ -126,10 +126,15 @@ PastFutureScheduler::beginAdmissionRound(const SchedulerContext &ctx)
     // its own predictions for the running batch, then candidates
     // are appended incrementally as they are accepted. (With
     // deterministic or sticky predictions there is exactly one
-    // trial and predictions are stable.)
-    trialEntries_.assign(static_cast<std::size_t>(trials_), {});
-    for (std::size_t t = 0; t < trialEntries_.size(); ++t) {
+    // trial and predictions are stable.) The per-trial vectors are
+    // cleared, not reassigned, so their capacity survives across
+    // rounds and steady-state admission allocates nothing.
+    const auto trials = static_cast<std::size_t>(trials_);
+    if (trialEntries_.size() < trials)
+        trialEntries_.resize(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
         auto &entries = trialEntries_[t];
+        entries.clear();
         entries.reserve(ctx.running.size() + ctx.waiting.size());
         for (const auto &request : ctx.running) {
             // Trial 0 uses the official (sticky / per-step / point)
@@ -147,7 +152,7 @@ PastFutureScheduler::beginAdmissionRound(const SchedulerContext &ctx)
                 request.generatedLen, predicted});
         }
     }
-    peaks_.resize(static_cast<std::size_t>(trials_));
+    peaks_.resize(trials);
 }
 
 bool
@@ -210,16 +215,16 @@ PastFutureScheduler::tryAdmit(const WaitingView &candidate)
 TokenCount
 PastFutureScheduler::estimateFutureMemory(const SchedulerContext &ctx)
 {
-    std::vector<BatchEntry> entries;
-    entries.reserve(ctx.running.size());
+    loadScratch_.clear();
+    loadScratch_.reserve(ctx.running.size());
     for (const auto &request : ctx.running) {
-        entries.push_back(BatchEntry{
+        loadScratch_.push_back(BatchEntry{
             request.promptLen - request.cachedPrefixLen,
             request.generatedLen,
             predict(request.id, request.generatedLen,
                     request.maxNewTokens)});
     }
-    return futureRequiredMemory(entries);
+    return futureRequiredMemory(loadScratch_);
 }
 
 TokenCount

@@ -185,6 +185,8 @@ class PastFutureScheduler : public Scheduler
     std::vector<std::vector<BatchEntry>> trialEntries_;
     std::vector<BatchEntry> candidateEntries_;
     std::vector<BatchEntry> scratch_;
+    /** estimateFutureMemory scratch (routing/introspection path). */
+    std::vector<BatchEntry> loadScratch_;
     std::vector<double> peaks_;
     TokenCount limit_ = 0;
     TokenCount perRequestOverhead_ = 0;

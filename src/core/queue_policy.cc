@@ -20,9 +20,14 @@ admitOrderEvictsBefore(const RunningView &a, const RunningView &b,
 }
 
 /**
- * Stable victim ranking over ctx.running: `before(a, b)` is the
- * strict "evict a before b" relation. Stability keeps ties in
- * batch order, so out.front() equals the first-minimal element a
+ * Victim ranking over ctx.running: `before(a, b)` is the strict
+ * "evict a before b" relation. Indices are sorted directly inside
+ * `out` (RequestId is wide enough to hold any batch index) and then
+ * mapped to ids in place, so ranking allocates nothing once `out`
+ * has warmed up. Every ranking comparator bottoms out in the unique
+ * admitSeq, making the relation a strict total order — plain
+ * std::sort therefore yields the same permutation a stable sort
+ * would, and out.front() still equals the first-minimal element a
  * linear evictBefore scan would have picked.
  */
 template <typename Before>
@@ -30,19 +35,17 @@ void
 rankVictims(const SchedulerContext &ctx, Before before,
             std::vector<RequestId> &out)
 {
-    std::vector<const RunningView *> ranked;
-    ranked.reserve(ctx.running.size());
-    for (const RunningView &view : ctx.running)
-        ranked.push_back(&view);
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [&before](const RunningView *a,
-                               const RunningView *b) {
-                         return before(*a, *b);
-                     });
-    out.clear();
-    out.reserve(ranked.size());
-    for (const RunningView *view : ranked)
-        out.push_back(view->id);
+    out.resize(ctx.running.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<RequestId>(i);
+    std::sort(out.begin(), out.end(),
+              [&ctx, &before](RequestId a, RequestId b) {
+                  return before(
+                      ctx.running[static_cast<std::size_t>(a)],
+                      ctx.running[static_cast<std::size_t>(b)]);
+              });
+    for (RequestId &entry : out)
+        entry = ctx.running[static_cast<std::size_t>(entry)].id;
 }
 
 } // namespace

@@ -16,12 +16,14 @@ SchedulingPolicy::SchedulingPolicy(
         queue_ = makeQueuePolicy(QueuePolicyConfig{});
 }
 
-SchedulingDecision
-SchedulingPolicy::decide(const SchedulerContext &ctx)
+void
+SchedulingPolicy::decideInto(const SchedulerContext &ctx,
+                             SchedulingDecision &out)
 {
-    SchedulingDecision decision;
+    out.admit.clear();
+    out.evict.clear();
     if (ctx.waiting.empty())
-        return decision;
+        return;
 
     queue_->order(ctx, orderScratch_);
     LIGHTLLM_ASSERT(orderScratch_.size() == ctx.waiting.size(),
@@ -32,18 +34,16 @@ SchedulingPolicy::decide(const SchedulerContext &ctx)
         const WaitingView &candidate = ctx.waiting[index];
         if (!admission_->tryAdmit(candidate))
             break;
-        decision.admit.push_back(candidate.id);
+        out.admit.push_back(candidate.id);
     }
 
-    if (decision.admit.empty() && ctx.running.empty()) {
+    if (out.admit.empty() && ctx.running.empty()) {
         // The system is idle yet the policy refuses the head-of-
         // order request (e.g. conservative with prompt +
         // max_new_tokens beyond capacity). Real frameworks always
         // run at least one request; force progress.
-        decision.admit.push_back(
-            ctx.waiting[orderScratch_.front()].id);
+        out.admit.push_back(ctx.waiting[orderScratch_.front()].id);
     }
-    return decision;
 }
 
 void

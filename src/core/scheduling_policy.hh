@@ -54,8 +54,22 @@ class SchedulingPolicy
      * admissions. When the system is idle (empty running batch) and
      * nothing fits, the head-of-order request is force-admitted so
      * the engine always makes progress, as real frameworks do.
+     *
+     * `out` is reset before filling; callers reuse one decision
+     * object across rounds so the hot path allocates nothing once
+     * its vectors have warmed up.
      */
-    virtual SchedulingDecision decide(const SchedulerContext &ctx);
+    virtual void decideInto(const SchedulerContext &ctx,
+                            SchedulingDecision &out);
+
+    /** Convenience wrapper over decideInto for one-shot callers. */
+    SchedulingDecision
+    decide(const SchedulerContext &ctx)
+    {
+        SchedulingDecision decision;
+        decideInto(ctx, decision);
+        return decision;
+    }
 
     /**
      * Reactive eviction: fill `out` with ctx.running (all entries

@@ -78,12 +78,14 @@ TreeSchedulingPolicy::commitAdmit(const SchedulerContext &ctx,
     decision.admit.push_back(candidate.id);
 }
 
-SchedulingDecision
-TreeSchedulingPolicy::decide(const SchedulerContext &ctx)
+void
+TreeSchedulingPolicy::decideInto(const SchedulerContext &ctx,
+                                 SchedulingDecision &out)
 {
-    SchedulingDecision decision;
+    out.admit.clear();
+    out.evict.clear();
     if (ctx.waiting.empty())
-        return decision;
+        return;
 
     root_->beginRound(ctx);
     for (std::size_t i = 0; i < ctx.waiting.size(); ++i)
@@ -94,10 +96,10 @@ TreeSchedulingPolicy::decide(const SchedulerContext &ctx)
     while (root_->peek(ctx.now, /*force=*/false, index)) {
         if (!admission().tryAdmit(ctx.waiting[index]))
             break;
-        commitAdmit(ctx, index, decision);
+        commitAdmit(ctx, index, out);
     }
 
-    if (decision.admit.empty() && ctx.running.empty()) {
+    if (out.admit.empty() && ctx.running.empty()) {
         // Idle backstop, as on the flat path — but through the
         // tree (force ignores throttler credit and semaphore
         // limits) so the tree's accounting still sees the admit.
@@ -105,9 +107,8 @@ TreeSchedulingPolicy::decide(const SchedulerContext &ctx)
             root_->peek(ctx.now, /*force=*/true, index);
         LIGHTLLM_ASSERT(found,
                         "tree lost the queue's requests");
-        commitAdmit(ctx, index, decision);
+        commitAdmit(ctx, index, out);
     }
-    return decision;
 }
 
 void

@@ -43,7 +43,8 @@ class TreeSchedulingPolicy final : public SchedulingPolicy
     TreeSchedulingPolicy(std::unique_ptr<Scheduler> admission,
                          const SchedNodeConfig &tree);
 
-    SchedulingDecision decide(const SchedulerContext &ctx) override;
+    void decideInto(const SchedulerContext &ctx,
+                    SchedulingDecision &out) override;
     void victimOrder(const SchedulerContext &ctx,
                      VictimOrder tie_break,
                      std::vector<RequestId> &out) override;

@@ -344,13 +344,16 @@ DisaggCluster::assembleReport()
         decodeReport_.shedRequests + handoffShed_;
 
     merged.disaggregated = true;
+    const auto prefillDigest = prefillReport_.latencyDigest();
+    const auto decodeDigest = decodeReport_.latencyDigest();
     merged.prefillPool = metrics::RunReport::PoolStats{
         prefillReport_.numFinished,
-        prefillReport_.p99TtftSeconds(),
-        prefillReport_.p99MtpotSeconds()};
+        prefillDigest.ttftPercentile(0.99),
+        prefillDigest.mtpotPercentile(0.99)};
     merged.decodePool = metrics::RunReport::PoolStats{
-        decodeReport_.numFinished, decodeReport_.p99TtftSeconds(),
-        decodeReport_.p99MtpotSeconds()};
+        decodeReport_.numFinished,
+        decodeDigest.ttftPercentile(0.99),
+        decodeDigest.mtpotPercentile(0.99)};
     merged.handoffQueueP99Seconds =
         handoffWaits_.empty()
             ? 0.0

@@ -371,7 +371,8 @@ ServingEngine::admitRequests()
         return;
 
     const core::SchedulerContext ctx = buildContext();
-    core::SchedulingDecision decision = policy_->decide(ctx);
+    core::SchedulingDecision &decision = decisionScratch_;
+    policy_->decideInto(ctx, decision);
 
     const std::string error = core::validateDecision(decision, ctx);
     if (!error.empty())
@@ -463,30 +464,49 @@ ServingEngine::finishRequest(EngineRequest *request)
         collector_.resetMeasurement(now_);
     }
 
-    const workload::RequestSpec spec = request->spec;
-    requests_.erase(spec.id);
-    if (!onFinish_ && !onRecord_)
+    if (!onFinish_ && !onRecord_) {
+        requests_.erase(request->spec.id);
         return;
+    }
     if (shared_) {
         // Defer the notification to the shared queue at the exact
         // finish tick: listeners (router, clients, SLO monitors)
         // then observe the completion in global event order rather
         // than mid-way through this engine's iteration. One event
-        // carries both callbacks, record first.
-        const Tick finish_tick = now_;
-        context_->schedule(finish_tick,
-                           [this, spec, record,
-                            finish_tick](Tick) {
-                               if (onRecord_)
-                                   onRecord_(record);
-                               if (onFinish_)
-                                   onFinish_(spec, finish_tick);
-                           });
+        // carries both callbacks, record first. The payload (spec
+        // moved out of the dying request + record) parks in a
+        // recycled slab slot so the event lambda stays small enough
+        // for the queue's inline handler storage — the notify path
+        // allocates nothing in steady state.
+        std::size_t idx;
+        if (!notifyFree_.empty()) {
+            idx = notifyFree_.back();
+            notifyFree_.pop_back();
+        } else {
+            idx = notifySlab_.size();
+            notifySlab_.emplace_back();
+        }
+        DeferredNotify &note = notifySlab_[idx];
+        note.spec = std::move(request->spec);
+        note.record = record;
+        note.tick = now_;
+        requests_.erase(note.spec.id);
+        context_->schedule(note.tick, [this, idx](Tick) {
+            // Re-index per use: the slab may have grown between
+            // capture and delivery.
+            if (onRecord_)
+                onRecord_(notifySlab_[idx].record);
+            if (onFinish_)
+                onFinish_(notifySlab_[idx].spec,
+                          notifySlab_[idx].tick);
+            notifyFree_.push_back(idx);
+        });
     } else {
         if (onRecord_)
             onRecord_(record);
         if (onFinish_)
-            onFinish_(spec, now_);
+            onFinish_(request->spec, now_);
+        requests_.erase(request->spec.id);
     }
 }
 
@@ -625,9 +645,13 @@ ServingEngine::runDecodeStep()
     for (const EngineRequest *request : running_)
         runningIds_.push_back(request->spec.id);
 
+    // extendBatchByOne fuses the feasibility check with the
+    // per-request growth (one KV lookup per request per step); a
+    // false return changed nothing, exactly like the old split
+    // check, so the eviction loop is unchanged.
     Tick eviction_stall = 0;
     while (!running_.empty() &&
-           !kv_.canExtendBatchByOne(runningIds_)) {
+           !kv_.extendBatchByOne(runningIds_)) {
         if (running_.size() == 1) {
             // A lone request that cannot extend would evict and
             // re-admit itself forever.
@@ -646,8 +670,6 @@ ServingEngine::runDecodeStep()
 
     TokenCount batch_kv = 0;
     for (EngineRequest *request : running_) {
-        const bool ok = kv_.extend(request->spec.id, 1);
-        LIGHTLLM_ASSERT(ok, "extend failed after capacity check");
         request->generated += 1;
         batch_kv += request->spec.inputLen + request->generated;
     }
@@ -661,17 +683,17 @@ ServingEngine::runDecodeStep()
                             trueFutureMemory(), now_, duration);
 
     // Emissions and completions.
-    std::vector<EngineRequest *> finished;
+    finishedScratch_.clear();
     for (EngineRequest *request : running_)
         recordEmission(*request, now_);
     std::erase_if(running_, [&](EngineRequest *request) {
         if (request->generated >= request->targetOutput()) {
-            finished.push_back(request);
+            finishedScratch_.push_back(request);
             return true;
         }
         return false;
     });
-    for (EngineRequest *request : finished)
+    for (EngineRequest *request : finishedScratch_)
         finishRequest(request);
 }
 
@@ -682,9 +704,12 @@ ServingEngine::runFusedStep()
     for (const EngineRequest *request : running_)
         runningIds_.push_back(request->spec.id);
 
+    // Fused check+growth, as in runDecodeStep: nothing between the
+    // passing call and the step body touches the KV manager, so
+    // applying the extends up front is byte-equivalent.
     Tick extra_stall = 0;
     while (!running_.empty() &&
-           !kv_.canExtendBatchByOne(runningIds_)) {
+           !kv_.extendBatchByOne(runningIds_)) {
         if (running_.size() == 1) {
             fatal("request ", running_.front()->spec.id,
                   " outgrew the KV capacity of ",
@@ -697,7 +722,7 @@ ServingEngine::runFusedStep()
 
     // Swap-ins restore admitted-but-offloaded requests; they join
     // the batch after this step (no token emitted while restoring).
-    std::vector<EngineRequest *> swapped_in;
+    swappedInScratch_.clear();
     std::erase_if(prefillPending_, [&](EngineRequest *request) {
         if (!request->swappedOut)
             return false;
@@ -707,7 +732,7 @@ ServingEngine::runFusedStep()
         extra_stall += cost;
         collector_.onSwap(tokens, cost);
         request->swappedOut = false;
-        swapped_in.push_back(request);
+        swappedInScratch_.push_back(request);
         return true;
     });
 
@@ -726,16 +751,16 @@ ServingEngine::runFusedStep()
 
     TokenCount batch_kv = 0;
     for (EngineRequest *request : running_) {
-        const bool ok = kv_.extend(request->spec.id, 1);
-        LIGHTLLM_ASSERT(ok, "extend failed after capacity check");
         request->generated += 1;
         batch_kv += request->spec.inputLen + request->generated;
     }
 
     const auto batch_size =
         static_cast<std::int64_t>(running_.size());
-    if (batch_size == 0 && chunk_used == 0 && swapped_in.empty())
+    if (batch_size == 0 && chunk_used == 0 &&
+        swappedInScratch_.empty()) {
         return;
+    }
     Tick duration = extra_stall;
     if (batch_size > 0 || chunk_used > 0) {
         duration += scaled(perf_.fusedStepLatency(
@@ -749,12 +774,12 @@ ServingEngine::runFusedStep()
     if (chunk_used > 0)
         collector_.onPrefill(chunk_used, duration);
 
-    std::vector<EngineRequest *> finished;
+    finishedScratch_.clear();
     for (EngineRequest *request : running_)
         recordEmission(*request, now_);
     std::erase_if(running_, [&](EngineRequest *request) {
         if (request->generated >= request->targetOutput()) {
-            finished.push_back(request);
+            finishedScratch_.push_back(request);
             return true;
         }
         return false;
@@ -768,7 +793,7 @@ ServingEngine::runFusedStep()
         request->generated += 1;
         recordEmission(*request, now_);
         if (request->generated >= request->targetOutput()) {
-            finished.push_back(request);  // finish inserts
+            finishedScratch_.push_back(request);  // finish inserts
         } else {
             cacheInsert(request);
             running_.push_back(request);
@@ -776,11 +801,11 @@ ServingEngine::runFusedStep()
         return true;
     });
 
-    for (EngineRequest *request : finished)
+    for (EngineRequest *request : finishedScratch_)
         finishRequest(request);
 
     // Restored requests resume decoding from the next step.
-    for (EngineRequest *request : swapped_in)
+    for (EngineRequest *request : swappedInScratch_)
         running_.push_back(request);
 }
 

@@ -441,11 +441,32 @@ class ServingEngine : public workload::RequestSink
     FinishCallback onFinish_;
     RecordCallback onRecord_;
 
+    /**
+     * Parked payload of one deferred finish notification (actor
+     * mode). The spec is moved out of the dying request into a
+     * recycled slab slot, so the completion event only captures a
+     * slab index — small enough for the event queue's inline
+     * handler storage (see DESIGN.md §8).
+     */
+    struct DeferredNotify
+    {
+        workload::RequestSpec spec;
+        metrics::RequestRecord record;
+        Tick tick = 0;
+    };
+
+    /** Deferred-notification slab + free slot indices. */
+    std::vector<DeferredNotify> notifySlab_;
+    std::vector<std::size_t> notifyFree_;
+
     // Scratch buffers reused across iterations.
+    core::SchedulingDecision decisionScratch_;
     std::vector<core::RunningView> runningViews_;
     std::vector<core::WaitingView> waitingViews_;
     std::vector<RequestId> runningIds_;
     std::vector<RequestId> victimScratch_;
+    std::vector<EngineRequest *> finishedScratch_;
+    std::vector<EngineRequest *> swappedInScratch_;
     mutable std::vector<core::BatchEntry> scratchEntries_;
     std::vector<memory::BlockId> matchScratch_;
     std::vector<PromptSegment> streamScratch_;

@@ -170,7 +170,12 @@ KvBlockManager::extend(RequestId id, TokenCount num_tokens)
     auto it = tables_.find(id);
     LIGHTLLM_ASSERT(it != tables_.end(),
                     "extend of unknown request ", id);
-    Allocation &alloc = it->second;
+    return extendAlloc(it->second, num_tokens);
+}
+
+bool
+KvBlockManager::extendAlloc(Allocation &alloc, TokenCount num_tokens)
+{
     const std::int64_t need = blocksForExtension(alloc, num_tokens);
     if (!ensureFreeBlocks(need))
         return false;
@@ -231,6 +236,29 @@ KvBlockManager::canExtendBatchByOne(
     }
     return blocks_needed <=
         freeBlocks() + (cache_ != nullptr ? cacheOnly_ : 0);
+}
+
+bool
+KvBlockManager::extendBatchByOne(const std::vector<RequestId> &ids)
+{
+    extendScratch_.clear();
+    std::int64_t blocks_needed = 0;
+    for (RequestId id : ids) {
+        const auto it = tables_.find(id);
+        LIGHTLLM_ASSERT(it != tables_.end(),
+                        "unknown request in batch: ", id);
+        blocks_needed += blocksForExtension(it->second, 1);
+        extendScratch_.push_back(&it->second);
+    }
+    if (blocks_needed >
+        freeBlocks() + (cache_ != nullptr ? cacheOnly_ : 0))
+        return false;
+    for (Allocation *alloc : extendScratch_) {
+        const bool ok = extendAlloc(*alloc, 1);
+        LIGHTLLM_ASSERT(ok,
+                        "batch extend failed after capacity check");
+    }
+    return true;
 }
 
 TokenCount

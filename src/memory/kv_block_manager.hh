@@ -131,6 +131,17 @@ class KvBlockManager
         const std::vector<RequestId> &ids) const;
 
     /**
+     * Fused feasibility check plus growth: when every request in
+     * `ids` can extend by one token (the canExtendBatchByOne test),
+     * apply extend(id, 1) to each in order and return true; when the
+     * batch cannot extend, change nothing and return false. State
+     * evolution is identical to the split check-then-extend
+     * sequence, at one hash lookup per request instead of two —
+     * this runs once per decode step on the serving hot path.
+     */
+    bool extendBatchByOne(const std::vector<RequestId> &ids);
+
+    /**
      * Token slots currently pinned by requests. Physically shared
      * blocks count once no matter how many requests reference them;
      * blocks held only by the prefix cache are reclaimable and do
@@ -216,6 +227,10 @@ class KvBlockManager
     std::int64_t blocksForExtension(const Allocation &alloc,
                                     TokenCount extra) const;
 
+    /** extend() after the table lookup (shared with the fused
+     *  batch path). */
+    bool extendAlloc(Allocation &alloc, TokenCount num_tokens);
+
     /** Grow the free list to `need` blocks, reclaiming LRU cached
      *  blocks if required. False when impossible. */
     bool ensureFreeBlocks(std::int64_t need);
@@ -239,6 +254,10 @@ class KvBlockManager
 
     /** Count of cached blocks with zero request references. */
     std::int64_t cacheOnly_ = 0;
+
+    /** Lookup scratch for extendBatchByOne (pointers into tables_
+     *  nodes, which are stable; valid only within one call). */
+    std::vector<Allocation *> extendScratch_;
 
     PrefixCache *cache_ = nullptr;
 };

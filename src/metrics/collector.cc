@@ -13,6 +13,12 @@ MetricsCollector::MetricsCollector(TokenCount capacity_tokens,
     LIGHTLLM_ASSERT(capacity_tokens > 0, "capacity must be positive");
     LIGHTLLM_ASSERT(timeseries_interval >= 0,
                     "negative timeseries interval");
+    // Pre-reserve the record slab so steady-state collection stays
+    // off the allocator until a run outgrows it (then the vector
+    // doubles as usual). resetMeasurement clears but keeps capacity.
+    requests_.reserve(kRecordSlabReserve);
+    if (timeseriesInterval_ > 0)
+        timeseries_.reserve(kTimeseriesReserve);
 }
 
 void

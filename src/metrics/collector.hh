@@ -76,6 +76,13 @@ class MetricsCollector
     TokenCount capacityTokens() const { return capacity_; }
 
   private:
+    /** Records pre-reserved at construction (collection touches the
+     *  allocator only when a run outgrows this slab). */
+    static constexpr std::size_t kRecordSlabReserve = 1024;
+
+    /** Time-series points pre-reserved when sampling is on. */
+    static constexpr std::size_t kTimeseriesReserve = 256;
+
     TokenCount capacity_;
     std::int64_t timeseriesInterval_;
     Tick measureStart_ = 0;

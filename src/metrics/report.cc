@@ -1,5 +1,6 @@
 #include "metrics/report.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/str_util.hh"
@@ -70,6 +71,51 @@ RunReport::shedRate() const
         return 0.0;
     return static_cast<double>(shedRequests) /
         static_cast<double>(offeredRequests);
+}
+
+RunReport::LatencyDigest
+RunReport::latencyDigest() const
+{
+    LatencyDigest digest;
+    digest.ttftSeconds.reserve(requests.size());
+    digest.mtpotSeconds.reserve(requests.size());
+    digest.tpotSeconds.reserve(requests.size());
+    for (const auto &record : requests) {
+        digest.ttftSeconds.push_back(
+            ticksToSeconds(record.ttft()));
+        digest.mtpotSeconds.push_back(
+            ticksToSeconds(record.maxGap));
+        digest.tpotSeconds.push_back(record.avgTpotSeconds());
+    }
+    std::sort(digest.ttftSeconds.begin(),
+              digest.ttftSeconds.end());
+    std::sort(digest.mtpotSeconds.begin(),
+              digest.mtpotSeconds.end());
+    return digest;
+}
+
+double
+RunReport::LatencyDigest::ttftPercentile(double q) const
+{
+    return stats::percentileSorted(ttftSeconds, q);
+}
+
+double
+RunReport::LatencyDigest::mtpotPercentile(double q) const
+{
+    return stats::percentileSorted(mtpotSeconds, q);
+}
+
+double
+RunReport::LatencyDigest::meanTtft() const
+{
+    return stats::mean(ttftSeconds);
+}
+
+double
+RunReport::LatencyDigest::meanTpot() const
+{
+    return stats::mean(tpotSeconds);
 }
 
 double
@@ -178,14 +224,17 @@ mergeReports(const std::vector<RunReport> &reports, std::string name)
 std::string
 RunReport::summary(const SlaSpec &sla) const
 {
+    const LatencyDigest digest = latencyDigest();
     std::ostringstream oss;
     oss << schedulerName << ": " << numFinished << " reqs, "
         << formatDouble(throughputTokensPerSec(), 1)
         << " tok/s throughput, "
         << formatDouble(goodputTokensPerSec(sla), 1)
         << " tok/s goodput, p99 TTFT "
-        << formatDouble(p99TtftSeconds(), 2) << " s, p99 MTPOT "
-        << formatDouble(p99MtpotSeconds(), 2) << " s, evicted "
+        << formatDouble(digest.ttftPercentile(0.99), 2)
+        << " s, p99 MTPOT "
+        << formatDouble(digest.mtpotPercentile(0.99), 2)
+        << " s, evicted "
         << formatPercent(evictedReqRatio(), 2) << ", mem "
         << formatPercent(avgConsumedMemory, 2);
     return oss.str();

@@ -170,6 +170,33 @@ struct RunReport
      *  run). */
     double shedRate() const;
 
+    /**
+     * Extract-once latency digest: per-request TTFT / MTPOT / TPOT
+     * sample vectors, the first two pre-sorted ascending, so
+     * consumers that need several quantiles of one report (summary
+     * lines, JSON writers, pool stats) extract each metric vector
+     * once instead of rebuilding and re-ranking it per percentile.
+     */
+    struct LatencyDigest
+    {
+        /** Sorted ascending; seconds. */
+        std::vector<double> ttftSeconds;
+
+        /** Sorted ascending; seconds. */
+        std::vector<double> mtpotSeconds;
+
+        /** Per-request average TPOT in seconds (unsorted). */
+        std::vector<double> tpotSeconds;
+
+        double ttftPercentile(double q) const;
+        double mtpotPercentile(double q) const;
+        double meanTtft() const;
+        double meanTpot() const;
+    };
+
+    /** Extract the latency digest (one pass over the records). */
+    LatencyDigest latencyDigest() const;
+
     /** TTFT percentile in seconds (nearest-rank; q in [0, 1]). */
     double ttftPercentileSeconds(double q) const;
 

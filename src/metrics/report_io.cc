@@ -42,6 +42,9 @@ void
 writeSummaryJson(std::ostream &os, const RunReport &report,
                  const SlaSpec &sla)
 {
+    // One digest serves all six latency quantiles below (each
+    // metric vector is extracted and ranked exactly once).
+    const RunReport::LatencyDigest digest = report.latencyDigest();
     os << "{\n"
        << "  \"scheduler\": \"" << report.schedulerName << "\",\n"
        << "  \"num_finished\": " << report.numFinished << ",\n"
@@ -71,17 +74,17 @@ writeSummaryJson(std::ostream &os, const RunReport &report,
        << "  \"sla_compliant_fraction\": "
        << formatDouble(report.slaCompliantFraction(sla), 4) << ",\n"
        << "  \"p50_ttft_s\": "
-       << formatDouble(report.p50TtftSeconds(), 3) << ",\n"
+       << formatDouble(digest.ttftPercentile(0.50), 3) << ",\n"
        << "  \"p90_ttft_s\": "
-       << formatDouble(report.p90TtftSeconds(), 3) << ",\n"
+       << formatDouble(digest.ttftPercentile(0.90), 3) << ",\n"
        << "  \"p99_ttft_s\": "
-       << formatDouble(report.p99TtftSeconds(), 3) << ",\n"
+       << formatDouble(digest.ttftPercentile(0.99), 3) << ",\n"
        << "  \"p50_mtpot_s\": "
-       << formatDouble(report.p50MtpotSeconds(), 3) << ",\n"
+       << formatDouble(digest.mtpotPercentile(0.50), 3) << ",\n"
        << "  \"p90_mtpot_s\": "
-       << formatDouble(report.p90MtpotSeconds(), 3) << ",\n"
+       << formatDouble(digest.mtpotPercentile(0.90), 3) << ",\n"
        << "  \"p99_mtpot_s\": "
-       << formatDouble(report.p99MtpotSeconds(), 3) << ",\n"
+       << formatDouble(digest.mtpotPercentile(0.99), 3) << ",\n"
        << "  \"shed_requests\": " << report.shedRequests << ",\n"
        << "  \"offered_requests\": " << report.offeredRequests
        << ",\n"

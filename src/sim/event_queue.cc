@@ -7,53 +7,85 @@
 namespace lightllm {
 namespace sim {
 
-bool
-EventQueue::earlier(const Entry &a, const Entry &b)
+std::uint32_t
+EventQueue::acquireSlot(EventHandler &&handler)
 {
-    if (a.when != b.when)
-        return a.when < b.when;
-    if (a.cls != b.cls)
-        return a.cls < b.cls;
-    return a.seq < b.seq;
-}
-
-void
-EventQueue::swapSlots(std::size_t a, std::size_t b)
-{
-    std::swap(heap_[a], heap_[b]);
-    index_[heap_[a].id] = a;
-    index_[heap_[b].id] = b;
-}
-
-void
-EventQueue::siftUp(std::size_t slot)
-{
-    while (slot > 0) {
-        const std::size_t parent = (slot - 1) / 2;
-        if (!earlier(heap_[slot], heap_[parent]))
-            break;
-        swapSlots(slot, parent);
-        slot = parent;
+    std::uint32_t slot;
+    if (freeHead_ != kNoSlot) {
+        slot = freeHead_;
+        freeHead_ = freeNext_[slot];
+        handlers_[slot] = std::move(handler);
+    } else {
+        slot = static_cast<std::uint32_t>(handlers_.size());
+        LIGHTLLM_ASSERT(slot <= kSlotMask,
+                        "event arena exhausted: ", slot,
+                        " concurrently pending events");
+        handlers_.push_back(std::move(handler));
+        pos_.push_back(kNoSlot);
+        gen_.push_back(0);
+        freeNext_.push_back(kNoSlot);
     }
+    return slot;
 }
 
 void
-EventQueue::siftDown(std::size_t slot)
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    handlers_[slot].reset();
+    pos_[slot] = kNoSlot;
+    // Bumping the generation invalidates every handle issued for
+    // this slot's previous occupants in O(1).
+    ++gen_[slot];
+    freeNext_[slot] = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+EventQueue::siftUp(std::size_t at)
+{
+    const HeapEntry moving = heap_[at];
+    const OrderKey movingKey = orderKey(moving);
+    while (at > 0) {
+        const std::size_t parent = (at - 1) / 2;
+        if (!(movingKey < orderKey(heap_[parent])))
+            break;
+        heap_[at] = heap_[parent];
+        pos_[slotIn(heap_[at].key)] = static_cast<std::uint32_t>(at);
+        at = parent;
+    }
+    heap_[at] = moving;
+    pos_[slotIn(moving.key)] = static_cast<std::uint32_t>(at);
+}
+
+void
+EventQueue::siftDown(std::size_t at)
 {
     const std::size_t size = heap_.size();
-    while (true) {
-        const std::size_t left = 2 * slot + 1;
-        const std::size_t right = left + 1;
-        std::size_t smallest = slot;
-        if (left < size && earlier(heap_[left], heap_[smallest]))
-            smallest = left;
-        if (right < size && earlier(heap_[right], heap_[smallest]))
-            smallest = right;
-        if (smallest == slot)
+    const HeapEntry moving = heap_[at];
+    const OrderKey movingKey = orderKey(moving);
+    // Main loop runs while both children exist: the smaller-child
+    // pick is branch-free (ranks are unique scalars, see orderKey).
+    while (2 * at + 2 < size) {
+        std::size_t child = 2 * at + 1;
+        child += static_cast<std::size_t>(
+            orderKey(heap_[child + 1]) < orderKey(heap_[child]));
+        if (!(orderKey(heap_[child]) < movingKey))
             break;
-        swapSlots(slot, smallest);
-        slot = smallest;
+        heap_[at] = heap_[child];
+        pos_[slotIn(heap_[at].key)] = static_cast<std::uint32_t>(at);
+        at = child;
     }
+    // Tail: a lone left child at the heap edge. Harmless after the
+    // early break above (the left child ranks >= the min child,
+    // which ranked >= moving).
+    const std::size_t child = 2 * at + 1;
+    if (child < size && orderKey(heap_[child]) < movingKey) {
+        heap_[at] = heap_[child];
+        pos_[slotIn(heap_[at].key)] = static_cast<std::uint32_t>(at);
+        at = child;
+    }
+    heap_[at] = moving;
+    pos_[slotIn(moving.key)] = static_cast<std::uint32_t>(at);
 }
 
 EventId
@@ -61,33 +93,37 @@ EventQueue::schedule(Tick when, EventHandler handler, EventClass cls)
 {
     LIGHTLLM_ASSERT(when >= 0, "cannot schedule at negative tick ",
                     when);
-    const EventId id = nextId_++;
-    heap_.push_back(
-        Entry{when, cls, nextSeq_++, id, std::move(handler)});
-    index_[id] = heap_.size() - 1;
+    const std::uint32_t slot = acquireSlot(std::move(handler));
+    heap_.push_back(HeapEntry{when, sortKey(cls, nextSeq_++, slot)});
     siftUp(heap_.size() - 1);
-    return id;
+    return (static_cast<EventId>(gen_[slot]) << 32) |
+        static_cast<EventId>(slot + 1);
+}
+
+void
+EventQueue::removeAt(std::size_t at)
+{
+    const std::size_t last = heap_.size() - 1;
+    if (at != last) {
+        heap_[at] = heap_[last];
+        heap_.pop_back();
+        // The moved entry may belong above or below its new slot;
+        // whichever sift moves it, the other is a no-op.
+        siftUp(at);
+        siftDown(at);
+    } else {
+        heap_.pop_back();
+    }
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    const auto it = index_.find(id);
-    if (it == index_.end())
+    const std::uint32_t slot = slotOf(id);
+    if (slot == kNoSlot)
         return false;
-    const std::size_t slot = it->second;
-    index_.erase(it);
-    const std::size_t last = heap_.size() - 1;
-    if (slot != last) {
-        heap_[slot] = std::move(heap_[last]);
-        index_[heap_[slot].id] = slot;
-        heap_.pop_back();
-        // The moved entry may belong above or below its new slot.
-        siftUp(slot);
-        siftDown(slot);
-    } else {
-        heap_.pop_back();
-    }
+    removeAt(pos_[slot]);
+    releaseSlot(slot);
     return true;
 }
 
@@ -96,30 +132,26 @@ EventQueue::reschedule(EventId id, Tick when)
 {
     LIGHTLLM_ASSERT(when >= 0, "cannot reschedule to negative tick ",
                     when);
-    const auto it = index_.find(id);
-    if (it == index_.end())
+    const std::uint32_t slot = slotOf(id);
+    if (slot == kNoSlot)
         return false;
-    const std::size_t slot = it->second;
-    heap_[slot].when = when;
-    heap_[slot].seq = nextSeq_++;
-    siftUp(slot);
-    siftDown(slot);
+    const std::size_t at = pos_[slot];
+    heap_[at].when = when;
+    // Re-sequence as if newly scheduled, preserving the class bits.
+    heap_[at].key = (heap_[at].key & kClsMask) |
+        ((nextSeq_++) << 24) | slot;
+    siftUp(at);
+    siftDown(pos_[slot]);
     return true;
-}
-
-bool
-EventQueue::pending(EventId id) const
-{
-    return index_.find(id) != index_.end();
 }
 
 Tick
 EventQueue::eventTick(EventId id) const
 {
-    const auto it = index_.find(id);
-    LIGHTLLM_ASSERT(it != index_.end(), "eventTick on unknown event ",
+    const std::uint32_t slot = slotOf(id);
+    LIGHTLLM_ASSERT(slot != kNoSlot, "eventTick on unknown event ",
                     id);
-    return heap_[it->second].when;
+    return heap_[pos_[slot]].when;
 }
 
 Tick
@@ -129,31 +161,20 @@ EventQueue::nextTick() const
     return heap_.front().when;
 }
 
-EventQueue::Entry
-EventQueue::popTop()
-{
-    Entry top = std::move(heap_.front());
-    index_.erase(top.id);
-    const std::size_t last = heap_.size() - 1;
-    if (last > 0) {
-        heap_.front() = std::move(heap_[last]);
-        index_[heap_.front().id] = 0;
-        heap_.pop_back();
-        siftDown(0);
-    } else {
-        heap_.pop_back();
-    }
-    return top;
-}
-
 std::size_t
 EventQueue::runUntil(Tick now)
 {
     std::size_t fired = 0;
     while (!heap_.empty() && heap_.front().when <= now) {
-        // Pop before running so the handler may schedule new events.
-        Entry entry = popTop();
-        entry.handler(entry.when);
+        const HeapEntry top = heap_.front();
+        const std::uint32_t slot = slotIn(top.key);
+        // Move the handler out and release the slot before running
+        // so the handler may freely schedule new events (which may
+        // recycle this very slot or grow the arena).
+        EventHandler handler = std::move(handlers_[slot]);
+        removeAt(0);
+        releaseSlot(slot);
+        handler(top.when);
         ++fired;
     }
     return fired;
@@ -163,16 +184,21 @@ Tick
 EventQueue::runNext()
 {
     LIGHTLLM_ASSERT(!heap_.empty(), "runNext on empty queue");
-    Entry entry = popTop();
-    entry.handler(entry.when);
-    return entry.when;
+    const HeapEntry top = heap_.front();
+    const std::uint32_t slot = slotIn(top.key);
+    EventHandler handler = std::move(handlers_[slot]);
+    removeAt(0);
+    releaseSlot(slot);
+    handler(top.when);
+    return top.when;
 }
 
 void
 EventQueue::clear()
 {
+    for (const HeapEntry &entry : heap_)
+        releaseSlot(slotIn(entry.key));
     heap_.clear();
-    index_.clear();
 }
 
 } // namespace sim

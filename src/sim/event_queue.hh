@@ -12,18 +12,30 @@
  * cluster uses to claw back in-flight arrivals when an instance
  * drains.
  *
- * Implementation: an indexed binary min-heap. A handle → heap-slot
- * map is maintained through every sift, so cancel() and
- * reschedule() are O(log n) instead of the O(n) rebuild a
- * std::priority_queue would force.
+ * Implementation (DESIGN.md §8): an indexed binary min-heap of flat
+ * POD entries over a free-list slot arena. Each pending event owns
+ * an arena slot holding its callback (inline storage, no heap
+ * allocation for small callables) and per-slot bookkeeping; the
+ * heap itself stores only {tick, sort key, slot} so sift swaps move
+ * 24-byte PODs and update one dense u32 position array — no hash
+ * map on any path. Slots are recycled through a free list, and an
+ * EventId carries the slot's generation so a stale handle held
+ * across recycling can never alias a newer event: cancel(),
+ * reschedule(), pending(), and eventTick() are O(1) array lookups
+ * (plus an O(log n) sift where the heap changes). In steady state —
+ * once the arena and heap have grown to the simulation's high-water
+ * pending count — scheduling and firing events performs zero heap
+ * allocations for callables that fit the inline buffer.
  */
 
 #ifndef LIGHTLLM_SIM_EVENT_QUEUE_HH
 #define LIGHTLLM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -31,10 +43,179 @@
 namespace lightllm {
 namespace sim {
 
-/** Callback invoked when an event fires; receives the fire tick. */
-using EventHandler = std::function<void(Tick)>;
+/**
+ * Move-only callable taking the fire tick, with inline storage.
+ *
+ * A drop-in replacement for `std::function<void(Tick)>` on the
+ * event hot path: callables up to kInlineSize bytes live inside
+ * the handler object itself (libstdc++'s std::function only
+ * inlines 16 bytes, so even a [this, token] capture allocates).
+ * Larger callables fall back to a heap allocation, counted by
+ * heapFallbackCount() so tests can pin which paths stay inline.
+ */
+class EventHandler
+{
+  public:
+    /** Inline capture budget; larger callables heap-allocate. */
+    static constexpr std::size_t kInlineSize = 48;
 
-/** Handle naming a scheduled event (0 is never issued). */
+    EventHandler() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, EventHandler>>>
+    EventHandler(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            // Trivially relocatable+destructible callables (plain
+            // capture lists of pointers/PODs — every hot-path
+            // lambda) move as a raw byte copy and destroy as a
+            // no-op, with no indirect ops calls.
+            if constexpr (std::is_trivially_copyable_v<Fn> &&
+                          std::is_trivially_destructible_v<Fn>) {
+                ops_ = &trivialOps<Fn>;
+                trivial_ = true;
+            } else {
+                ops_ = &inlineOps<Fn>;
+            }
+        } else {
+            *reinterpret_cast<void **>(storage_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &heapOps<Fn>;
+            ++heapFallbacks_;
+        }
+    }
+
+    EventHandler(EventHandler &&other) noexcept { moveFrom(other); }
+
+    EventHandler &
+    operator=(EventHandler &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventHandler(const EventHandler &) = delete;
+    EventHandler &operator=(const EventHandler &) = delete;
+
+    ~EventHandler() { reset(); }
+
+    /** Invoke the callable; requires a non-empty handler. */
+    void
+    operator()(Tick when)
+    {
+        ops_->invoke(storage_, when);
+    }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Destroy the held callable, leaving the handler empty. */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            if (!trivial_)
+                ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    /**
+     * Process-wide count of callables that exceeded the inline
+     * buffer and heap-allocated (test hook for the zero-alloc
+     * contract on the schedule/fire path).
+     */
+    static std::uint64_t heapFallbackCount() { return heapFallbacks_; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage, Tick when);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops trivialOps = {
+        [](void *storage, Tick when) {
+            (*std::launder(reinterpret_cast<Fn *>(storage)))(when);
+        },
+        nullptr,
+        nullptr,
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *storage, Tick when) {
+            (*std::launder(reinterpret_cast<Fn *>(storage)))(when);
+        },
+        [](void *dst, void *src) noexcept {
+            Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *storage) noexcept {
+            std::launder(reinterpret_cast<Fn *>(storage))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *storage, Tick when) {
+            (**static_cast<Fn **>(storage))(when);
+        },
+        [](void *dst, void *src) noexcept {
+            *static_cast<void **>(dst) = *static_cast<void **>(src);
+        },
+        [](void *storage) noexcept {
+            delete *static_cast<Fn **>(storage);
+        },
+    };
+
+    void
+    moveFrom(EventHandler &other) noexcept
+    {
+        ops_ = other.ops_;
+        trivial_ = other.trivial_;
+        if (ops_ != nullptr) {
+            if (trivial_) {
+                __builtin_memcpy(storage_, other.storage_,
+                                 kInlineSize);
+            } else {
+                ops_->relocate(storage_, other.storage_);
+            }
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops *ops_ = nullptr;
+    bool trivial_ = false;
+
+    static inline std::uint64_t heapFallbacks_ = 0;
+};
+
+/**
+ * Handle naming a scheduled event (0 is never issued).
+ *
+ * Layout: low 32 bits hold `slot + 1` (the arena slot the event
+ * occupies), high 32 bits hold the slot's generation at schedule
+ * time. Every release of a slot (fire, cancel, clear) bumps its
+ * generation, so a stale handle kept across slot recycling fails
+ * the generation check in pending()/cancel()/reschedule() instead
+ * of aliasing the newer event now occupying the slot. A single
+ * slot would need 2^32 recycles for a stale handle to collide.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel for "no event". */
@@ -73,7 +254,8 @@ class EventQueue
      * Drop a pending event.
      *
      * @return false when the handle is unknown (already fired,
-     *         cancelled, or never issued).
+     *         cancelled, never issued, or stale — i.e. its arena
+     *         slot was recycled by a newer event).
      */
     bool cancel(EventId id);
 
@@ -82,12 +264,17 @@ class EventQueue
      * handler and class but is re-sequenced as if newly scheduled
      * (it fires after existing same-tick, same-class events).
      *
-     * @return false when the handle is unknown.
+     * @return false when the handle is unknown or stale.
      */
     bool reschedule(EventId id, Tick when);
 
-    /** True while the event has not fired and was not cancelled. */
-    bool pending(EventId id) const;
+    /**
+     * True while the event has not fired and was not cancelled.
+     * O(1): decodes the handle's slot and compares generations, so
+     * a stale handle whose slot now hosts a newer event reports
+     * false rather than aliasing it.
+     */
+    bool pending(EventId id) const { return slotOf(id) != kNoSlot; }
 
     /** Scheduled tick of a pending event; requires pending(id). */
     Tick eventTick(EventId id) const;
@@ -116,35 +303,129 @@ class EventQueue
      */
     Tick runNext();
 
-    /** Drop all pending events. */
+    /** Drop all pending events (arena capacity is retained). */
     void clear();
 
   private:
-    struct Entry
+    /**
+     * Heap entry: 16 bytes, so sift swaps move one POD and all
+     * comparisons touch only the heap array. `key` packs
+     * (EventClass << 62) | (FIFO sequence << 24) | arena slot:
+     * class-then-sequence ordering falls out of one u64 compare
+     * (the slot bits only break ties that cannot occur — sequences
+     * are unique), and the slot rides along for free. 38 sequence
+     * bits last ~274 billion schedules; 24 slot bits allow 16.7M
+     * concurrently pending events.
+     */
+    struct HeapEntry
     {
         Tick when;
-        EventClass cls;
-        std::uint64_t seq;
-        EventId id;
-        EventHandler handler;
+        std::uint64_t key;
     };
 
-    /** Strict ordering: earlier tick, then class, then seq. */
-    static bool earlier(const Entry &a, const Entry &b);
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    static constexpr std::uint64_t kSlotMask = 0xffffffull;
+    static constexpr std::uint64_t kClsMask = 3ull << 62;
 
-    /** Pop the root entry, keeping the index map consistent. */
-    Entry popTop();
+    static std::uint64_t
+    sortKey(EventClass cls, std::uint64_t seq, std::uint32_t slot)
+    {
+        return (static_cast<std::uint64_t>(cls) << 62) |
+            (seq << 24) | slot;
+    }
 
-    // Sift the entry at `slot` toward its heap position; both
-    // update index_ for every move.
-    void siftUp(std::size_t slot);
-    void siftDown(std::size_t slot);
-    void swapSlots(std::size_t a, std::size_t b);
+    static std::uint32_t
+    slotIn(std::uint64_t key)
+    {
+        return static_cast<std::uint32_t>(key & kSlotMask);
+    }
 
-    std::vector<Entry> heap_;
-    std::unordered_map<EventId, std::size_t> index_;
+#if defined(__SIZEOF_INT128__)
+    /**
+     * An entry's position in the total event order as one scalar,
+     * (when << 64) | key: sift loops compare ranks with a single
+     * branch-free unsigned compare (`when` is never negative), so
+     * the data-dependent child pick in siftDown becomes a cmov
+     * instead of a ~50% mispredicted branch.
+     */
+    using OrderKey = unsigned __int128;
+
+    static OrderKey
+    orderKey(const HeapEntry &e)
+    {
+        return (static_cast<OrderKey>(
+                    static_cast<std::uint64_t>(e.when))
+                << 64) |
+            e.key;
+    }
+#else
+    /** Two-word fallback rank for compilers without __int128. */
+    struct OrderKey
+    {
+        std::uint64_t hi;
+        std::uint64_t lo;
+
+        bool
+        operator<(const OrderKey &o) const
+        {
+            if (hi != o.hi)
+                return hi < o.hi;
+            return lo < o.lo;
+        }
+    };
+
+    static OrderKey
+    orderKey(const HeapEntry &e)
+    {
+        return {static_cast<std::uint64_t>(e.when), e.key};
+    }
+#endif
+
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        return orderKey(a) < orderKey(b);
+    }
+
+    /** Decode + validate a handle; kNoSlot when unknown/stale. */
+    std::uint32_t
+    slotOf(EventId id) const
+    {
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+        if (slot >= gen_.size() ||
+            gen_[slot] != static_cast<std::uint32_t>(id >> 32) ||
+            pos_[slot] == kNoSlot) {
+            return kNoSlot;
+        }
+        return slot;
+    }
+
+    /** Acquire an arena slot holding `handler`. */
+    std::uint32_t acquireSlot(EventHandler &&handler);
+
+    /** Return a slot to the free list, bumping its generation. */
+    void releaseSlot(std::uint32_t slot);
+
+    /** Remove the heap entry at heap index `at`. */
+    void removeAt(std::size_t at);
+
+    // Sift the entry at `at` toward its heap position; both update
+    // pos_ for every move.
+    void siftUp(std::size_t at);
+    void siftDown(std::size_t at);
+
+    std::vector<HeapEntry> heap_;
+    /** Per-slot heap index while pending; kNoSlot while free. */
+    std::vector<std::uint32_t> pos_;
+    /** Per-slot generation, bumped on every release. */
+    std::vector<std::uint32_t> gen_;
+    /** Per-slot callback storage (inline up to 48 bytes). */
+    std::vector<EventHandler> handlers_;
+    /** Free-list links threaded through freed slots. */
+    std::vector<std::uint32_t> freeNext_;
+    std::uint32_t freeHead_ = kNoSlot;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
 };
 
 } // namespace sim

@@ -25,6 +25,20 @@ percentile(std::vector<double> samples, double q)
 }
 
 double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+double
 mean(const std::vector<double> &samples)
 {
     if (samples.empty())

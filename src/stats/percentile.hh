@@ -20,6 +20,13 @@ namespace stats {
  */
 double percentile(std::vector<double> samples, double q);
 
+/**
+ * Nearest-rank percentile over samples already sorted ascending —
+ * O(1), for consumers querying several quantiles of one vector.
+ * Agrees exactly with percentile() on the same samples.
+ */
+double percentileSorted(const std::vector<double> &sorted, double q);
+
 /** Arithmetic mean; 0 for an empty set. */
 double mean(const std::vector<double> &samples);
 

@@ -132,19 +132,20 @@ class LegacyPrefixPolicy : public core::SchedulingPolicy
     {
     }
 
-    core::SchedulingDecision
-    decide(const core::SchedulerContext &ctx) override
+    void
+    decideInto(const core::SchedulerContext &ctx,
+               core::SchedulingDecision &out) override
     {
-        core::SchedulingDecision decision;
+        out.admit.clear();
+        out.evict.clear();
         if (ctx.waiting.empty())
-            return decision;
+            return;
         std::size_t count = admission().selectAdmissions(ctx);
         if (count == 0 && ctx.running.empty())
             count = 1;  // the seed engine's forced progress
         count = std::min(count, ctx.waiting.size());
         for (std::size_t i = 0; i < count; ++i)
-            decision.admit.push_back(ctx.waiting[i].id);
-        return decision;
+            out.admit.push_back(ctx.waiting[i].id);
     }
 };
 

@@ -197,6 +197,69 @@ TEST(EventQueueHandleTest, HandlesSurviveHeavyChurn)
     EXPECT_EQ(fired.size(), ids.size() - (ids.size() + 2) / 3);
 }
 
+// --- Recycled-slot generation tags --------------------------------------
+
+TEST(EventQueueHandleTest, StaleHandleDoesNotAliasRecycledSlot)
+{
+    EventQueue queue;
+    int cancelled_fired = 0;
+    int fresh_fired = 0;
+    const EventId stale =
+        queue.schedule(5, [&](Tick) { ++cancelled_fired; });
+    EXPECT_TRUE(queue.cancel(stale));
+    // The freed arena slot is recycled by the next schedule; the
+    // stale handle must target nothing — not the new occupant.
+    const EventId fresh =
+        queue.schedule(7, [&](Tick) { ++fresh_fired; });
+    EXPECT_NE(stale, fresh);
+    EXPECT_FALSE(queue.pending(stale));
+    EXPECT_FALSE(queue.cancel(stale));
+    EXPECT_FALSE(queue.reschedule(stale, 1));
+    EXPECT_TRUE(queue.pending(fresh));
+    EXPECT_EQ(queue.eventTick(fresh), 7);
+    queue.runUntil(10);
+    EXPECT_EQ(cancelled_fired, 0);
+    EXPECT_EQ(fresh_fired, 1);
+}
+
+TEST(EventQueueHandleTest, FiredHandleDoesNotAliasRecycledSlot)
+{
+    EventQueue queue;
+    int fired = 0;
+    const EventId spent = queue.schedule(1, [&](Tick) { ++fired; });
+    queue.runUntil(1);
+    EXPECT_EQ(fired, 1);
+    // Firing released the slot; the next schedule recycles it.
+    int live_fired = 0;
+    const EventId live =
+        queue.schedule(9, [&](Tick) { ++live_fired; });
+    EXPECT_NE(spent, live);
+    EXPECT_FALSE(queue.pending(spent));
+    EXPECT_FALSE(queue.cancel(spent));
+    EXPECT_FALSE(queue.reschedule(spent, 3));
+    EXPECT_EQ(queue.eventTick(live), 9);
+    queue.runUntil(9);
+    EXPECT_EQ(live_fired, 1);
+}
+
+TEST(EventQueueHandleTest, RepeatedRecyclingKeepsHandlesDistinct)
+{
+    // One slot recycled many times: every issued handle is unique
+    // and only the newest one resolves.
+    EventQueue queue;
+    EventId previous = kInvalidEventId;
+    for (int i = 0; i < 1000; ++i) {
+        const EventId id = queue.schedule(1, [](Tick) {});
+        EXPECT_NE(id, previous);
+        if (previous != kInvalidEventId)
+            EXPECT_FALSE(queue.pending(previous));
+        EXPECT_TRUE(queue.pending(id));
+        EXPECT_TRUE(queue.cancel(id));
+        previous = id;
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueueClassTest, DeliveriesFireBeforeStepsAtEqualTicks)
 {
     EventQueue queue;
