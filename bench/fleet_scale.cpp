@@ -1,25 +1,36 @@
 /**
  * @file
- * Fleet-scale throughput of the event-driven simulation core.
+ * Fleet-scale throughput of the event-driven simulation core,
+ * single-threaded and sharded.
  *
  * Not a paper figure: this seeds the repo's performance trajectory.
- * The co-simulation is one shared event queue, so its cost per
- * simulated second must stay near-flat as the fleet grows — this
- * bench sweeps 1 → 128 Past-Future instances behind the
- * future-memory router under proportional closed-loop load and
- * reports wall-clock simulated-requests/sec, events/sec, and the
- * process peak RSS after each point (memory must scale with the
- * fleet, not blow up with it). Results land in
- * BENCH_fleet_scale.json (bench::writeJson) so CI can archive every
- * run and regressions show up as a drop in sim_req_per_sec at the
- * same fleet size.
+ * The sweep has two axes. The instance axis (1 -> 1024 Past-Future
+ * instances behind the future-memory router, proportional
+ * closed-loop load) shows the shared event core's cost staying
+ * near-flat as the fleet grows. The thread axis re-runs the large
+ * fleets under `sim::ShardedSimContext` (DESIGN.md §9) — results
+ * are bit-identical to the single-threaded rows, so the only
+ * deltas worth reading are wall-clock ones. The headline is the
+ * 512-instance speedup at 8 threads.
+ *
+ * Memory per point is sampled as a *delta* of the current resident
+ * set around each run (getrusage's ru_maxrss is a process-lifetime
+ * high-water mark, so consecutive sweep points would just repeat
+ * the largest earlier peak); the absolute peak is still reported
+ * last. Results land in BENCH_fleet_scale.json (bench::writeJson)
+ * so CI can archive every run; on Release CI runs with at least 8
+ * cores, PFS_BENCH_ENFORCE_FLOOR pins the 8-thread speedup.
  */
 
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "base/str_util.hh"
@@ -29,6 +40,8 @@
 #include "core/scheduler_factory.hh"
 #include "engine/serving_engine.hh"
 #include "model/perf_model.hh"
+#include "sim/sharded_sim_context.hh"
+#include "sim/sim_context.hh"
 #include "workload/client_pool.hh"
 #include "workload/datasets.hh"
 
@@ -36,24 +49,29 @@ using namespace lightllm;
 
 namespace {
 
+/** One (instances, threads) sweep point. */
+struct SweepSpec
+{
+    std::size_t instances;
+    std::uint32_t threads;
+};
+
 struct ScalePoint
 {
     std::size_t instances;
+    std::uint32_t threads;
     std::size_t requests;
     std::size_t finished;
     double makespanSeconds;
     double wallMillis;
     double simReqPerSec;
     double eventsPerSec;
+    double rssDeltaMb;
     double peakRssMb;
 };
 
-/**
- * Process high-water resident set in MiB. ru_maxrss is monotone over
- * the process lifetime, so within the sweep each point reports the
- * peak up to and including that fleet size — the 128-instance row is
- * the number that matters.
- */
+/** Process high-water resident set in MiB (monotone over the
+ *  process lifetime — useful only as the sweep's final summary). */
 double
 peakRssMb()
 {
@@ -64,8 +82,28 @@ peakRssMb()
     return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
+/**
+ * Current resident set in MiB from /proc/self/statm, which — unlike
+ * ru_maxrss — goes back down when a sweep point's fleet is torn
+ * down, so per-point deltas are meaningful. Falls back to the
+ * monotone peak where /proc is unavailable.
+ */
+double
+currentRssMb()
+{
+    std::ifstream statm("/proc/self/statm");
+    long long pages_total = 0;
+    long long pages_resident = 0;
+    if (statm >> pages_total >> pages_resident) {
+        const long long page_size = sysconf(_SC_PAGESIZE);
+        return static_cast<double>(pages_resident) *
+            static_cast<double>(page_size) / (1024.0 * 1024.0);
+    }
+    return peakRssMb();
+}
+
 ScalePoint
-runFleet(std::size_t instances)
+runFleet(std::size_t instances, std::uint32_t threads)
 {
     // Load scales with the fleet so per-instance pressure stays
     // constant: the sweep isolates the cost of the shared event
@@ -80,29 +118,58 @@ runFleet(std::size_t instances)
 
     const model::PerfModel perf(model::ModelSpec::llama2_7b(),
                                 model::HardwareSpec::a100_80g());
-    std::vector<std::unique_ptr<engine::ServingEngine>> engines;
-    engines.reserve(instances);
-    for (std::size_t i = 0; i < instances; ++i) {
-        engines.push_back(std::make_unique<engine::ServingEngine>(
-            perf, core::makeScheduler(config)));
-    }
-    cluster::ServingCluster fleet(
-        std::move(engines), cluster::RoutingPolicy::FutureMemory);
 
-    workload::ClosedLoopClientPool pool(clients, dataset, fleet);
-    fleet.setOnFinish(
-        [&](const workload::RequestSpec &spec, Tick tick) {
-            pool.onRequestFinished(spec.id, tick);
-        });
-
+    const double rss_before = currentRssMb();
+    double rss_after = 0.0;
     const auto start = std::chrono::steady_clock::now();
-    pool.start();
-    const auto report = fleet.run();
+    metrics::RunReport report;
+    {
+        std::vector<std::unique_ptr<engine::ServingEngine>> engines;
+        engines.reserve(instances);
+        for (std::size_t i = 0; i < instances; ++i) {
+            engines.push_back(
+                std::make_unique<engine::ServingEngine>(
+                    perf, core::makeScheduler(config)));
+        }
+
+        // threads == 1 is the classic cluster-owned single-queue
+        // loop; K > 1 shards the engines across a hub enrolled on
+        // an external root context (the CLI's --sim-threads path).
+        sim::SimContext root;
+        std::unique_ptr<sim::ShardedSimContext> hub;
+        if (threads > 1) {
+            hub = std::make_unique<sim::ShardedSimContext>(root,
+                                                           threads);
+        }
+        std::unique_ptr<cluster::ServingCluster> fleet;
+        if (hub) {
+            fleet = std::make_unique<cluster::ServingCluster>(
+                std::move(engines),
+                cluster::RoutingPolicy::FutureMemory, root);
+        } else {
+            fleet = std::make_unique<cluster::ServingCluster>(
+                std::move(engines),
+                cluster::RoutingPolicy::FutureMemory);
+        }
+
+        workload::ClosedLoopClientPool pool(clients, dataset,
+                                            *fleet);
+        fleet->setOnFinish(
+            [&](const workload::RequestSpec &spec, Tick tick) {
+                pool.onRequestFinished(spec.id, tick);
+            });
+
+        pool.start();
+        report = fleet->run();
+        // Sample while the fleet (engines, KV managers, event
+        // arenas) is still alive — this point's true footprint.
+        rss_after = currentRssMb();
+    }
     const auto wall = std::chrono::duration<double, std::milli>(
         std::chrono::steady_clock::now() - start);
 
-    // Arrivals + steps + completions all pass through the shared
-    // queue; what remains pending after a run to completion is zero,
+    // Arrivals + steps + completions all pass through the event
+    // core; what remains pending after a run to completion is zero,
     // so the fired-event count is a clean per-run cost unit.
     const double events =
         static_cast<double>(report.decodeSteps) +
@@ -111,6 +178,7 @@ runFleet(std::size_t instances)
 
     ScalePoint point;
     point.instances = instances;
+    point.threads = threads;
     point.requests = requests;
     point.finished = report.numFinished;
     point.makespanSeconds = ticksToSeconds(report.makespan);
@@ -121,6 +189,7 @@ runFleet(std::size_t instances)
         : 0.0;
     point.eventsPerSec =
         wall.count() > 0.0 ? events / (wall.count() / 1e3) : 0.0;
+    point.rssDeltaMb = rss_after - rss_before;
     point.peakRssMb = peakRssMb();
     return point;
 }
@@ -131,34 +200,55 @@ int
 main()
 {
     std::cout << "# Fleet scale: event-driven co-simulation "
-                 "throughput, 1 -> 128 instances\n\n";
+                 "throughput, instance x thread sweep\n\n";
 
-    const std::vector<std::size_t> sweep = bench::smokeTruncate(
-        std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128}, 3);
+    // Instance axis first (threads = 1), then the sharded re-runs
+    // of the large fleets, then the 1024-instance capstone. Smoke
+    // mode keeps one tiny point per axis so the sharded path can
+    // never silently rot.
+    std::vector<SweepSpec> sweep;
+    if (bench::smokeMode()) {
+        sweep = {{1, 1}, {2, 1}, {4, 2}, {4, 8}};
+    } else {
+        sweep = {{1, 1},    {2, 1},    {4, 1},   {8, 1},
+                 {16, 1},   {32, 1},   {64, 1},  {128, 1},
+                 {256, 1},  {512, 1},  {512, 2}, {512, 4},
+                 {512, 8},  {1024, 8}};
+    }
 
-    TextTable table({"instances", "requests", "makespan_s",
-                     "wall_ms", "sim_req_per_s",
-                     "approx_events_per_s", "peak_rss_mb"});
+    TextTable table({"instances", "threads", "requests",
+                     "makespan_s", "wall_ms", "sim_req_per_s",
+                     "approx_events_per_s", "rss_delta_mb"});
     std::vector<bench::JsonRow> rows;
-    for (std::size_t instances : sweep) {
-        const ScalePoint point = runFleet(instances);
+    double base512 = 0.0;
+    double sharded512 = 0.0;
+    for (const SweepSpec &spec : sweep) {
+        const ScalePoint point =
+            runFleet(spec.instances, spec.threads);
+        if (point.instances == 512 && point.threads == 1)
+            base512 = point.eventsPerSec;
+        if (point.instances == 512 && point.threads == 8)
+            sharded512 = point.eventsPerSec;
         table.addRow({
             formatCount(static_cast<std::int64_t>(point.instances)),
+            formatCount(static_cast<std::int64_t>(point.threads)),
             formatCount(static_cast<std::int64_t>(point.requests)),
             formatDouble(point.makespanSeconds, 2),
             formatDouble(point.wallMillis, 1),
             formatDouble(point.simReqPerSec, 1),
             formatDouble(point.eventsPerSec, 0),
-            formatDouble(point.peakRssMb, 1),
+            formatDouble(point.rssDeltaMb, 1),
         });
         rows.push_back(bench::JsonRow{
             {"instances", static_cast<double>(point.instances)},
+            {"threads", static_cast<double>(point.threads)},
             {"requests", static_cast<double>(point.requests)},
             {"finished", static_cast<double>(point.finished)},
             {"makespan_s", point.makespanSeconds},
             {"wall_ms", point.wallMillis},
             {"sim_req_per_sec", point.simReqPerSec},
             {"events_per_sec", point.eventsPerSec},
+            {"rss_delta_mb", point.rssDeltaMb},
             {"peak_rss_mb", point.peakRssMb},
         });
     }
@@ -168,10 +258,44 @@ main()
     std::cout << "\nWrote BENCH_fleet_scale.json ("
               << (bench::smokeMode() ? "smoke" : "full")
               << " mode). Reading: sim_req_per_sec is wall-clock "
-                 "simulation throughput; it should decay roughly "
-                 "linearly with fleet size (total work grows with "
-                 "instances) while events_per_sec stays flat if the "
-                 "shared event core scales; peak_rss_mb should grow "
-                 "linearly with the fleet.\n";
+                 "simulation throughput; events_per_sec should stay "
+                 "flat along the instance axis if the event core "
+                 "scales, and climb along the thread axis; "
+                 "rss_delta_mb is each point's own footprint "
+                 "(current-RSS delta around the run, not the "
+                 "monotone process peak) and should grow linearly "
+                 "with the fleet.\n";
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (base512 > 0.0 && sharded512 > 0.0) {
+        std::cout << "512-instance speedup at 8 threads: "
+                  << formatDouble(sharded512 / base512, 2) << "x ("
+                  << cores << " cores available)\n";
+    }
+
+    // Speedup floor, enforced on Release CI only (and only where
+    // the machine can actually run 8 compute threads): generous
+    // slack under the >=4x headline so scheduler jitter does not
+    // flake the gate, while a serialization regression (windows
+    // collapsing, barrier contention) still fails loudly.
+    const char *enforce = std::getenv("PFS_BENCH_ENFORCE_FLOOR");
+    if (enforce != nullptr && *enforce != '\0' &&
+        !bench::smokeMode() && base512 > 0.0 && sharded512 > 0.0) {
+        if (cores < 8) {
+            std::cout << "Floor check skipped: " << cores
+                      << " cores cannot host 8 compute threads\n";
+            return 0;
+        }
+        const double speedup = sharded512 / base512;
+        if (speedup < 2.0) {
+            std::cout << "FLOOR CHECK FAILED: 512-instance "
+                         "8-thread speedup "
+                      << formatDouble(speedup, 2)
+                      << "x is below the pinned 2x floor\n";
+            return 1;
+        }
+        std::cout << "Floor check passed: speedup "
+                  << formatDouble(speedup, 2) << "x >= 2x\n";
+    }
     return 0;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "sim/sharded_sim_context.hh"
 
 namespace lightllm {
 namespace cluster {
@@ -74,7 +75,20 @@ ServingCluster::adoptInstance(
     std::unique_ptr<engine::ServingEngine> engine)
 {
     const std::size_t index = instances_.size();
-    engine->attachContext(*context_);
+    // Under a sharded hub the engine's Step events run on a worker
+    // shard; everything router-facing (this cluster's handlers) stays
+    // on the coordinator's Delivery queue. Placement is least-loaded
+    // by live engine count so provisioned replacements land on the
+    // shard freed by the drained instance they replace.
+    if (sim::ShardedSimContext *hub = context_->coordinatedHub()) {
+        const std::uint32_t shard = hub->assignShard();
+        engine->attachContext(hub->shardContext(shard));
+        hub->noteSpawnFloor(engine->deliverySpawnFloor());
+        shardOf_.push_back(shard);
+    } else {
+        engine->attachContext(*context_);
+        shardOf_.push_back(0);
+    }
     costRate_.push_back(
         engine->perfModel().hardwareSpec().dollarsPerSecond);
     engine->setOnFinish(
@@ -578,6 +592,8 @@ ServingCluster::drainNow(std::size_t index)
                     ": it is the last undrained instance of the "
                     "fleet");
     draining_[index] = true;
+    if (sim::ShardedSimContext *hub = context_->coordinatedHub())
+        hub->noteShardReleased(shardOf_[index]);
 
     // Requests the instance never admitted go back through the
     // router with their original arrival stamps (latency metrics

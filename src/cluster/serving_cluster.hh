@@ -334,6 +334,18 @@ class ServingCluster : public workload::RequestSink
     sim::SimContext &context() { return *context_; }
 
     /**
+     * Shard executing instance `index`'s engine when the shared
+     * context coordinates a ShardedSimContext; 0 in single-threaded
+     * runs. Placement is least-loaded at adoption time (live, i.e.
+     * non-drained, engines per shard) and never observable in
+     * reports — tests use this to pin ownership migration.
+     */
+    std::uint32_t instanceShard(std::size_t index) const
+    {
+        return shardOf_[index];
+    }
+
+    /**
      * Imbalance of routed output tokens across instances:
      * max/mean - 1 (0 = perfectly balanced).
      */
@@ -394,6 +406,8 @@ class ServingCluster : public workload::RequestSink
     RoutingPolicy policy_;
     std::size_t nextRoundRobin_ = 0;
     std::vector<bool> draining_;
+    /** Executing shard per instance (all 0 without a hub). */
+    std::vector<std::uint32_t> shardOf_;
     std::vector<std::size_t> routedCounts_;
     std::vector<TokenCount> routedTokens_;
     bool recordSubmissions_ = false;

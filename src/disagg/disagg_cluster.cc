@@ -35,7 +35,7 @@ DisaggCluster::DisaggCluster(
         prefill_instances,
     std::vector<std::unique_ptr<engine::ServingEngine>>
         decode_instances,
-    DisaggConfig config)
+    DisaggConfig config, std::uint32_t sim_threads)
     : config_(config)
 {
     LIGHTLLM_ASSERT(config_.kvBytesPerToken > 0,
@@ -49,6 +49,14 @@ DisaggCluster::DisaggCluster(
     LIGHTLLM_ASSERT(config_.handoffDepth >= 1,
                     "handoff queue needs room for at least one "
                     "transfer");
+    LIGHTLLM_ASSERT(sim_threads >= 1, "need at least one sim thread");
+    // Enroll before the pools adopt their engines: adoption is what
+    // places each engine on a shard. Both pools share one hub, so
+    // shard balancing spans the whole disaggregated fleet.
+    if (sim_threads > 1) {
+        hub_ = std::make_unique<sim::ShardedSimContext>(context_,
+                                                        sim_threads);
+    }
     prefillPool_ = std::make_unique<cluster::ServingCluster>(
         std::move(prefill_instances),
         cluster::RoutingPolicy::PrefillLoad, context_);

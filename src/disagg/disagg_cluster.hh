@@ -49,6 +49,7 @@
 #include "cluster/serving_cluster.hh"
 #include "engine/serving_engine.hh"
 #include "metrics/report.hh"
+#include "sim/sharded_sim_context.hh"
 #include "sim/sim_context.hh"
 #include "workload/client_pool.hh"
 
@@ -101,13 +102,19 @@ class DisaggCluster : public workload::RequestSink
      * @param decode_instances Engines of the decode pool (>= 1);
      *        routed by RoutingPolicy::FutureMemory.
      * @param config Interconnect + handoff parameters.
+     * @param sim_threads Compute threads for the co-simulation.
+     *        1 (default) runs the classic single-queue loop; K > 1
+     *        shards both pools' engines across a ShardedSimContext
+     *        (bit-identical results, see DESIGN.md §9). Handoffs
+     *        between pools are Delivery events on the coordinator
+     *        and cross shard boundaries transparently.
      */
     DisaggCluster(
         std::vector<std::unique_ptr<engine::ServingEngine>>
             prefill_instances,
         std::vector<std::unique_ptr<engine::ServingEngine>>
             decode_instances,
-        DisaggConfig config);
+        DisaggConfig config, std::uint32_t sim_threads = 1);
 
     /** Submit an end-user request: it prefills in the prefill pool
      *  and (when more than one token is wanted) migrates into the
@@ -219,6 +226,11 @@ class DisaggCluster : public workload::RequestSink
     /** Shared clock + event queue (declared before the pools that
      *  borrow it). */
     sim::SimContext context_;
+
+    /** Optional sharded executor enrolling context_ as its root;
+     *  declared after context_ (detaches on destruction) and before
+     *  the pools (their engines attach to its shards). */
+    std::unique_ptr<sim::ShardedSimContext> hub_;
 
     std::unique_ptr<cluster::ServingCluster> prefillPool_;
     std::unique_ptr<cluster::ServingCluster> decodePool_;

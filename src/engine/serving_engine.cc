@@ -89,7 +89,7 @@ ServingEngine::submitStamped(const workload::RequestSpec &spec,
     // lives in pendingArrivals_ until delivery (or drain
     // claw-back).
     const std::uint64_t token = nextArrivalToken_++;
-    const sim::EventId event = context_->queue().schedule(
+    const sim::EventId event = context_->schedule(
         when, [this, token](Tick fire) {
             deliverArrival(token, fire);
         });
@@ -106,12 +106,10 @@ ServingEngine::deliverArrival(std::uint64_t token, Tick when)
     const workload::RequestSpec spec = pending_it->second.spec;
     const Tick stamp = pending_it->second.stamp;
     pendingArrivals_.erase(pending_it);
-    auto request = std::make_unique<EngineRequest>();
-    request->spec = spec;
-    request->arrival = stamp;
-    EngineRequest *raw = request.get();
-    const bool inserted =
-        requests_.emplace(spec.id, std::move(request)).second;
+    EngineRequest *raw = allocRequest();
+    raw->spec = spec;
+    raw->arrival = stamp;
+    const bool inserted = requests_.emplace(spec.id, raw).second;
     LIGHTLLM_ASSERT(inserted, "duplicate request id ", spec.id);
     waiting_.push_back(raw);
     undeliveredTokens_ -= spec.inputLen;
@@ -129,6 +127,69 @@ void
 ServingEngine::setOnRecord(RecordCallback callback)
 {
     onRecord_ = std::move(callback);
+}
+
+ServingEngine::EngineRequest *
+ServingEngine::allocRequest()
+{
+    if (!requestFree_.empty()) {
+        EngineRequest *request = requestFree_.back();
+        requestFree_.pop_back();
+        // Reset to constructed defaults, keeping the hash vector's
+        // capacity (the one per-request allocation worth saving).
+        request->spec = workload::RequestSpec{};
+        request->generated = 0;
+        request->arrival = 0;
+        request->firstToken = -1;
+        request->lastEmit = -1;
+        request->maxGap = 0;
+        request->evictions = 0;
+        request->admitSeq = 0;
+        request->remainingPrompt = 0;
+        request->swappedOut = false;
+        request->cachedPrefix = 0;
+        request->migratedAdmit = false;
+        request->hashes.clear();
+        request->hashedFor = -1;
+        return request;
+    }
+    requestSlab_.push_back(std::make_unique<EngineRequest>());
+    return requestSlab_.back().get();
+}
+
+void
+ServingEngine::recycleRequest(EngineRequest *request)
+{
+    // spec.id survives a move of the spec (integral member), so
+    // recycling after a deferred-notify payload move still erases
+    // the right map entry.
+    requests_.erase(request->spec.id);
+    requestFree_.push_back(request);
+}
+
+Tick
+ServingEngine::deliverySpawnFloor() const
+{
+    // Every completion notification fires at the end tick of the
+    // iteration that produced it, and each phase advances the
+    // engine clock by at least one scaled minimal phase latency
+    // (scaled() floors at one tick). Take the minimum over every
+    // phase reachable under this engine's configuration, with the
+    // smallest argument combinations a phase can see.
+    Tick floor = scaled(perf_.prefillLatency(1));
+    floor = std::min(floor, scaled(perf_.decodeLatency(1, 1)));
+    floor = std::min(floor, scaled(perf_.decodeLatency(1, 2)));
+    if (config_.splitFuse) {
+        floor =
+            std::min(floor, scaled(perf_.fusedStepLatency(0, 0, 1)));
+        floor =
+            std::min(floor, scaled(perf_.fusedStepLatency(1, 1, 0)));
+        floor =
+            std::min(floor, scaled(perf_.fusedStepLatency(1, 2, 1)));
+    }
+    if (config_.evictionMode == EvictionMode::Swap)
+        floor = std::min(floor, scaled(perf_.swapLatency(1)));
+    return std::max<Tick>(1, floor);
 }
 
 Tick
@@ -465,7 +526,7 @@ ServingEngine::finishRequest(EngineRequest *request)
     }
 
     if (!onFinish_ && !onRecord_) {
-        requests_.erase(request->spec.id);
+        recycleRequest(request);
         return;
     }
     if (shared_) {
@@ -490,7 +551,7 @@ ServingEngine::finishRequest(EngineRequest *request)
         note.spec = std::move(request->spec);
         note.record = record;
         note.tick = now_;
-        requests_.erase(note.spec.id);
+        recycleRequest(request);
         context_->schedule(note.tick, [this, idx](Tick) {
             // Re-index per use: the slab may have grown between
             // capture and delivery.
@@ -506,7 +567,7 @@ ServingEngine::finishRequest(EngineRequest *request)
             onRecord_(record);
         if (onFinish_)
             onFinish_(request->spec, now_);
-        requests_.erase(request->spec.id);
+        recycleRequest(request);
     }
 }
 
@@ -893,7 +954,7 @@ ServingEngine::drainQueued()
         }
         redispatch.push_back(DrainedRequest{
             request->spec, drain_tick, request->arrival});
-        requests_.erase(request->spec.id);
+        recycleRequest(request);
     }
     waiting_ = std::move(keep);
 
@@ -904,7 +965,7 @@ ServingEngine::drainQueued()
     std::vector<std::pair<Tick, std::uint64_t>> pending;
     pending.reserve(pendingArrivals_.size());
     for (const auto &[token, entry] : pendingArrivals_)
-        pending.emplace_back(context_->queue().eventTick(entry.event),
+        pending.emplace_back(context_->eventTick(entry.event),
                              token);
     std::sort(pending.begin(), pending.end());
     for (const auto &[tick, token] : pending) {
@@ -963,7 +1024,7 @@ ServingEngine::stealQueued(std::size_t max_requests)
     for (EngineRequest *request : take) {
         stolen.push_back(DrainedRequest{request->spec, steal_tick,
                                         request->arrival});
-        requests_.erase(request->spec.id);
+        recycleRequest(request);
     }
     return stolen;
 }

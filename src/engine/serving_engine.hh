@@ -240,6 +240,27 @@ class ServingEngine : public workload::RequestSink
     core::Scheduler &scheduler() { return policy_->admission(); }
     TokenCount capacityTokens() const { return kv_.capacityTokens(); }
 
+    /**
+     * Minimum ticks between a Step event of this engine firing and
+     * any Delivery event its handler schedules (completion
+     * notifications fire at the iteration's end tick, and every
+     * iteration advances the clock by at least one scaled phase
+     * latency). The sharded scheduler takes the fleet-wide minimum
+     * as its conservative window lookahead (DESIGN.md §9).
+     */
+    Tick deliverySpawnFloor() const;
+
+    /**
+     * High-water mark of the per-request state slab: the number of
+     * EngineRequest slots ever allocated. Bounded by the peak
+     * concurrent request count, not the total served — finished
+     * requests recycle their slot (tests pin this).
+     */
+    std::size_t requestSlabSize() const
+    {
+        return requestSlab_.size();
+    }
+
   private:
     /** Engine-side mutable request state. */
     struct EngineRequest
@@ -424,8 +445,25 @@ class ServingEngine : public workload::RequestSink
         pendingArrivals_;
     std::uint64_t nextArrivalToken_ = 0;
 
-    std::unordered_map<RequestId,
-                       std::unique_ptr<EngineRequest>> requests_;
+    /**
+     * Per-request state slab: EngineRequest objects are allocated
+     * once, pointer-stable (the queues hold raw pointers), and
+     * recycled through a free list when a request finishes or is
+     * drained — the engine submit/finish path performs zero
+     * per-request heap allocations in steady state (pinned by the
+     * counting-new test in test_sim_stress).
+     */
+    std::vector<std::unique_ptr<EngineRequest>> requestSlab_;
+    std::vector<EngineRequest *> requestFree_;
+
+    /** Grab a recycled (or fresh) slab entry, reset to defaults. */
+    EngineRequest *allocRequest();
+
+    /** Drop the map entry and return the slab entry to the free
+     *  list (field reset happens on reuse in allocRequest). */
+    void recycleRequest(EngineRequest *request);
+
+    std::unordered_map<RequestId, EngineRequest *> requests_;
     std::deque<EngineRequest *> waiting_;
     std::vector<EngineRequest *> prefillPending_;
     std::vector<EngineRequest *> running_;

@@ -18,7 +18,17 @@
 namespace lightllm {
 namespace metrics {
 
-/** Aggregates engine events into a RunReport. */
+/**
+ * Aggregates engine events into a RunReport.
+ *
+ * Threading contract under sharded co-simulation (DESIGN.md §9):
+ * each collector belongs to exactly one engine, and an engine is
+ * stepped only by the shard thread that owns it, so collection
+ * needs no synchronization. The coordinator calls finish() and
+ * mergeReports() only after the final window barrier, when every
+ * shard thread has quiesced; merging iterates instances in index
+ * order, so the merged report is independent of shard count.
+ */
 class MetricsCollector
 {
   public:

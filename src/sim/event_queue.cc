@@ -161,6 +161,28 @@ EventQueue::nextTick() const
     return heap_.front().when;
 }
 
+EventQueue::HeadView
+EventQueue::peekHead() const
+{
+    LIGHTLLM_ASSERT(!heap_.empty(), "peekHead on empty queue");
+    const HeapEntry &top = heap_.front();
+    return HeadView{top.when,
+                    static_cast<EventClass>(top.key >> 62),
+                    slotIn(top.key)};
+}
+
+EventHandler
+EventQueue::extractNext()
+{
+    LIGHTLLM_ASSERT(!heap_.empty(), "extractNext on empty queue");
+    const HeapEntry top = heap_.front();
+    const std::uint32_t slot = slotIn(top.key);
+    EventHandler handler = std::move(handlers_[slot]);
+    removeAt(0);
+    releaseSlot(slot);
+    return handler;
+}
+
 std::size_t
 EventQueue::runUntil(Tick now)
 {

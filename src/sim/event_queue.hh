@@ -31,6 +31,7 @@
 #ifndef LIGHTLLM_SIM_EVENT_QUEUE_HH
 #define LIGHTLLM_SIM_EVENT_QUEUE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -87,7 +88,10 @@ class EventHandler
             *reinterpret_cast<void **>(storage_) =
                 new Fn(std::forward<F>(fn));
             ops_ = &heapOps<Fn>;
-            ++heapFallbacks_;
+            // Relaxed: a diagnostic counter, not a synchronization
+            // point — sharded simulations construct handlers from
+            // several shard threads at once.
+            heapFallbacks_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
@@ -134,7 +138,11 @@ class EventHandler
      * buffer and heap-allocated (test hook for the zero-alloc
      * contract on the schedule/fire path).
      */
-    static std::uint64_t heapFallbackCount() { return heapFallbacks_; }
+    static std::uint64_t
+    heapFallbackCount()
+    {
+        return heapFallbacks_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Ops
@@ -202,7 +210,7 @@ class EventHandler
     const Ops *ops_ = nullptr;
     bool trivial_ = false;
 
-    static inline std::uint64_t heapFallbacks_ = 0;
+    static inline std::atomic<std::uint64_t> heapFallbacks_{0};
 };
 
 /**
@@ -287,6 +295,30 @@ class EventQueue
 
     /** Tick of the earliest pending event; requires !empty(). */
     Tick nextTick() const;
+
+    /**
+     * View of the earliest pending event without popping it:
+     * fire tick, ordering class, and the arena slot it occupies
+     * (the slot lets callers look up side metadata keyed by slot
+     * before extractNext() recycles it). Requires !empty().
+     */
+    struct HeadView
+    {
+        Tick when;
+        EventClass cls;
+        std::uint32_t slot;
+    };
+
+    HeadView peekHead() const;
+
+    /**
+     * Pop the earliest pending event and hand its handler to the
+     * caller *without invoking it* — the sharded scheduler extracts
+     * a time window of events and runs them on shard threads under
+     * its own clock discipline. The slot is released exactly as
+     * runNext() would release it. Requires !empty().
+     */
+    EventHandler extractNext();
 
     /**
      * Pop and run every event scheduled at tick <= now.

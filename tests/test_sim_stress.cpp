@@ -19,7 +19,11 @@
 #include <new>
 #include <vector>
 
+#include "core/scheduler_factory.hh"
+#include "engine/serving_engine.hh"
 #include "sim/event_queue.hh"
+#include "test_fixtures.hh"
+#include "workload/datasets.hh"
 
 namespace {
 
@@ -289,6 +293,63 @@ TEST(EventQueueAllocTest, WarmedScheduleFirePathIsAllocationFree)
               heap_fallbacks_before)
         << "a hot-path callable outgrew the inline buffer";
     EXPECT_TRUE(queue.empty());
+}
+
+/**
+ * Slab recycling on the engine submit path: once the engine's
+ * request slab has grown to the workload's concurrency high-water
+ * mark, later arrivals reuse recycled EngineRequest slots instead
+ * of allocating fresh ones. The slab's size therefore tracks peak
+ * concurrency, not requests served — regressing to one allocation
+ * per arrival grows it to the full request count.
+ */
+TEST(EngineAllocTest, SubmitPathReusesRequestSlab)
+{
+    const auto dataset = workload::makeShareGpt(400, 13);
+    engine::ServingEngine engine(
+        testfx::tinyPerf(32.0),
+        core::makeScheduler(
+            core::SchedulerConfig::pastFutureDefault(0.05)));
+
+    // Open-loop arrivals spaced so concurrency stays far below the
+    // request count (the slab high-water is what gets warmed).
+    Tick arrival = 0;
+    for (const auto &spec : dataset.requests) {
+        engine.submitAt(spec, arrival);
+        arrival += 100000;
+    }
+
+    std::uint64_t half_allocations = 0;
+    const std::size_t half = dataset.requests.size() / 2;
+    std::size_t finished = 0;
+    engine.setOnFinish(
+        [&](const workload::RequestSpec &, Tick) {
+            if (++finished == half)
+                half_allocations = g_allocations;
+        });
+
+    const std::uint64_t before = g_allocations;
+    const auto report = engine.run();
+    ASSERT_EQ(report.numFinished, dataset.requests.size());
+    ASSERT_GT(half_allocations, 0u);
+
+    // The sharp contract: the slab stopped growing at the
+    // concurrency high-water mark, far below the 400 requests
+    // served (a per-arrival make_unique regression reaches 400).
+    EXPECT_LT(engine.requestSlabSize(), dataset.requests.size() / 2)
+        << "request slots are not being recycled";
+    EXPECT_GT(engine.requestSlabSize(), 0u);
+
+    // Warm-up (slab growth, event arena, metric buffers) is paid in
+    // the first half; the steady-state second half must not exceed
+    // it.
+    const std::uint64_t first_half = half_allocations - before;
+    const std::uint64_t second_half =
+        g_allocations - half_allocations;
+    EXPECT_LT(second_half, first_half)
+        << "first half " << first_half << ", second half "
+        << second_half
+        << ": the submit path lost its warm-up amortization";
 }
 
 /** Callables beyond kInlineSize must still work (heap fallback). */

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +18,8 @@
 #include "base/table.hh"
 #include "engine/serving_engine.hh"
 #include "metrics/report_io.hh"
+#include "sim/sharded_sim_context.hh"
+#include "sim/sim_context.hh"
 #include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
 #include "workload/tenant_mix.hh"
@@ -365,6 +368,7 @@ valuedFlagBindings(CliOptions &options)
         return true;
     };
     valued["--instances"] = bind_size(options.instances);
+    valued["--sim-threads"] = bind_size(options.simThreads);
     valued["--prefill-instances"] =
         bind_size(options.prefillInstances);
     valued["--decode-instances"] =
@@ -620,6 +624,13 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
         return "--max-seconds must be non-negative";
     if (options.instances == 0)
         return "--instances must be positive";
+    if (options.simThreads == 0)
+        return "--sim-threads must be positive";
+    if (options.simThreads > 1 && options.instances < 2 &&
+        !options.autoscale && !options.disagg)
+        return "--sim-threads needs a co-simulated fleet "
+               "(--instances >= 2, --autoscale, or --disagg); the "
+               "single-engine path is self-clocked";
     if (options.drainAtSeconds < 0.0)
         return "--drain-at must be non-negative";
     if (options.instances > 1 &&
@@ -724,6 +735,11 @@ printCliUsage(std::ostream &os)
         "  --drain-at S        drain instance 0 after S simulated\n"
         "                      seconds; its queued requests\n"
         "                      re-dispatch through the router\n"
+        "  --sim-threads K     shard the fleet's engines across K\n"
+        "                      compute threads (default 1); results\n"
+        "                      are bit-identical to the\n"
+        "                      single-threaded run (works with\n"
+        "                      --autoscale and --disagg too)\n"
         "\n"
         "Disaggregated prefill/decode (KV migration over a modeled\n"
         "interconnect; exclusive with --instances/--routing):\n"
@@ -901,6 +917,7 @@ assembleScenario(const CliOptions &options)
         {},
         cluster::RoutingPolicy::FutureMemory,
         0,
+        1,
         false,
         workload::RateSchedule::constant(1.0),
         false,
@@ -988,6 +1005,8 @@ assembleScenario(const CliOptions &options)
     }
     scenario.tenants = options.tenants;
     scenario.traceReplay = !options.traceReplay.empty();
+    scenario.simThreads =
+        static_cast<std::uint32_t>(options.simThreads);
 
     if (options.disagg) {
         scenario.disagg = true;
@@ -1039,7 +1058,8 @@ runScenario(const Scenario &scenario)
 
         disagg::DisaggCluster cluster(std::move(prefill),
                                       std::move(decode),
-                                      scenario.disaggConfig);
+                                      scenario.disaggConfig,
+                                      scenario.simThreads);
         if (scenario.autoscale) {
             // Two independent control loops. The decode pool never
             // sheds at admission: the bounded handoff queue is the
@@ -1158,8 +1178,24 @@ runScenario(const Scenario &scenario)
             core::makeSchedulingPolicy(scenario.schedulerConfig),
             scenario.engineConfig));
     }
-    cluster::ServingCluster fleet(std::move(engines),
-                                  scenario.routing);
+    // With --sim-threads K > 1 the fleet borrows an external root
+    // context enrolled in a sharded executor; adoption (inside the
+    // cluster ctor) then places each engine on a worker shard. The
+    // default K = 1 keeps the cluster-owned single-queue loop.
+    sim::SimContext shardedRoot;
+    std::unique_ptr<sim::ShardedSimContext> hub;
+    if (scenario.simThreads > 1) {
+        hub = std::make_unique<sim::ShardedSimContext>(
+            shardedRoot, scenario.simThreads);
+    }
+    std::optional<cluster::ServingCluster> fleetStorage;
+    if (hub) {
+        fleetStorage.emplace(std::move(engines), scenario.routing,
+                             shardedRoot);
+    } else {
+        fleetStorage.emplace(std::move(engines), scenario.routing);
+    }
+    cluster::ServingCluster &fleet = *fleetStorage;
     if (scenario.drainAt > 0)
         fleet.scheduleDrain(0, scenario.drainAt);
 

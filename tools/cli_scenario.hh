@@ -112,6 +112,11 @@ struct CliOptions
     // Fleet (cluster co-simulation when instances > 1).
     std::size_t instances = 1;
 
+    /** Compute threads for fleet/disagg co-simulation (default 1 =
+     *  the classic single-queue loop; K > 1 shards the engines
+     *  across a ShardedSimContext with bit-identical results). */
+    std::size_t simThreads = 1;
+
     // Disaggregated prefill/decode serving (src/disagg). The knobs
     // use 0 / -1 sentinels so "needs --disagg" is diagnosable: with
     // --disagg they resolve to one instance per pool, a 64-deep
@@ -225,6 +230,10 @@ struct Scenario
 
     /** Drain instance 0 at this tick (0 = never). */
     Tick drainAt = 0;
+
+    /** Sharded co-simulation threads (fleet/disagg paths only;
+     *  1 = the classic single-queue loop). */
+    std::uint32_t simThreads = 1;
 
     /** Open-loop time-varying arrivals when set. */
     bool hasRateSchedule = false;
