@@ -17,6 +17,7 @@
 #include "core/future_memory.hh"
 #include "core/length_distribution.hh"
 #include "core/past_future_scheduler.hh"
+#include "metrics/collector.hh"
 #include "model/perf_model.hh"
 
 using namespace lightllm;
@@ -156,6 +157,24 @@ BM_ReferenceDecodeIterationLatency(benchmark::State &state)
         ticksToSeconds(latency) * 1e3;
 }
 
+/**
+ * Per-iteration metrics recording on the engine hot path: one
+ * onDecodeStep is a handful of stores into the 64-entry batch
+ * buffer, with the floating-point fold amortized across the batch.
+ */
+void
+BM_CollectorDecodeStep(benchmark::State &state)
+{
+    metrics::MetricsCollector collector(110'000);
+    Tick step = 0;
+    for (auto _ : state) {
+        ++step;
+        collector.onDecodeStep(64, 50'000, 80'000, 82'000,
+                               step * 40, 40);
+    }
+    benchmark::DoNotOptimize(&collector);
+}
+
 } // namespace
 
 BENCHMARK(BM_PastFutureAdmissionRound)->Arg(16)->Arg(64)->Arg(256);
@@ -163,5 +182,6 @@ BENCHMARK(BM_FutureRequiredMemory)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_DistributionRebuild)->Arg(1000)->Arg(5000);
 BENCHMARK(BM_TailSampleAt);
 BENCHMARK(BM_ReferenceDecodeIterationLatency)->Arg(64)->Arg(256);
+BENCHMARK(BM_CollectorDecodeStep);
 
 BENCHMARK_MAIN();

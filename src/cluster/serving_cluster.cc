@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "sim/sharded_sim_context.hh"
+#include "trace/trace_recorder.hh"
 
 namespace lightllm {
 namespace cluster {
@@ -101,6 +102,10 @@ ServingCluster::adoptInstance(
             if (autoscaler_)
                 autoscaler_->onRecord(record);
         });
+    if (traceRecorder_ != nullptr) {
+        engine->attachTrace(traceRecorder_->createEngine(
+            traceLabelPrefix_ + "-" + std::to_string(index)));
+    }
     instances_.push_back(std::move(engine));
     draining_.push_back(false);
     warming_.push_back(false);
@@ -110,6 +115,20 @@ ServingCluster::adoptInstance(
     inFlight_.push_back(0);
     provisionedAt_.push_back(context_->now());
     retiredAt_.push_back(-1);
+}
+
+void
+ServingCluster::setTraceRecorder(trace::TraceRecorder *recorder,
+                                 std::string label_prefix)
+{
+    traceRecorder_ = recorder;
+    traceLabelPrefix_ = std::move(label_prefix);
+    if (traceRecorder_ == nullptr)
+        return;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        instances_[i]->attachTrace(traceRecorder_->createEngine(
+            traceLabelPrefix_ + "-" + std::to_string(i)));
+    }
 }
 
 void

@@ -53,6 +53,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,11 @@
 #include "workload/client_pool.hh"
 
 namespace lightllm {
+
+namespace trace {
+class TraceRecorder;
+}
+
 namespace cluster {
 
 /** How the router picks an instance for a new request. */
@@ -153,6 +159,17 @@ class ServingCluster : public workload::RequestSink
 
     /** Completion listener over all instances (e.g. client pool). */
     void setOnFinish(FinishCallback callback);
+
+    /**
+     * Attach a flight recorder: every current instance gets an
+     * engine sink labelled `<prefix>-<index>`, and instances the
+     * autoscaler provisions later are attached at adoption (still
+     * on the coordinator thread, so sink order — and thus the
+     * trace's pid layout — is deterministic). Call before any
+     * submission; nullptr detaches future adoptions only.
+     */
+    void setTraceRecorder(trace::TraceRecorder *recorder,
+                          std::string label_prefix = "engine");
 
     /** Warm the router's output-length history (previous traffic
      *  window), as for the instance schedulers. */
@@ -414,6 +431,10 @@ class ServingCluster : public workload::RequestSink
     std::vector<RoutedSubmission> submissionLog_;
     FinishCallback onFinish_;
     bool ran_ = false;
+
+    /** Flight recorder for instance sinks (null = tracing off). */
+    trace::TraceRecorder *traceRecorder_ = nullptr;
+    std::string traceLabelPrefix_ = "engine";
 
     // Lifecycle state (one row per instance).
     std::vector<bool> warming_;

@@ -81,6 +81,36 @@ PastFutureScheduler::predict(RequestId id, TokenCount generated_len,
 }
 
 TokenCount
+PastFutureScheduler::peekPrediction(RequestId id,
+                                    TokenCount generated_len,
+                                    TokenCount max_new_tokens)
+{
+    // Materialising the lazy distribution here is safe: it is
+    // bit-identical to the incrementally maintained one (see
+    // length_predictor.hh), and nothing else below touches state.
+    const LengthDistribution &distribution =
+        predictor_.distribution();
+    TokenCount predicted = 0;
+    if (distribution.empty()) {
+        predicted = max_new_tokens;
+    } else if (params_.predictionMode ==
+               PredictionMode::TailQuantile) {
+        predicted = distribution.tailQuantile(
+            generated_len, params_.tailQuantile, max_new_tokens);
+    } else {
+        const auto it = stickyU_.find(id);
+        predicted =
+            params_.predictionMode == PredictionMode::StickySample &&
+                it != stickyU_.end()
+            ? distribution.sampleTailAt(it->second, generated_len,
+                                        max_new_tokens)
+            : distribution.tailMean(generated_len, max_new_tokens);
+    }
+    predicted = std::min(predicted, max_new_tokens);
+    return std::max(predicted, generated_len);
+}
+
+TokenCount
 PastFutureScheduler::samplePerturbed(TokenCount generated_len,
                                      TokenCount max_new_tokens)
 {

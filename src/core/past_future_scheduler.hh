@@ -136,6 +136,17 @@ class PastFutureScheduler : public Scheduler
     void onRequestFinished(RequestId id,
                            TokenCount output_len) override;
 
+    /**
+     * Read-only twin of predict(): reuses the frozen sticky
+     * variate when the request has one, falls back to the
+     * conditional tail mean otherwise. Never inserts into the
+     * sticky map and never draws from the RNG, so tracing and
+     * audit can call it freely without steering the run.
+     */
+    TokenCount peekPrediction(RequestId id,
+                              TokenCount generated_len,
+                              TokenCount max_new_tokens) override;
+
     /** Predicted future peak of the batch plus predicted footprints
      *  of the queue (cross-instance routing signal). */
     TokenCount estimateLoad(const SchedulerContext &ctx) override;

@@ -1,5 +1,7 @@
 #include "core/scheduler.hh"
 
+#include <algorithm>
+
 namespace lightllm {
 namespace core {
 
@@ -26,6 +28,16 @@ Scheduler::onRequestFinished(RequestId, TokenCount)
 void
 Scheduler::onRequestEvicted(RequestId)
 {
+}
+
+TokenCount
+Scheduler::peekPrediction(RequestId, TokenCount generated_len,
+                          TokenCount max_new_tokens)
+{
+    // Conservative default for schedulers without a predictor: a
+    // request may generate up to its cap (but never less than it
+    // already has).
+    return std::max(generated_len, max_new_tokens);
 }
 
 TokenCount

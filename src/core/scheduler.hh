@@ -180,6 +180,19 @@ class Scheduler
     virtual void onRequestEvicted(RequestId id);
 
     /**
+     * Read-only estimate of request `id`'s final output length —
+     * the introspection twin of the internal prediction, used by
+     * the flight recorder and the prediction-audit counters.
+     * Implementations MUST NOT mutate observable scheduler state
+     * (no RNG draws, no per-request bookkeeping), so calling this
+     * any number of times leaves a run bit-identical to one that
+     * never called it. The default returns the generation cap.
+     */
+    virtual TokenCount peekPrediction(RequestId id,
+                                      TokenCount generated_len,
+                                      TokenCount max_new_tokens);
+
+    /**
      * Estimated total memory load of this instance in tokens —
      * the signal the paper's future-work section proposes for
      * routing requests across service instances. The default is the

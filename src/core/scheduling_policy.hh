@@ -93,6 +93,15 @@ class SchedulingPolicy
     /** Routing-signal estimate (forwarded, see Scheduler). */
     virtual TokenCount estimateLoad(const SchedulerContext &ctx);
 
+    /** Read-only output-length estimate for tracing and the
+     *  prediction audit (see Scheduler::peekPrediction). */
+    TokenCount peekPrediction(RequestId id, TokenCount generated_len,
+                              TokenCount max_new_tokens)
+    {
+        return admission_->peekPrediction(id, generated_len,
+                                          max_new_tokens);
+    }
+
     /**
      * Report label: the admission policy's name, suffixed with the
      * queue policy's when it is not FCFS (so seed reports are

@@ -80,6 +80,17 @@ DisaggCluster::setOnFinish(FinishCallback callback)
 }
 
 void
+DisaggCluster::attachTrace(trace::TraceRecorder *recorder)
+{
+    // Prefill sinks first, then decode: the trace's pid layout
+    // mirrors the pool construction order above.
+    prefillPool_->setTraceRecorder(recorder, "prefill");
+    decodePool_->setTraceRecorder(recorder, "decode");
+    if (hub_)
+        hub_->attachTrace(recorder);
+}
+
+void
 DisaggCluster::submitAt(const workload::RequestSpec &spec,
                         Tick arrival)
 {

@@ -139,6 +139,14 @@ class DisaggCluster : public workload::RequestSink
     sim::SimContext &context() { return context_; }
 
     /**
+     * Attach a flight recorder to the whole disaggregated system:
+     * prefill-pool engines get sinks labelled `prefill-<i>`, decode
+     * engines `decode-<i>`, and (when sharded) the co-sim hub gets
+     * its per-shard profiler sinks. Call before any submission.
+     */
+    void attachTrace(trace::TraceRecorder *recorder);
+
+    /**
      * Co-simulate both pools to completion and return the combined
      * report: per-request records reassembled across the handoff
      * (arrival + TTFT from prefill, completion + migration gap from

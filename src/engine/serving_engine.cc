@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "core/future_memory.hh"
+#include "trace/trace_recorder.hh"
 
 namespace lightllm {
 namespace engine {
@@ -53,6 +54,14 @@ ServingEngine::attachContext(sim::SimContext &context)
     context_ = &context;
     shared_ = true;
     ownedContext_.reset();
+}
+
+void
+ServingEngine::attachTrace(trace::EngineTrace *sink)
+{
+    LIGHTLLM_ASSERT(requests_.empty() && pendingArrivals_.empty(),
+                    "attach tracing before submissions");
+    trace_ = sink;
 }
 
 void
@@ -113,6 +122,13 @@ ServingEngine::deliverArrival(std::uint64_t token, Tick when)
     LIGHTLLM_ASSERT(inserted, "duplicate request id ", spec.id);
     waiting_.push_back(raw);
     undeliveredTokens_ -= spec.inputLen;
+    if (trace_ != nullptr) {
+        trace_->begin(trace::TraceName::Queued, spec.id, when,
+                      spec.inputLen,
+                      policy_->peekPrediction(spec.id, 0,
+                                              spec.maxNewTokens),
+                      spec.effectiveOutputLen());
+    }
     if (shared_)
         wakeActor(when);
 }
@@ -443,7 +459,7 @@ ServingEngine::admitRequests()
     // admissions below were planned against.
     Tick eviction_stall = 0;
     for (RequestId id : decision.evict)
-        eviction_stall += evictRequest(id);
+        eviction_stall += evictRequest(id, false);
     now_ += eviction_stall;
 
     if (config_.maxBatchSize > 0) {
@@ -464,6 +480,7 @@ ServingEngine::admitRequests()
         decision.admit.push_back(waiting_.front()->spec.id);
     }
 
+    std::int64_t admitted = 0;
     for (RequestId id : decision.admit) {
         const auto it = std::find_if(
             waiting_.begin(), waiting_.end(),
@@ -483,7 +500,32 @@ ServingEngine::admitRequests()
             break;
         }
         waiting_.erase(it);
+        ++admitted;
+        if (trace_ != nullptr)
+            traceAdmit(*request);
     }
+    if (trace_ != nullptr && trace_->stepsEnabled()) {
+        trace_->instant(
+            trace::TraceName::AdmissionRound, kInvalidRequestId,
+            now_, admitted,
+            static_cast<std::int64_t>(decision.evict.size()),
+            static_cast<std::int64_t>(waiting_.size()));
+    }
+}
+
+void
+ServingEngine::traceAdmit(const EngineRequest &request)
+{
+    const RequestId id = request.spec.id;
+    trace_->end(trace::TraceName::Queued, id, now_);
+    trace_->instant(
+        trace::TraceName::Admit, id, now_,
+        policy_->peekPrediction(id, request.generated,
+                                request.spec.maxNewTokens),
+        request.spec.effectiveOutputLen(), now_ - request.arrival);
+    trace_->begin(trace::TraceName::Prefill, id, now_,
+                  request.remainingPrompt, request.cachedPrefix,
+                  kv_.usedTokens());
 }
 
 void
@@ -500,6 +542,18 @@ ServingEngine::recordEmission(EngineRequest &request, Tick tick)
 void
 ServingEngine::finishRequest(EngineRequest *request)
 {
+    if (trace_ != nullptr) {
+        // Before the policy forgets the request: the peeked
+        // prediction still reflects the estimate the scheduler was
+        // operating under.
+        trace_->instant(
+            trace::TraceName::Finish, request->spec.id, now_,
+            request->generated,
+            policy_->peekPrediction(request->spec.id,
+                                    request->generated,
+                                    request->spec.maxNewTokens),
+            request->evictions);
+    }
     metrics::RequestRecord record;
     record.id = request->spec.id;
     record.cls = request->spec.cls;
@@ -595,11 +649,11 @@ ServingEngine::evictOne()
         ? core::VictimOrder::NewestFirst
         : core::VictimOrder::OldestFirst;
     policy_->victimOrder(ctx, order, victimScratch_);
-    return evictRequest(victimScratch_.front());
+    return evictRequest(victimScratch_.front(), true);
 }
 
 Tick
-ServingEngine::evictRequest(RequestId id)
+ServingEngine::evictRequest(RequestId id, bool reactive)
 {
     const auto victim_it = std::find_if(
         running_.begin(), running_.end(),
@@ -626,6 +680,26 @@ ServingEngine::evictRequest(RequestId id)
     // Back to the front of the queue; the KV is either rebuilt by a
     // future recompute prefill or restored by a swap-in.
     waiting_.push_front(victim);
+
+    if (trace_ != nullptr) {
+        const auto cause = static_cast<std::int64_t>(
+            reactive ? trace::EvictCause::Reactive
+                     : trace::EvictCause::Proactive);
+        trace_->end(trace::TraceName::Decode, id, now_,
+                    victim->generated);
+        trace_->instant(trace::TraceName::Evict, id, now_, cause,
+                        victim->generated, victim->evictions);
+        if (config_.evictionMode == EvictionMode::Swap) {
+            trace_->instant(trace::TraceName::SwapOut, id, now_,
+                            victim_tokens);
+        }
+        trace_->begin(trace::TraceName::Queued, id, now_,
+                      victim->spec.inputLen,
+                      policy_->peekPrediction(
+                          id, victim->generated,
+                          victim->spec.maxNewTokens),
+                      victim->spec.effectiveOutputLen());
+    }
 
     if (config_.evictionMode == EvictionMode::Swap) {
         victim->swappedOut = true;
@@ -654,6 +728,30 @@ ServingEngine::trueFutureMemory() const
     return core::futureRequiredMemory(scratchEntries_);
 }
 
+TokenCount
+ServingEngine::predictedFutureMemory()
+{
+    // Same batch walk as trueFutureMemory, but with the target
+    // lengths the scheduler believes in (read-only peek — consumes
+    // no RNG, inserts no sticky state).
+    scratchEntries_.clear();
+    auto add_entry = [this](const EngineRequest *request) {
+        const TokenCount predicted = std::max(
+            policy_->peekPrediction(request->spec.id,
+                                    request->generated,
+                                    request->spec.maxNewTokens),
+            request->generated);
+        scratchEntries_.push_back(core::BatchEntry{
+            request->spec.inputLen - request->cachedPrefix,
+            request->generated, predicted});
+    };
+    for (const EngineRequest *request : running_)
+        add_entry(request);
+    for (const EngineRequest *request : prefillPending_)
+        add_entry(request);
+    return core::futureRequiredMemory(scratchEntries_);
+}
+
 void
 ServingEngine::runPrefillPhase()
 {
@@ -669,6 +767,17 @@ ServingEngine::runPrefillPhase()
                 duration);
             request->swappedOut = false;
             running_.push_back(request);
+            if (trace_ != nullptr) {
+                trace_->instant(trace::TraceName::SwapIn,
+                                request->spec.id, now_,
+                                request->spec.inputLen +
+                                    request->generated);
+                trace_->end(trace::TraceName::Prefill,
+                            request->spec.id, now_);
+                trace_->begin(trace::TraceName::Decode,
+                              request->spec.id, now_,
+                              request->generated);
+            }
             continue;
         }
         if (request->migratedAdmit) {
@@ -677,6 +786,16 @@ ServingEngine::runPrefillPhase()
             // interconnect before dispatch.
             request->migratedAdmit = false;
             running_.push_back(request);
+            if (trace_ != nullptr) {
+                trace_->instant(trace::TraceName::Migrated,
+                                request->spec.id, now_,
+                                request->spec.migratedPrefix);
+                trace_->end(trace::TraceName::Prefill,
+                            request->spec.id, now_);
+                trace_->begin(trace::TraceName::Decode,
+                              request->spec.id, now_,
+                              request->generated);
+            }
             continue;
         }
         const Tick duration =
@@ -686,9 +805,16 @@ ServingEngine::runPrefillPhase()
         request->remainingPrompt = 0;
         request->generated += 1;
         recordEmission(*request, now_);
+        if (trace_ != nullptr)
+            trace_->end(trace::TraceName::Prefill,
+                        request->spec.id, now_);
         if (request->generated >= request->targetOutput()) {
             finishRequest(request);  // does its own cacheInsert
         } else {
+            if (trace_ != nullptr)
+                trace_->begin(trace::TraceName::Decode,
+                              request->spec.id, now_,
+                              request->generated);
             // The freshly prefilled prompt blocks are now valid
             // KV: publish them so concurrent same-prefix requests
             // share.
@@ -740,8 +866,13 @@ ServingEngine::runDecodeStep()
     const Tick duration = eviction_stall +
         scaled(perf_.decodeLatency(batch_size, batch_kv));
     now_ += duration;
+    const TokenCount true_future = trueFutureMemory();
+    const TokenCount predicted_future = predictedFutureMemory();
     collector_.onDecodeStep(batch_size, kv_.usedTokens(),
-                            trueFutureMemory(), now_, duration);
+                            true_future, predicted_future, now_,
+                            duration);
+    if (trace_ != nullptr && trace_->stepsEnabled())
+        traceStepCounters(batch_size, true_future, predicted_future);
 
     // Emissions and completions.
     finishedScratch_.clear();
@@ -749,6 +880,10 @@ ServingEngine::runDecodeStep()
         recordEmission(*request, now_);
     std::erase_if(running_, [&](EngineRequest *request) {
         if (request->generated >= request->targetOutput()) {
+            if (trace_ != nullptr)
+                trace_->end(trace::TraceName::Decode,
+                            request->spec.id, now_,
+                            request->generated);
             finishedScratch_.push_back(request);
             return true;
         }
@@ -756,6 +891,22 @@ ServingEngine::runDecodeStep()
     });
     for (EngineRequest *request : finishedScratch_)
         finishRequest(request);
+}
+
+void
+ServingEngine::traceStepCounters(std::int64_t batch_size,
+                                 TokenCount true_future,
+                                 TokenCount predicted_future)
+{
+    trace_->counter(trace::TraceName::BatchSize, now_, batch_size);
+    trace_->counter(trace::TraceName::KvUsed, now_,
+                    kv_.usedTokens());
+    trace_->counter(trace::TraceName::KvFutureTrue, now_,
+                    true_future);
+    trace_->counter(trace::TraceName::KvFuturePred, now_,
+                    predicted_future);
+    trace_->counter(trace::TraceName::QueueDepth, now_,
+                    static_cast<std::int64_t>(waiting_.size()));
 }
 
 void
@@ -793,6 +944,10 @@ ServingEngine::runFusedStep()
         extra_stall += cost;
         collector_.onSwap(tokens, cost);
         request->swappedOut = false;
+        if (trace_ != nullptr) {
+            trace_->instant(trace::TraceName::SwapIn,
+                            request->spec.id, now_, tokens);
+        }
         swappedInScratch_.push_back(request);
         return true;
     });
@@ -808,6 +963,12 @@ ServingEngine::runFusedStep()
             request->remainingPrompt);
         request->remainingPrompt -= take;
         chunk_used += take;
+        if (take > 0 && trace_ != nullptr &&
+            trace_->stepsEnabled()) {
+            trace_->instant(trace::TraceName::Chunk,
+                            request->spec.id, now_, take,
+                            request->remainingPrompt);
+        }
     }
 
     TokenCount batch_kv = 0;
@@ -829,8 +990,15 @@ ServingEngine::runFusedStep()
     }
     now_ += duration;
     if (batch_size > 0) {
+        const TokenCount true_future = trueFutureMemory();
+        const TokenCount predicted_future = predictedFutureMemory();
         collector_.onDecodeStep(batch_size, kv_.usedTokens(),
-                                trueFutureMemory(), now_, duration);
+                                true_future, predicted_future,
+                                now_, duration);
+        if (trace_ != nullptr && trace_->stepsEnabled()) {
+            traceStepCounters(batch_size, true_future,
+                              predicted_future);
+        }
     }
     if (chunk_used > 0)
         collector_.onPrefill(chunk_used, duration);
@@ -840,6 +1008,10 @@ ServingEngine::runFusedStep()
         recordEmission(*request, now_);
     std::erase_if(running_, [&](EngineRequest *request) {
         if (request->generated >= request->targetOutput()) {
+            if (trace_ != nullptr)
+                trace_->end(trace::TraceName::Decode,
+                            request->spec.id, now_,
+                            request->generated);
             finishedScratch_.push_back(request);
             return true;
         }
@@ -853,9 +1025,16 @@ ServingEngine::runFusedStep()
             return false;
         request->generated += 1;
         recordEmission(*request, now_);
+        if (trace_ != nullptr)
+            trace_->end(trace::TraceName::Prefill,
+                        request->spec.id, now_);
         if (request->generated >= request->targetOutput()) {
             finishedScratch_.push_back(request);  // finish inserts
         } else {
+            if (trace_ != nullptr)
+                trace_->begin(trace::TraceName::Decode,
+                              request->spec.id, now_,
+                              request->generated);
             cacheInsert(request);
             running_.push_back(request);
         }
@@ -866,8 +1045,16 @@ ServingEngine::runFusedStep()
         finishRequest(request);
 
     // Restored requests resume decoding from the next step.
-    for (EngineRequest *request : swappedInScratch_)
+    for (EngineRequest *request : swappedInScratch_) {
+        if (trace_ != nullptr) {
+            trace_->end(trace::TraceName::Prefill,
+                        request->spec.id, now_);
+            trace_->begin(trace::TraceName::Decode,
+                          request->spec.id, now_,
+                          request->generated);
+        }
         running_.push_back(request);
+    }
 }
 
 bool
@@ -952,6 +1139,12 @@ ServingEngine::drainQueued()
             keep.push_back(request);
             continue;
         }
+        if (trace_ != nullptr) {
+            trace_->end(trace::TraceName::Queued,
+                        request->spec.id, drain_tick);
+            trace_->instant(trace::TraceName::Drained,
+                            request->spec.id, drain_tick);
+        }
         redispatch.push_back(DrainedRequest{
             request->spec, drain_tick, request->arrival});
         recycleRequest(request);
@@ -1022,6 +1215,12 @@ ServingEngine::stealQueued(std::size_t max_requests)
     const Tick steal_tick = context_->now();
     stolen.reserve(take.size());
     for (EngineRequest *request : take) {
+        if (trace_ != nullptr) {
+            trace_->end(trace::TraceName::Queued,
+                        request->spec.id, steal_tick);
+            trace_->instant(trace::TraceName::Drained,
+                            request->spec.id, steal_tick);
+        }
         stolen.push_back(DrainedRequest{request->spec, steal_tick,
                                         request->arrival});
         recycleRequest(request);

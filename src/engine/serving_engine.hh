@@ -57,6 +57,11 @@
 #include "workload/request_spec.hh"
 
 namespace lightllm {
+
+namespace trace {
+class EngineTrace;
+}
+
 namespace engine {
 
 /** Continuous-batching serving engine over the simulated substrate. */
@@ -102,6 +107,16 @@ class ServingEngine : public workload::RequestSink
 
     /** True when attached to a shared SimContext. */
     bool eventDriven() const { return shared_; }
+
+    /**
+     * Attach a flight-recorder sink (see trace/trace_recorder.hh);
+     * nullptr detaches. Must be called before any request is
+     * submitted. Tracing is strictly read-only — an attached sink
+     * never changes a single engine decision, so the resulting
+     * RunReport is byte-identical to an untraced run (pinned by
+     * test_trace).
+     */
+    void attachTrace(trace::EngineTrace *sink);
 
     /** Enqueue a request to arrive at `arrival` (>= current time). */
     void submitAt(const workload::RequestSpec &spec,
@@ -375,8 +390,10 @@ class ServingEngine : public workload::RequestSink
      */
     Tick evictOne();
 
-    /** Evict the given running request (decision executor). */
-    Tick evictRequest(RequestId id);
+    /** Evict the given running request (decision executor);
+     *  `reactive` distinguishes the mid-decode allocation-failure
+     *  path from a scheduler-decided eviction (trace cause). */
+    Tick evictRequest(RequestId id, bool reactive);
 
     /** Mark a token emission for `request` at `tick`. */
     void recordEmission(EngineRequest &request, Tick tick);
@@ -386,6 +403,21 @@ class ServingEngine : public workload::RequestSink
 
     /** Exact future required memory with ground-truth lengths. */
     TokenCount trueFutureMemory() const;
+
+    /**
+     * The scheduler's own future-memory estimate for the current
+     * batch, via the read-only prediction peek (prediction audit;
+     * never consumes RNG or scheduler state).
+     */
+    TokenCount predictedFutureMemory();
+
+    /** Trace a successful admission (queued → prefill spans). */
+    void traceAdmit(const EngineRequest &request);
+
+    /** Emit the per-iteration engine counters (detail >= steps). */
+    void traceStepCounters(std::int64_t batch_size,
+                           TokenCount true_future,
+                           TokenCount predicted_future);
 
     /** Scheduler context over the current queues. */
     core::SchedulerContext buildContext();
@@ -415,6 +447,10 @@ class ServingEngine : public workload::RequestSink
     std::unique_ptr<memory::PrefixCache> prefixCache_;
 
     metrics::MetricsCollector collector_;
+
+    /** Flight-recorder sink; null (the default) = tracing off and
+     *  every hook reduces to this one branch. */
+    trace::EngineTrace *trace_ = nullptr;
 
     /** Private context in standalone mode; null when shared. */
     std::unique_ptr<sim::SimContext> ownedContext_;

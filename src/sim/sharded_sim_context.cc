@@ -1,10 +1,13 @@
 #include "sim/sharded_sim_context.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "base/logging.hh"
+#include "trace/trace_recorder.hh"
 
 namespace lightllm {
 namespace sim {
@@ -87,6 +90,27 @@ ShardedSimContext::noteShardReleased(std::uint32_t index)
     LIGHTLLM_ASSERT(liveEngines_[index] > 0,
                     "released an engine from an empty shard");
     --liveEngines_[index];
+}
+
+void
+ShardedSimContext::attachTrace(trace::TraceRecorder *recorder)
+{
+    if (recorder == nullptr)
+        return;
+    // Coordinator first, then shards in index order: tids are
+    // assigned in creation order, so the trace layout is stable
+    // for a given --sim-threads value. Publish the sink vector
+    // under the barrier mutex — workers pick their sink up under
+    // the same lock at the next window wake.
+    trace::ShardTrace *coord = recorder->createShard("coordinator");
+    std::vector<trace::ShardTrace *> sinks(shards_.size(), nullptr);
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        sinks[i] =
+            recorder->createShard("shard-" + std::to_string(i));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    coordTrace_ = coord;
+    shardTraces_ = std::move(sinks);
 }
 
 void
@@ -248,6 +272,7 @@ ShardedSimContext::runWindow(Tick start_tick, Tick root_bound)
     // until the window runs dry. Mailboxes accumulate across rounds
     // and commit once, so delivery order is independent of which
     // round a parent ran in.
+    std::uint64_t staged_total = 0;
     for (;;) {
         const std::size_t staged = stageWindow();
         if (staged == 0)
@@ -256,6 +281,13 @@ ShardedSimContext::runWindow(Tick start_tick, Tick root_bound)
         executeStaged();
         inWindow_ = false;
         steps_ += staged;
+        staged_total += staged;
+    }
+    if (coordTrace_ != nullptr) {
+        coordTrace_->sample(
+            trace::TraceName::ShardWindow, start_tick, windowEnd_,
+            static_cast<std::int64_t>(staged_total),
+            static_cast<std::int64_t>(windows_));
     }
     commitMailboxes();
 }
@@ -330,6 +362,12 @@ void
 ShardedSimContext::runShard(std::uint32_t index)
 {
     SimContext &shard = *shards_[index];
+    trace::ShardTrace *sink = index < shardTraces_.size()
+        ? shardTraces_[index]
+        : nullptr;
+    std::chrono::steady_clock::time_point start;
+    if (sink != nullptr && !runLists_[index].empty())
+        start = std::chrono::steady_clock::now();
     for (WindowStep &step : runLists_[index]) {
         // Each step runs at its own tick with its own turn; the
         // shard clock replays exactly the per-event advance the
@@ -339,6 +377,16 @@ ShardedSimContext::runShard(std::uint32_t index)
         tlParent_ = Parent{step.when, step.stampTurn, step.stampOp};
         step.handler(step.when);
     }
+    if (sink != nullptr && !runLists_[index].empty()) {
+        const auto compute_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        sink->sample(
+            trace::TraceName::ShardCompute, windowEnd_,
+            static_cast<std::int64_t>(runLists_[index].size()),
+            compute_ns, static_cast<std::int64_t>(windows_));
+    }
 }
 
 void
@@ -347,12 +395,28 @@ ShardedSimContext::workerLoop(std::uint32_t shard)
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
+        const auto wait_start = std::chrono::steady_clock::now();
         windowCv_.wait(lock, [this, seen] {
             return shutdown_ || windowGen_ > seen;
         });
         if (shutdown_)
             return;
         seen = windowGen_;
+        trace::ShardTrace *sink = shard < shardTraces_.size()
+            ? shardTraces_[shard]
+            : nullptr;
+        if (sink != nullptr) {
+            // Wall-clock time parked at the barrier since the last
+            // window finished: idle + wake latency, the cost the
+            // parallel fleet pays for the deterministic merge.
+            const auto wait_ns = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_start)
+                .count();
+            sink->sample(trace::TraceName::ShardBarrier, windowEnd_,
+                         wait_ns,
+                         static_cast<std::int64_t>(windows_));
+        }
         lock.unlock();
         runShard(shard);
         lock.lock();
@@ -395,6 +459,12 @@ ShardedSimContext::commitMailboxes()
         root_->queue_.schedule(entry.when,
                                std::move(entry.handler),
                                EventClass::Delivery);
+    }
+    if (coordTrace_ != nullptr) {
+        coordTrace_->sample(trace::TraceName::MailboxCommit,
+                            windowEnd_,
+                            static_cast<std::int64_t>(order_.size()),
+                            static_cast<std::int64_t>(windows_));
     }
     for (auto &mailbox : mailboxes_)
         mailbox.clear();

@@ -62,6 +62,12 @@
 #include "sim/sim_context.hh"
 
 namespace lightllm {
+
+namespace trace {
+class ShardTrace;
+class TraceRecorder;
+}
+
 namespace sim {
 
 /** Coordinator + K shard contexts running one exact co-simulation. */
@@ -119,6 +125,15 @@ class ShardedSimContext
 
     /** Current conservative lookahead (ticks). */
     Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Attach per-shard profiler sinks (one for the coordinator,
+     * one per shard). Sinks only exist at --trace-detail full, so
+     * this is a no-op otherwise; the wall-clock samples live in a
+     * separate trace pseudo-process and never affect simulation
+     * results. Call before the run starts.
+     */
+    void attachTrace(trace::TraceRecorder *recorder);
 
     /**
      * Fire the next unit of work: one coordinator delivery, or one
@@ -244,6 +259,12 @@ class ShardedSimContext
     std::uint64_t deliveries_ = 0;
     std::uint64_t steps_ = 0;
     std::uint64_t windows_ = 0;
+
+    // Profiler sinks (null / empty unless tracing at detail=full).
+    // Each shard thread writes only its own sink; the coordinator
+    // sink is coordinator-thread-only.
+    trace::ShardTrace *coordTrace_ = nullptr;
+    std::vector<trace::ShardTrace *> shardTraces_;
 
     // Window barrier: the coordinator publishes a generation under
     // mu_ and workers report completion under it too — two CVs, one

@@ -1,0 +1,215 @@
+#include "trace/trace_recorder.hh"
+
+#include "base/logging.hh"
+
+namespace lightllm {
+namespace trace {
+
+bool
+parseTraceDetail(const std::string &text, TraceDetail *out)
+{
+    if (text == "off")
+        *out = TraceDetail::Off;
+    else if (text == "requests")
+        *out = TraceDetail::Requests;
+    else if (text == "steps")
+        *out = TraceDetail::Steps;
+    else if (text == "full")
+        *out = TraceDetail::Full;
+    else
+        return false;
+    return true;
+}
+
+const char *
+traceDetailName(TraceDetail detail)
+{
+    switch (detail) {
+      case TraceDetail::Off: return "off";
+      case TraceDetail::Requests: return "requests";
+      case TraceDetail::Steps: return "steps";
+      case TraceDetail::Full: return "full";
+    }
+    return "off";
+}
+
+const char *
+traceName(TraceName name)
+{
+    switch (name) {
+      case TraceName::Queued: return "queued";
+      case TraceName::Prefill: return "prefill";
+      case TraceName::Decode: return "decode";
+      case TraceName::Admit: return "admit";
+      case TraceName::Evict: return "evict";
+      case TraceName::SwapOut: return "swap_out";
+      case TraceName::SwapIn: return "swap_in";
+      case TraceName::Chunk: return "chunk";
+      case TraceName::Migrated: return "migrated";
+      case TraceName::Finish: return "finish";
+      case TraceName::Drained: return "drained";
+      case TraceName::AdmissionRound: return "admission_round";
+      case TraceName::BatchSize: return "batch_size";
+      case TraceName::KvUsed: return "kv_used";
+      case TraceName::KvFutureTrue: return "kv_future_true";
+      case TraceName::KvFuturePred: return "kv_future_pred";
+      case TraceName::QueueDepth: return "queue_depth";
+      case TraceName::ShardWindow: return "shard_window";
+      case TraceName::ShardCompute: return "shard_compute";
+      case TraceName::ShardBarrier: return "shard_barrier";
+      case TraceName::MailboxCommit: return "mailbox_commit";
+    }
+    return "unknown";
+}
+
+const char *
+traceArgKey(TraceName name, int slot)
+{
+    // Three-slot key table per event; nullptr = slot unused.
+    static constexpr const char *kNone[3] = {nullptr, nullptr,
+                                             nullptr};
+    switch (name) {
+      case TraceName::Queued:
+      {
+        static constexpr const char *k[3] = {
+            "input_len", "predicted_output", "true_output"};
+        return k[slot];
+      }
+      case TraceName::Prefill:
+      {
+        static constexpr const char *k[3] = {
+            "prefill_tokens", "cached_prefix", "kv_used"};
+        return k[slot];
+      }
+      case TraceName::Decode:
+      {
+        static constexpr const char *k[3] = {"generated", nullptr,
+                                             nullptr};
+        return k[slot];
+      }
+      case TraceName::Admit:
+      {
+        static constexpr const char *k[3] = {
+            "predicted_output", "true_output", "queue_wait_us"};
+        return k[slot];
+      }
+      case TraceName::Evict:
+      {
+        static constexpr const char *k[3] = {
+            "cause", "generated", "eviction_no"};
+        return k[slot];
+      }
+      case TraceName::SwapOut:
+      case TraceName::SwapIn:
+      {
+        static constexpr const char *k[3] = {"tokens", nullptr,
+                                             nullptr};
+        return k[slot];
+      }
+      case TraceName::Chunk:
+      {
+        static constexpr const char *k[3] = {
+            "chunk_tokens", "remaining_prompt", nullptr};
+        return k[slot];
+      }
+      case TraceName::Migrated:
+      {
+        static constexpr const char *k[3] = {"migrated_prefix",
+                                             nullptr, nullptr};
+        return k[slot];
+      }
+      case TraceName::Finish:
+      {
+        static constexpr const char *k[3] = {
+            "generated", "predicted_output", "evictions"};
+        return k[slot];
+      }
+      case TraceName::Drained:
+        return kNone[slot];
+      case TraceName::AdmissionRound:
+      {
+        static constexpr const char *k[3] = {
+            "admitted", "evicted", "queue_depth"};
+        return k[slot];
+      }
+      case TraceName::BatchSize:
+      case TraceName::KvUsed:
+      case TraceName::KvFutureTrue:
+      case TraceName::KvFuturePred:
+      case TraceName::QueueDepth:
+      {
+        static constexpr const char *k[3] = {"value", nullptr,
+                                             nullptr};
+        return k[slot];
+      }
+      case TraceName::ShardWindow:
+      {
+        static constexpr const char *k[3] = {
+            "window_end_us", "staged_steps", "window_no"};
+        return k[slot];
+      }
+      case TraceName::ShardCompute:
+      {
+        static constexpr const char *k[3] = {
+            "steps", "compute_ns", "window_no"};
+        return k[slot];
+      }
+      case TraceName::ShardBarrier:
+      {
+        static constexpr const char *k[3] = {
+            "wait_ns", "window_no", nullptr};
+        return k[slot];
+      }
+      case TraceName::MailboxCommit:
+      {
+        static constexpr const char *k[3] = {
+            "commits", "window_no", nullptr};
+        return k[slot];
+      }
+    }
+    return kNone[slot];
+}
+
+TraceRecorder::TraceRecorder(TraceConfig config)
+    : config_(config)
+{
+    LIGHTLLM_ASSERT(config_.ringCapacity > 0,
+                    "trace ring capacity must be positive");
+}
+
+EngineTrace *
+TraceRecorder::createEngine(std::string label)
+{
+    if (config_.detail == TraceDetail::Off)
+        return nullptr;
+    const auto pid =
+        static_cast<std::int32_t>(engines_.size() + 1);
+    engines_.emplace_back(pid, std::move(label), config_.detail,
+                          config_.ringCapacity);
+    return &engines_.back();
+}
+
+ShardTrace *
+TraceRecorder::createShard(std::string label)
+{
+    if (config_.detail < TraceDetail::Full)
+        return nullptr;
+    const auto tid = static_cast<std::int32_t>(shards_.size());
+    shards_.emplace_back(tid, std::move(label),
+                         config_.ringCapacity);
+    return &shards_.back();
+}
+
+std::uint64_t
+TraceRecorder::totalDropped() const
+{
+    std::uint64_t dropped = 0;
+    for (const auto &engine : engines_)
+        dropped += engine.ring().dropped();
+    for (const auto &shard : shards_)
+        dropped += shard.ring().dropped();
+    return dropped;
+}
+
+} // namespace trace
+} // namespace lightllm

@@ -93,6 +93,8 @@ TEST(CliParse, UsageDocumentsEveryRegisteredFlag)
         "--prefix-cache",  "--split-fuse",
         "--tenant-tree",   "--tenants",
         "--tenant-zipf",   "--tenant-weights",
+        "--trace-out",     "--trace-detail",
+        "--trace-limit",
     };
     const auto names = cli::cliFlagNames();
     for (const char *flag : expected) {

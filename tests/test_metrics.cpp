@@ -79,8 +79,8 @@ TEST(CollectorTest, DurationWeightedMemoryAverages)
 {
     MetricsCollector collector(1000);
     // Step 1: 500/1000 used for 30 ticks; step 2: 900/1000 for 10.
-    collector.onDecodeStep(4, 500, 600, 30, 30);
-    collector.onDecodeStep(4, 900, 950, 40, 10);
+    collector.onDecodeStep(4, 500, 600, 600, 30, 30);
+    collector.onDecodeStep(4, 900, 950, 950, 40, 10);
     const auto report = collector.finish("test", 40);
     EXPECT_NEAR(report.avgConsumedMemory,
                 (0.5 * 30 + 0.9 * 10) / 40.0, 1e-12);
@@ -105,7 +105,7 @@ TEST(CollectorTest, TimeseriesRespectsInterval)
 {
     MetricsCollector collector(1000, 2);
     for (int step = 1; step <= 7; ++step)
-        collector.onDecodeStep(1, 100, 100, step, 1);
+        collector.onDecodeStep(1, 100, 100, 100, step, 1);
     const auto report = collector.finish("test", 7);
     EXPECT_EQ(report.timeseries.size(), 3u);  // steps 2, 4, 6
     EXPECT_EQ(report.timeseries[0].tick, 2);
@@ -114,11 +114,11 @@ TEST(CollectorTest, TimeseriesRespectsInterval)
 TEST(CollectorTest, ResetMeasurementDiscardsHistory)
 {
     MetricsCollector collector(1000);
-    collector.onDecodeStep(2, 500, 500, 10, 10);
+    collector.onDecodeStep(2, 500, 500, 500, 10, 10);
     collector.onRequestFinished(record(0, 1, 2, 1, 100));
     collector.onEviction(true);
     collector.resetMeasurement(50);
-    collector.onDecodeStep(8, 800, 800, 60, 10);
+    collector.onDecodeStep(8, 800, 800, 800, 60, 10);
     collector.onRequestFinished(record(50, 60, 70, 1, 40));
     const auto report = collector.finish("test", 150);
     EXPECT_EQ(report.numFinished, 1u);

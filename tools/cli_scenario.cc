@@ -20,6 +20,7 @@
 #include "metrics/report_io.hh"
 #include "sim/sharded_sim_context.hh"
 #include "sim/sim_context.hh"
+#include "trace/trace_recorder.hh"
 #include "workload/arrivals.hh"
 #include "workload/client_pool.hh"
 #include "workload/tenant_mix.hh"
@@ -408,6 +409,16 @@ valuedFlagBindings(CliOptions &options)
     valued["--max-seconds"] = bind_double(options.maxSimSeconds);
     valued["--format"] = bind_string(options.format);
     valued["--csv"] = bind_string(options.csvPath);
+    valued["--trace-out"] = bind_string(options.traceOut);
+    valued["--trace-detail"] = bind_string(options.traceDetail);
+    valued["--trace-limit"] =
+        [&options](const std::string &value) {
+            std::uint64_t parsed = 0;
+            if (!parseUnsigned(value, parsed) || parsed == 0)
+                return false;
+            options.traceLimit = static_cast<std::size_t>(parsed);
+            return true;
+        };
     return valued;
 }
 
@@ -649,6 +660,18 @@ parseCliArgs(int argc, const char *const *argv, CliOptions &options)
         return "--routing needs --instances >= 2 or --autoscale "
                "(a single static instance has nothing to route "
                "across)";
+    if (!options.traceDetail.empty()) {
+        trace::TraceDetail detail = trace::TraceDetail::Off;
+        if (!trace::parseTraceDetail(options.traceDetail, &detail))
+            return "bad value for --trace-detail: " +
+                options.traceDetail +
+                " (use off | requests | steps | full)";
+        if (detail != trace::TraceDetail::Off &&
+            options.traceOut.empty())
+            return "--trace-detail needs --trace-out";
+    }
+    if (options.traceLimit > 0 && options.traceOut.empty())
+        return "--trace-limit needs --trace-out";
     return "";
 }
 
@@ -803,6 +826,22 @@ printCliUsage(std::ostream &os)
         "  --max-seconds S     stop after S simulated seconds\n"
         "  --format F          table | json | both (default table)\n"
         "  --csv PATH          also write per-request CSV\n"
+        "\n"
+        "Flight recorder (read-only: the RunReport is\n"
+        "byte-identical with tracing on or off):\n"
+        "  --trace-out PATH    write a Chrome trace-event JSON\n"
+        "                      (open in Perfetto / chrome://tracing)\n"
+        "                      plus a per-request timeline at\n"
+        "                      PATH.requests.csv\n"
+        "  --trace-detail L    off | requests (lifecycle spans and\n"
+        "                      decision instants; the default when\n"
+        "                      --trace-out is set) | steps (+ per-\n"
+        "                      iteration engine counters) | full\n"
+        "                      (+ per-shard wall-clock profiling\n"
+        "                      under --sim-threads)\n"
+        "  --trace-limit N     per-sink event ring capacity\n"
+        "                      (default 65536); the oldest events\n"
+        "                      drop when a ring wraps\n"
         "  --help, -h          show this reference\n";
 }
 
@@ -1029,11 +1068,50 @@ assembleScenario(const CliOptions &options)
         if (options.handoffDepth > 0)
             config.handoffDepth = options.handoffDepth;
     }
+
+    if (!options.traceOut.empty()) {
+        scenario.traceOut = options.traceOut;
+        const std::string detail = options.traceDetail.empty()
+            ? "requests" : options.traceDetail;
+        if (!trace::parseTraceDetail(detail,
+                                     &scenario.traceDetail)) {
+            throw std::invalid_argument("unknown trace detail: " +
+                                        detail);
+        }
+        if (options.traceLimit > 0)
+            scenario.traceLimit = options.traceLimit;
+    }
     return scenario;
 }
 
 metrics::RunReport
 runScenario(const Scenario &scenario)
+{
+    if (scenario.traceDetail == trace::TraceDetail::Off ||
+        scenario.traceOut.empty())
+        return runScenario(scenario, nullptr);
+
+    trace::TraceConfig config;
+    config.detail = scenario.traceDetail;
+    config.ringCapacity = scenario.traceLimit;
+    trace::TraceRecorder recorder(config);
+    metrics::RunReport report = runScenario(scenario, &recorder);
+    if (!recorder.writeChromeJsonFile(scenario.traceOut)) {
+        throw std::runtime_error("cannot write trace file: " +
+                                 scenario.traceOut);
+    }
+    const std::string csv_path = scenario.traceOut +
+        ".requests.csv";
+    if (!recorder.writeRequestCsvFile(csv_path)) {
+        throw std::runtime_error("cannot write trace file: " +
+                                 csv_path);
+    }
+    return report;
+}
+
+metrics::RunReport
+runScenario(const Scenario &scenario,
+            trace::TraceRecorder *recorder)
 {
     if (scenario.disagg) {
         // Disaggregated fleet: both pools clone the base platform
@@ -1060,6 +1138,8 @@ runScenario(const Scenario &scenario)
                                       std::move(decode),
                                       scenario.disaggConfig,
                                       scenario.simThreads);
+        if (recorder != nullptr)
+            cluster.attachTrace(recorder);
         if (scenario.autoscale) {
             // Two independent control loops. The decode pool never
             // sheds at admission: the bounded handoff queue is the
@@ -1124,6 +1204,8 @@ runScenario(const Scenario &scenario)
             scenario.perf,
             core::makeSchedulingPolicy(scenario.schedulerConfig),
             scenario.engineConfig);
+        if (recorder != nullptr)
+            engine.attachTrace(recorder->createEngine("engine-0"));
 
         if (scenario.sessionMode) {
             workload::SessionGenerator sessions(
@@ -1196,6 +1278,11 @@ runScenario(const Scenario &scenario)
         fleetStorage.emplace(std::move(engines), scenario.routing);
     }
     cluster::ServingCluster &fleet = *fleetStorage;
+    if (recorder != nullptr) {
+        fleet.setTraceRecorder(recorder);
+        if (hub)
+            hub->attachTrace(recorder);
+    }
     if (scenario.drainAt > 0)
         fleet.scheduleDrain(0, scenario.drainAt);
 

@@ -27,6 +27,7 @@
 #include "metrics/report.hh"
 #include "metrics/sla.hh"
 #include "model/perf_model.hh"
+#include "trace/trace_event.hh"
 #include "workload/datasets.hh"
 #include "workload/rate_schedule.hh"
 #include "workload/session_gen.hh"
@@ -179,6 +180,21 @@ struct CliOptions
     std::string format = "table";
     std::string csvPath;
 
+    // Flight recorder (src/trace). Tracing is off unless --trace-out
+    // names a file; the recorder observes but never steers, so the
+    // RunReport stays byte-identical (pinned by test_trace).
+
+    /** Chrome trace-event JSON output path (empty = tracing off);
+     *  a per-request timeline also lands at PATH.requests.csv. */
+    std::string traceOut;
+
+    /** Capture level: off | requests | steps | full. Empty defaults
+     *  to "requests" when --trace-out is set. */
+    std::string traceDetail;
+
+    /** Ring capacity per sink, in events (0 = the 65536 default). */
+    std::size_t traceLimit = 0;
+
     bool showHelp = false;
 };
 
@@ -260,6 +276,17 @@ struct Scenario
     std::size_t prefillInstances = 1;
     std::size_t decodeInstances = 1;
     disagg::DisaggConfig disaggConfig;
+
+    /** Flight-recorder output path (empty = tracing off); the
+     *  exported JSON lands here and the per-request timeline at
+     *  `traceOut + ".requests.csv"`. */
+    std::string traceOut;
+
+    /** Capture level; Off leaves every trace hook a dead branch. */
+    trace::TraceDetail traceDetail = trace::TraceDetail::Off;
+
+    /** Ring capacity per sink, in events. */
+    std::size_t traceLimit = 65536;
 };
 
 /**
@@ -270,8 +297,19 @@ struct Scenario
  */
 Scenario assembleScenario(const CliOptions &options);
 
-/** Run the scenario's simulation to completion. */
+/** Run the scenario's simulation to completion. When the scenario
+ *  enables tracing, a recorder is created for the run and the trace
+ *  files are written next to returning the report. */
 metrics::RunReport runScenario(const Scenario &scenario);
+
+/**
+ * As above, but record into a caller-owned recorder (may be null)
+ * and skip the file export — tests compare traces in memory. The
+ * recorder must outlive the call; pass one whose detail matches the
+ * scenario's.
+ */
+metrics::RunReport runScenario(const Scenario &scenario,
+                               trace::TraceRecorder *recorder);
 
 /** Render the report per options.format / options.csvPath. */
 void emitReport(std::ostream &os, const CliOptions &options,
